@@ -1,0 +1,98 @@
+//! Shared helpers for the WarpDrive examples and integration tests.
+//!
+//! The interesting code lives in the top-level `examples/` and `tests/`
+//! directories (wired into this package via explicit `[[example]]` /
+//! `[[test]]` path entries); this small library only provides the bits
+//! they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// Builds a simulated quad-P100 node sized for experiments of `n`
+/// elements per GPU: per-GPU pool = table capacity + staging room.
+#[must_use]
+pub fn quad_node(capacity_per_gpu: usize, n_per_gpu: usize) -> Vec<Arc<gpu_sim::Device>> {
+    (0..4)
+        .map(|i| {
+            Arc::new(gpu_sim::Device::with_words(
+                i,
+                capacity_per_gpu + 8 * n_per_gpu + 4096,
+            ))
+        })
+        .collect()
+}
+
+/// Encodes a DNA base to its 2-bit code.
+///
+/// # Panics
+/// Panics on non-ACGT input.
+#[must_use]
+pub fn base_code(b: u8) -> u32 {
+    match b {
+        b'A' => 0,
+        b'C' => 1,
+        b'G' => 2,
+        b'T' => 3,
+        _ => panic!("not a DNA base: {}", b as char),
+    }
+}
+
+/// Packs the `k`-mer starting at `pos` of `seq` into 2-bit codes
+/// (k ≤ 15 keeps it within a 30-bit key, leaving the reserved key free).
+///
+/// # Panics
+/// Panics if the window exceeds the sequence or `k > 15`.
+#[must_use]
+pub fn encode_kmer(seq: &[u8], pos: usize, k: usize) -> u32 {
+    assert!(k <= 15, "k must fit a 4-byte key (k <= 15)");
+    assert!(pos + k <= seq.len(), "k-mer window out of range");
+    seq[pos..pos + k]
+        .iter()
+        .fold(0u32, |acc, &b| (acc << 2) | base_code(b))
+}
+
+/// Deterministic synthetic DNA sequence of length `len`.
+#[must_use]
+pub fn synthetic_dna(len: usize, seed: u64) -> Vec<u8> {
+    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    (0..len as u64)
+        .map(|i| BASES[(hashes::fmix64(seed ^ i.wrapping_mul(0x9e37_79b9)) & 3) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmer_encoding_round_trips_structure() {
+        let seq = b"ACGTACGTACGT";
+        let k = 4;
+        let a = encode_kmer(seq, 0, k); // ACGT
+        let b = encode_kmer(seq, 4, k); // ACGT again
+        let c = encode_kmer(seq, 1, k); // CGTA
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, 0b00_01_10_11);
+    }
+
+    #[test]
+    fn synthetic_dna_is_deterministic_acgt() {
+        let d1 = synthetic_dna(1000, 7);
+        let d2 = synthetic_dna(1000, 7);
+        assert_eq!(d1, d2);
+        assert!(d1.iter().all(|b| b"ACGT".contains(b)));
+        // all four bases appear
+        for b in b"ACGT" {
+            assert!(d1.contains(b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k <= 15")]
+    fn oversized_k_rejected() {
+        let _ = encode_kmer(&[b'A'; 40], 0, 16);
+    }
+}

@@ -1,0 +1,227 @@
+//! A Folklore-style concurrent CPU hash map (Maier et al., ref. \[10\]).
+//!
+//! The CPU yardstick of the paper's §III: CAS on fixed-length machine
+//! words, open addressing with linear probing, bulk operations
+//! parallelised over all cores. Unlike every other baseline this is a
+//! *real* data structure measured in wall-clock time (see the
+//! `kernels` criterion bench), not a simulated one — it is what a
+//! downstream user would reach for on a machine without GPUs.
+//!
+//! Guides note: per *Rust Atomics and Locks*, the packed 64-bit entry is
+//! self-contained (no other memory is published through it), so all
+//! accesses use `Relaxed` ordering; the bulk API's Rayon join provides
+//! the cross-thread happens-before for readers that follow writers.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use warpdrive::{key_of, pack, value_of, EMPTY};
+
+/// A fixed-capacity concurrent open-addressing hash map for 4+4-byte
+/// pairs.
+#[derive(Debug)]
+pub struct FolkloreMap {
+    cells: Box<[AtomicU64]>,
+    mask: usize,
+    occupied: AtomicU64,
+}
+
+/// Result of a bulk insert.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FolkloreInsertOutcome {
+    /// Newly claimed slots.
+    pub new_slots: u64,
+    /// In-place value updates.
+    pub updates: u64,
+    /// Pairs that found no slot (table effectively full).
+    pub failed: u64,
+}
+
+impl FolkloreMap {
+    /// Creates a map with capacity rounded up to a power of two.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let cap = capacity.next_power_of_two();
+        let mut v = Vec::with_capacity(cap);
+        v.resize_with(cap, || AtomicU64::new(EMPTY));
+        Self {
+            cells: v.into_boxed_slice(),
+            mask: cap - 1,
+            occupied: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count (power of two).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.occupied.load(Relaxed)
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn home(&self, key: u32) -> usize {
+        hashes::fmix32(key) as usize & self.mask
+    }
+
+    /// Inserts one pair; duplicate keys update. Lock-free.
+    pub fn insert(&self, key: u32, value: u32) -> Result<bool, ()> {
+        debug_assert_ne!(key, u32::MAX, "key u32::MAX is reserved");
+        let word = pack(key, value);
+        let mut pos = self.home(key);
+        for _ in 0..=self.mask {
+            let cur = self.cells[pos].load(Relaxed);
+            if cur == EMPTY {
+                match self.cells[pos].compare_exchange(EMPTY, word, Relaxed, Relaxed) {
+                    Ok(_) => {
+                        self.occupied.fetch_add(1, Relaxed);
+                        return Ok(true);
+                    }
+                    Err(_) => continue, // re-read the same slot
+                }
+            }
+            if key_of(cur) == key {
+                // update: CAS so a concurrent update is not lost silently
+                if self.cells[pos]
+                    .compare_exchange(cur, word, Relaxed, Relaxed)
+                    .is_ok()
+                {
+                    return Ok(false);
+                }
+                continue;
+            }
+            pos = (pos + 1) & self.mask;
+        }
+        Err(())
+    }
+
+    /// Looks one key up. Lock-free, wait-free for bounded tables.
+    #[must_use]
+    pub fn get(&self, key: u32) -> Option<u32> {
+        let mut pos = self.home(key);
+        for _ in 0..=self.mask {
+            let cur = self.cells[pos].load(Relaxed);
+            if cur == EMPTY {
+                return None;
+            }
+            if key_of(cur) == key {
+                return Some(value_of(cur));
+            }
+            pos = (pos + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Parallel bulk insert over the Rayon pool.
+    #[must_use]
+    pub fn insert_bulk(&self, pairs: &[(u32, u32)]) -> FolkloreInsertOutcome {
+        pairs
+            .par_iter()
+            .map(|&(k, v)| match self.insert(k, v) {
+                Ok(true) => FolkloreInsertOutcome {
+                    new_slots: 1,
+                    ..Default::default()
+                },
+                Ok(false) => FolkloreInsertOutcome {
+                    updates: 1,
+                    ..Default::default()
+                },
+                Err(()) => FolkloreInsertOutcome {
+                    failed: 1,
+                    ..Default::default()
+                },
+            })
+            .reduce(FolkloreInsertOutcome::default, |a, b| {
+                FolkloreInsertOutcome {
+                    new_slots: a.new_slots + b.new_slots,
+                    updates: a.updates + b.updates,
+                    failed: a.failed + b.failed,
+                }
+            })
+    }
+
+    /// Parallel bulk lookup.
+    #[must_use]
+    pub fn get_bulk(&self, keys: &[u32]) -> Vec<Option<u32>> {
+        keys.par_iter().map(|&k| self.get(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_bulk() {
+        let m = FolkloreMap::new(4096);
+        let pairs: Vec<(u32, u32)> = (0..3000u32).map(|i| (i * 7 + 1, i)).collect();
+        let out = m.insert_bulk(&pairs);
+        assert_eq!(out.new_slots, 3000);
+        assert_eq!(out.failed, 0);
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let res = m.get_bulk(&keys);
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(res[i], Some(p.1));
+        }
+        assert_eq!(m.get(999_999_999), None);
+    }
+
+    #[test]
+    fn duplicates_update() {
+        let m = FolkloreMap::new(64);
+        assert_eq!(m.insert(1, 10), Ok(true));
+        assert_eq!(m.insert(1, 20), Ok(false));
+        assert_eq!(m.get(1), Some(20));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(FolkloreMap::new(1000).capacity(), 1024);
+        assert_eq!(FolkloreMap::new(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn survives_full_table() {
+        let m = FolkloreMap::new(64); // rounds to 64
+        let pairs: Vec<(u32, u32)> = (0..64u32).map(|i| (i + 1, i)).collect();
+        let out = m.insert_bulk(&pairs);
+        assert_eq!(out.new_slots, 64);
+        // one more key cannot fit
+        assert_eq!(m.insert(1000, 0), Err(()));
+        // but updates still work
+        assert_eq!(m.insert(1, 99), Ok(false));
+    }
+
+    #[test]
+    fn concurrent_hammering_on_one_key() {
+        let m = std::sync::Arc::new(FolkloreMap::new(256));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let m = std::sync::Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    let _ = m.insert(7, t * 10_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 1);
+        assert!(m.get(7).is_some());
+    }
+}

@@ -1,0 +1,38 @@
+//! Competitor hash tables for the WarpDrive reproduction.
+//!
+//! §III/§V of the paper compare WarpDrive against four other designs; all
+//! are reimplemented here **on the same simulated device substrate**, so
+//! rates are apples-to-apples exactly as they were on the authors' P100:
+//!
+//! * [`cudpp_cuckoo`] — Alcantara's single-pass fourth-degree cuckoo hash
+//!   as shipped in CUDPP; the paper's primary comparison (Figs. 7–8) and
+//!   the source of the 2.8×/1.3× speedup claims. One thread per element,
+//!   `atomicExch` eviction chains, a small stash, max load ≈ 0.97.
+//! * [`robin_hood`] — García et al.'s coherent-hashing scheme: lock-free
+//!   Robin Hood displacement with one thread per element.
+//! * [`stadium`] — Khorasani et al.'s Stadium hash: an auxiliary *ticket
+//!   board* gating accesses to the main table; supports an out-of-core
+//!   mode where only the ticket board stays in VRAM (the configuration
+//!   whose ≈100 M ops/s PCIe collapse motivates WarpDrive's multi-GPU
+//!   alternative).
+//! * [`sort_compress`] — the sort-and-compress key-value store of §II
+//!   (CUB-style radix sort + compaction + binary-search queries) with its
+//!   2× auxiliary memory cost.
+//! * [`folklore`] — a real (not simulated) multicore CPU hash map in the
+//!   spirit of Maier et al.'s Folklore: the CPU yardstick the paper cites
+//!   at up to 300 M inserts/s on 48 threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cudpp_cuckoo;
+pub mod folklore;
+pub mod robin_hood;
+pub mod sort_compress;
+pub mod stadium;
+
+pub use cudpp_cuckoo::CuckooHash;
+pub use folklore::FolkloreMap;
+pub use robin_hood::RobinHoodMap;
+pub use sort_compress::SortCompressStore;
+pub use stadium::StadiumHash;

@@ -1,0 +1,283 @@
+//! Robin Hood hashing on the GPU (García et al., ref. \[8\]).
+//!
+//! Linear probing with *displacement equalisation*: an inserting element
+//! that has travelled farther from its home slot than the resident entry
+//! evicts it ("takes from the rich"). García's implementation uses one
+//! thread per pair in a lock-free manner, encoding the probe age in 4
+//! spare key bits; we compute the displacement from the hash instead
+//! (`d = (slot − h(key)) mod c`), which is the same invariant without the
+//! key-width restriction. Each probe is an uncoalesced single-word
+//! access, as in the original.
+//!
+//! The paper positions this as running "at comparable speed to
+//! Alcantara's hash map" — the baseline table reproduces that.
+
+use gpu_sim::{DevSlice, Device, GroupCtx, GroupSize, KernelStats, LaunchOptions};
+use hashes::{HashFn32, Hasher32, Translated};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use warpdrive::{key_of, pack, value_of, EMPTY};
+
+/// Outcome of a Robin Hood bulk insert.
+#[derive(Debug, Clone)]
+pub struct RobinHoodOutcome {
+    /// Kernel stats.
+    pub stats: KernelStats,
+    /// Pairs that exceeded the probe bound.
+    pub failed: u64,
+}
+
+/// A lock-free Robin Hood hash table on the simulated device.
+#[derive(Debug)]
+pub struct RobinHoodMap {
+    dev: Arc<Device>,
+    table: DevSlice,
+    capacity: usize,
+    hash: Translated,
+    max_probe: u32,
+    occupied: AtomicU64,
+}
+
+impl RobinHoodMap {
+    /// Allocates a table of `capacity` slots.
+    ///
+    /// # Errors
+    /// Propagates device OOM.
+    pub fn new(dev: Arc<Device>, capacity: usize, seed: u32) -> Result<Self, gpu_sim::OutOfMemory> {
+        assert!(capacity > 0);
+        let table = dev.alloc(capacity)?;
+        dev.mem().fill(table, EMPTY);
+        Ok(Self {
+            dev,
+            table,
+            capacity,
+            hash: Translated {
+                base: HashFn32::Murmur,
+                offset: seed,
+            },
+            max_probe: (capacity as u32).min(4096),
+            occupied: AtomicU64::new(0),
+        })
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.occupied.load(Relaxed)
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn home(&self, key: u32) -> usize {
+        (self.hash.hash(key) as usize) % self.capacity
+    }
+
+    #[inline]
+    fn displacement(&self, key: u32, slot: usize) -> usize {
+        (slot + self.capacity - self.home(key)) % self.capacity
+    }
+
+    /// Bulk insert. Duplicate keys update in place (the displacement
+    /// invariant puts equal keys on the same probe path).
+    pub fn insert_pairs(&self, pairs: &[(u32, u32)]) -> RobinHoodOutcome {
+        let words: Vec<u64> = pairs.iter().map(|&(k, v)| pack(k, v)).collect();
+        let staging = self
+            .dev
+            .alloc_scratch(words.len().max(1))
+            .expect("robin hood staging");
+        let input = staging.slice().sub(0, words.len());
+        self.dev.mem().h2d(input, &words);
+
+        let failed = AtomicU64::new(0);
+        let inserted = AtomicU64::new(0);
+        let stats = self.dev.launch(
+            "robin_hood_insert",
+            words.len(),
+            GroupSize::new(1),
+            LaunchOptions::default().with_working_set(self.table.bytes()),
+            |ctx: &GroupCtx| {
+                let mut word = ctx.read_stream(input, ctx.group_id());
+                let mut dist = 0usize;
+                let mut pos = self.home(key_of(word));
+                for _ in 0..self.max_probe {
+                    let cur = ctx.read(self.table, pos);
+                    if cur == EMPTY {
+                        if ctx.cas(self.table, pos, EMPTY, word).is_ok() {
+                            // exactly one slot went vacant → occupied
+                            inserted.fetch_add(1, Relaxed);
+                            return;
+                        }
+                        continue; // slot changed under us: re-read
+                    }
+                    if key_of(cur) == key_of(word) {
+                        // duplicate: update value in place
+                        if ctx.cas(self.table, pos, cur, word).is_ok() {
+                            return;
+                        }
+                        continue;
+                    }
+                    let d_cur = self.displacement(key_of(cur), pos);
+                    if dist > d_cur {
+                        // rob the rich: swap and carry the evictee onward
+                        if ctx.cas(self.table, pos, cur, word).is_ok() {
+                            word = cur;
+                            dist = d_cur;
+                        }
+                        continue; // re-examine (possibly changed) slot
+                    }
+                    pos = (pos + 1) % self.capacity;
+                    dist += 1;
+                }
+                failed.fetch_add(1, Relaxed);
+            },
+        );
+        self.occupied.fetch_add(inserted.load(Relaxed), Relaxed);
+        RobinHoodOutcome {
+            stats,
+            failed: failed.load(Relaxed),
+        }
+    }
+
+    /// Bulk retrieval: linear probe from the home slot; EMPTY terminates.
+    #[must_use]
+    pub fn retrieve(&self, keys: &[u32]) -> (Vec<Option<u32>>, KernelStats) {
+        let n = keys.len();
+        let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
+        let staging = self.dev.alloc_scratch(2 * n.max(1)).expect("rh staging");
+        let input = staging.slice().sub(0, n);
+        let out = staging.slice().sub(n.max(1), n);
+        self.dev.mem().h2d(input, &words);
+
+        let stats = self.dev.launch(
+            "robin_hood_retrieve",
+            n,
+            GroupSize::new(1),
+            LaunchOptions::default().with_working_set(self.table.bytes()),
+            |ctx: &GroupCtx| {
+                let key = key_of(ctx.read_stream(input, ctx.group_id()));
+                let mut pos = self.home(key);
+                for dist in 0..self.max_probe as usize {
+                    let w = ctx.read(self.table, pos);
+                    if key_of(w) == key {
+                        ctx.write_stream(out, ctx.group_id(), w);
+                        return;
+                    }
+                    if w == EMPTY {
+                        break;
+                    }
+                    // Robin Hood early exit: if the resident entry is
+                    // (much) closer to home than we are, our key cannot be
+                    // farther down the chain. The slack tolerates the
+                    // transient invariant violations of lock-free swaps.
+                    if self.displacement(key_of(w), pos) + 8 < dist {
+                        break;
+                    }
+                    pos = (pos + 1) % self.capacity;
+                }
+                ctx.write_stream(out, ctx.group_id(), EMPTY);
+            },
+        );
+        let results = self
+            .dev
+            .mem()
+            .d2h(out)
+            .into_iter()
+            .map(|w| (w != EMPTY).then(|| value_of(w)))
+            .collect();
+        (results, stats)
+    }
+
+    /// Probe-length statistics over all live entries (host-side): Robin
+    /// Hood's selling point is the *equalized* (low-variance) distribution.
+    #[must_use]
+    pub fn displacement_histogram(&self) -> Vec<u64> {
+        let words = self.dev.mem().d2h(self.table);
+        let mut hist = Vec::new();
+        for (slot, &w) in words.iter().enumerate() {
+            if w == EMPTY {
+                continue;
+            }
+            let d = self.displacement(key_of(w), slot);
+            if d >= hist.len() {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(capacity: usize) -> RobinHoodMap {
+        let dev = Arc::new(Device::with_words(0, capacity * 4 + 256));
+        RobinHoodMap::new(dev, capacity, 3).unwrap()
+    }
+
+    #[test]
+    fn round_trip_at_high_load() {
+        let m = map(1024);
+        let pairs: Vec<(u32, u32)> = (0..973u32).map(|i| (i * 7 + 1, i)).collect(); // 0.95
+        let out = m.insert_pairs(&pairs);
+        assert_eq!(out.failed, 0);
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([123_456_789]).collect();
+        let (res, _) = m.retrieve(&keys);
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(res[i], Some(p.1), "key {}", p.0);
+        }
+        assert_eq!(res[973], None);
+    }
+
+    #[test]
+    fn duplicates_update() {
+        let m = map(128);
+        m.insert_pairs(&[(5, 1)]);
+        m.insert_pairs(&[(5, 2)]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.retrieve(&[5]).0[0], Some(2));
+    }
+
+    #[test]
+    fn displacements_are_equalized() {
+        // compare max displacement against plain linear probing's expected
+        // long tails: Robin Hood keeps the maximum small at 0.9 load
+        let m = map(2048);
+        let pairs: Vec<(u32, u32)> = (0..1843u32).map(|i| (i * 11 + 3, i)).collect();
+        let out = m.insert_pairs(&pairs);
+        assert_eq!(out.failed, 0);
+        let hist = m.displacement_histogram();
+        let max_disp = hist.len() - 1;
+        let total: u64 = hist.iter().sum();
+        assert_eq!(total, 1843);
+        // variance reduction: the vast majority sit within a few slots
+        let near: u64 = hist.iter().take(16).sum();
+        assert!(
+            near as f64 / total as f64 > 0.80,
+            "only {near}/{total} within 16 slots (max {max_disp})"
+        );
+    }
+
+    #[test]
+    fn concurrent_displacement_chains_preserve_all_entries() {
+        // many racing evictions must not drop entries
+        let m = map(512);
+        let pairs: Vec<(u32, u32)> = (0..480u32).map(|i| (i + 1, i)).collect();
+        let out = m.insert_pairs(&pairs);
+        assert_eq!(out.failed, 0);
+        let (res, _) = m.retrieve(&(1..=480).collect::<Vec<u32>>());
+        let missing: Vec<u32> = res
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(i, _)| i as u32 + 1)
+            .collect();
+        assert!(missing.is_empty(), "lost keys: {missing:?}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion micro-bench: hash-function throughput (real wall-clock).
+//!
+//! These are the host-side costs of the hash families the kernels use;
+//! the figure harnesses measure *simulated device* time instead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hashes::{mueller32, murmur::fmix32, DoubleHash, HashFamily, Tabulation32};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    g.throughput(Throughput::Elements(1024));
+    g.sample_size(20);
+
+    g.bench_function("fmix32_x1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024u32 {
+                acc ^= fmix32(black_box(i));
+            }
+            acc
+        })
+    });
+
+    g.bench_function("mueller32_x1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024u32 {
+                acc ^= mueller32(black_box(i));
+            }
+            acc
+        })
+    });
+
+    let tab = Tabulation32::new(7);
+    g.bench_function("tabulation_x1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024u32 {
+                acc ^= tab.hash(black_box(i));
+            }
+            acc
+        })
+    });
+
+    let dh = DoubleHash::from_seed(3);
+    g.bench_function("double_hash_member_x1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024u32 {
+                acc ^= dh.member(black_box(i & 7), black_box(i));
+            }
+            acc
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

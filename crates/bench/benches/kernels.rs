@@ -1,0 +1,73 @@
+//! Criterion bench: functional kernel execution wall-clock — how fast the
+//! *simulator* itself runs the insert/retrieve kernels — plus the real
+//! Folklore CPU map as the only genuinely hardware-measured structure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use warpdrive::{Config, GpuHashMap};
+use workloads::Distribution;
+
+const N: usize = 1 << 13;
+
+fn bench_insert_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_insert");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    for gs in [1u32, 4, 32] {
+        g.bench_with_input(BenchmarkId::new("group", gs), &gs, |b, &gs| {
+            let capacity = (N as f64 / 0.9).ceil() as usize;
+            let pairs = Distribution::Unique.generate(N, 2);
+            b.iter(|| {
+                let dev = Arc::new(gpu_sim::Device::with_words(0, capacity + 4 * N + 1024));
+                let map =
+                    GpuHashMap::new(dev, capacity, Config::default().with_group_size(gs)).unwrap();
+                map.insert_pairs(black_box(&pairs)).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_retrieve_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_retrieve");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    let capacity = (N as f64 / 0.9).ceil() as usize;
+    let dev = Arc::new(gpu_sim::Device::with_words(0, capacity + 4 * N + 1024));
+    let map = GpuHashMap::new(dev, capacity, Config::default()).unwrap();
+    let pairs = Distribution::Unique.generate(N, 2);
+    map.insert_pairs(&pairs).unwrap();
+    let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+    g.bench_function("hits", |b| b.iter(|| map.retrieve(black_box(&keys))));
+    let misses: Vec<u32> = (1..=N as u32)
+        .map(|i| i.wrapping_mul(0x9e37_79b9) | 1)
+        .collect();
+    g.bench_function("mixed", |b| b.iter(|| map.retrieve(black_box(&misses))));
+    g.finish();
+}
+
+fn bench_folklore_real(c: &mut Criterion) {
+    let mut g = c.benchmark_group("folklore_cpu_real");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    let pairs = Distribution::Unique.generate(N, 3);
+    g.bench_function("insert_bulk", |b| {
+        b.iter(|| {
+            let m = baselines::FolkloreMap::new(2 * N);
+            m.insert_bulk(black_box(&pairs))
+        })
+    });
+    let m = baselines::FolkloreMap::new(2 * N);
+    let _ = m.insert_bulk(&pairs);
+    let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+    g.bench_function("get_bulk", |b| b.iter(|| m.get_bulk(black_box(&keys))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_kernel,
+    bench_retrieve_kernel,
+    bench_folklore_real
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench: the pipeline list scheduler — scheduling cost per
+//! batch must stay negligible next to the simulated work it schedules.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use interconnect::{PipelineSim, Stage};
+
+fn cascade(seed: usize) -> Vec<Stage> {
+    // H2D → MST → INS shape with slight jitter so schedules aren't trivial
+    let j = (seed % 7) as f64 * 0.01;
+    vec![
+        Stage {
+            resource: 0,
+            duration: 1.0 + j,
+        },
+        Stage {
+            resource: 1,
+            duration: 0.2 + j,
+        },
+        Stage {
+            resource: 2,
+            duration: 0.8 + j,
+        },
+    ]
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_scheduler");
+    g.sample_size(20);
+    for batches in [64usize, 256] {
+        let lists: Vec<Vec<Stage>> = (0..batches).map(cascade).collect();
+        g.throughput(Throughput::Elements(batches as u64));
+        for threads in [1usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("batches_{batches}"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let sim = PipelineSim::new(3);
+                        sim.run(black_box(&lists), threads)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_resource_timeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resource_timeline");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("schedule_x1000", |b| {
+        b.iter(|| {
+            let r = gpu_sim::ResourceTimeline::new();
+            let mut end = 0.0;
+            for i in 0..1000 {
+                end = r.schedule(black_box(i as f64 * 0.1), 0.05).end;
+            }
+            end
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_resource_timeline);
+criterion_main!(benches);

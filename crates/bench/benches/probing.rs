@@ -1,0 +1,54 @@
+//! Criterion bench: probing-sequence generation and probe-length growth
+//! with load factor (functional execution wall-clock; the simulated probe
+//! counts are the quantity of scientific interest and are asserted on).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hashes::DoubleHash;
+use std::sync::Arc;
+use warpdrive::{Config, GpuHashMap};
+use workloads::Distribution;
+
+fn bench_sequence_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_sequence");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(256));
+    for scheme in [
+        warpdrive::ProbingScheme::Hybrid,
+        warpdrive::ProbingScheme::Linear,
+        warpdrive::ProbingScheme::Quadratic,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("first_256_slots", format!("{scheme:?}")),
+            &scheme,
+            |b, &scheme| {
+                let p = warpdrive::probing::Prober::new(DoubleHash::from_seed(1), scheme, 1 << 20);
+                b.iter(|| p.slot_sequence(black_box(12345), 256));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_probe_growth(c: &mut Criterion) {
+    // functional insert at rising loads — wall-clock grows with the probe
+    // chains, mirroring the simulated-time curves of Fig. 7
+    let mut g = c.benchmark_group("insert_at_load");
+    g.sample_size(10);
+    let n = 1 << 13;
+    g.throughput(Throughput::Elements(n as u64));
+    for load in [0.5f64, 0.8, 0.95] {
+        g.bench_with_input(BenchmarkId::from_parameter(load), &load, |b, &load| {
+            let capacity = (n as f64 / load).ceil() as usize;
+            let pairs = Distribution::Unique.generate(n, 1);
+            b.iter(|| {
+                let dev = Arc::new(gpu_sim::Device::with_words(0, capacity + 4 * n + 1024));
+                let map = GpuHashMap::new(dev, capacity, Config::default()).unwrap();
+                map.insert_pairs(black_box(&pairs)).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sequence_generation, bench_probe_growth);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Calibration check: prints the simulated single-GPU rates against the
+//! paper's headline numbers so model constants can be tuned.
+//!
+//! Targets (paper §V-B / §VI):
+//! * insert ≈ 1.4 G ops/s at α = 0.95 for the best |g|;
+//! * device insert range ≈ 1.7–2.7 G ops/s over the sweep midband;
+//! * device retrieve ≈ 3.5–5.5 G ops/s;
+//! * optimum at |g| ∈ {2, 4, 8} for high loads; |g| = 32 clearly worse.
+
+use wd_bench::{gops, single_gpu_insert_retrieve, table::TextTable, Opts, PAPER_N_SINGLE};
+use workloads::Distribution;
+
+fn main() {
+    let opts = Opts::from_args(PAPER_N_SINGLE);
+    let mut t = TextTable::new(vec![
+        "load",
+        "|g|",
+        "ins G/s",
+        "ret G/s",
+        "ins steps",
+        "ret steps",
+    ]);
+    for &load in &[0.5, 0.8, 0.95] {
+        for &g in &[1u32, 2, 4, 8, 16, 32] {
+            let m = single_gpu_insert_retrieve(
+                Distribution::Unique,
+                opts.n,
+                opts.modeled_n,
+                load,
+                g,
+                opts.seed,
+            );
+            t.row(vec![
+                format!("{load:.2}"),
+                g.to_string(),
+                gops(m.insert_rate),
+                gops(m.retrieve_rate),
+                format!("{:.2}", m.insert_steps),
+                format!("{:.2}", m.retrieve_steps),
+            ]);
+        }
+    }
+    t.print();
+}

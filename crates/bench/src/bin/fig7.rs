@@ -1,0 +1,67 @@
+//! **Figure 7** — device-sided insertion and retrieval rates for varying
+//! group sizes and load factors, *unique* key distribution, versus the
+//! CUDPP cuckoo baseline.
+//!
+//! Protocol (§V-B): insert 2²⁷ packed (4+4)-byte pairs residing in video
+//! memory into the table, then retrieve all of them; kernel times only.
+//! CUDPP is constrained to loads ≤ 0.97.
+//!
+//! Usage: `fig7 [--full] [--n <count>] [--seed <seed>]`
+
+use wd_bench::{
+    cuckoo_insert_retrieve, gops, single_gpu_insert_retrieve, table::TextTable, Opts,
+    PAPER_N_SINGLE,
+};
+use workloads::Distribution;
+
+/// The load-factor sweep of the figure's x-axis.
+pub const LOADS: [f64; 9] = [0.40, 0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95, 0.97];
+
+fn main() {
+    let opts = Opts::from_args(PAPER_N_SINGLE);
+    println!(
+        "Figure 7: single-GPU rates, unique keys (n = {} functional, 2^27 modeled)\n",
+        opts.n
+    );
+
+    let header: Vec<String> = std::iter::once("load".to_owned())
+        .chain([1u32, 2, 4, 8, 16, 32].iter().map(|g| format!("WD g={g}")))
+        .chain(["CUDPP".to_owned()])
+        .collect();
+    let mut insert = TextTable::new(header.clone());
+    let mut retrieve = TextTable::new(header);
+
+    for &load in &LOADS {
+        let mut ins_row = vec![format!("{load:.2}")];
+        let mut ret_row = vec![format!("{load:.2}")];
+        for &g in &[1u32, 2, 4, 8, 16, 32] {
+            let m = single_gpu_insert_retrieve(
+                Distribution::Unique,
+                opts.n,
+                opts.modeled_n,
+                load,
+                g,
+                opts.seed,
+            );
+            ins_row.push(gops(m.insert_rate));
+            ret_row.push(gops(m.retrieve_rate));
+        }
+        let c = cuckoo_insert_retrieve(
+            Distribution::Unique,
+            opts.n,
+            opts.modeled_n,
+            load,
+            opts.seed,
+        );
+        let mark = if c.failed > 0 { "*" } else { "" };
+        ins_row.push(format!("{}{mark}", gops(c.insert_rate)));
+        ret_row.push(gops(c.retrieve_rate));
+        insert.row(ins_row);
+        retrieve.row(ret_row);
+    }
+
+    println!("Insertion rate (G ops/s):");
+    insert.print();
+    println!("\nRetrieval rate (G ops/s):  (* = cuckoo insertion failures)");
+    retrieve.print();
+}

@@ -1,0 +1,52 @@
+//! Diagnostic: per-stage fractions of the device-sided cascades
+//! (used while calibrating; kept because it answers "where does the time
+//! go" for any configuration).
+
+use warpdrive::{pack, CascadeStage, Config, DistributedHashMap};
+use wd_bench::{p100_with_words, Opts};
+use workloads::Distribution;
+
+fn main() {
+    let opts = Opts::from_args(1 << 28);
+    let m = 2;
+    let n = (opts.n / 12) * 12;
+    let per = n / m;
+    let cap = (per as f64 / 0.95).ceil() as usize;
+    let devices: Vec<_> = (0..m)
+        .map(|i| p100_with_words(i, cap + 8 * per + 4096))
+        .collect();
+    let cfg = Config::default().with_group_size(4);
+    let dmap =
+        DistributedHashMap::new(devices, cap, cfg, interconnect::Topology::p100_quad(m)).unwrap();
+    let pairs = Distribution::Unique.generate(n, opts.seed);
+    let per_gpu: Vec<Vec<u64>> = pairs
+        .chunks(per)
+        .map(|c| c.iter().map(|&(k, v)| pack(k, v)).collect())
+        .collect();
+    let ins = dmap.insert_device_sided(&per_gpu).unwrap();
+    let scale = (1u64 << 28) as f64 / n as f64;
+    println!("insert cascade (m={m}, modeled 2^28):");
+    for s in &ins.stages {
+        println!(
+            "  {:?}: {:.3} ms ({:.1}%)",
+            s.stage,
+            s.scaled_time(scale) * 1e3,
+            100.0 * s.scaled_time(scale) / ins.modeled_time(scale)
+        );
+    }
+    let keys: Vec<Vec<u32>> = pairs
+        .chunks(per)
+        .map(|c| c.iter().map(|p| p.0).collect())
+        .collect();
+    let (_, ret) = dmap.retrieve_device_sided(&keys);
+    println!("retrieve cascade:");
+    for s in &ret.stages {
+        println!(
+            "  {:?}: {:.3} ms ({:.1}%)",
+            s.stage,
+            s.scaled_time(scale) * 1e3,
+            100.0 * s.scaled_time(scale) / ret.modeled_time(scale)
+        );
+    }
+    let _ = CascadeStage::H2D;
+}

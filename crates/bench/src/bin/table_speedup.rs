@@ -1,0 +1,68 @@
+//! **§V-B text table** — WarpDrive speedups over CUDPP cuckoo at the
+//! three headline load factors.
+//!
+//! Paper: "WarpDrive shows speedups over CUDPP of 1.79, 2.18, 2.84 for
+//! insertion and 1.3, 1.34, 1.3 for retrieval at load factors of 0.8,
+//! 0.9, 0.95 respectively" (best group size per load).
+//!
+//! Usage: `table_speedup [--full] [--n <count>] [--seed <seed>]`
+
+use wd_bench::{
+    cuckoo_insert_retrieve, single_gpu_insert_retrieve, table::TextTable, Opts, PAPER_N_SINGLE,
+};
+use workloads::Distribution;
+
+fn main() {
+    let opts = Opts::from_args(PAPER_N_SINGLE);
+    println!(
+        "Speedup over CUDPP cuckoo, unique keys, best |g| per load (n = {})\n",
+        opts.n
+    );
+    let mut t = TextTable::new(vec![
+        "load",
+        "best |g|",
+        "insert speedup",
+        "paper",
+        "retrieve speedup",
+        "paper",
+    ]);
+    for (load, paper_ins, paper_ret) in [
+        (0.80, "1.79", "1.30"),
+        (0.90, "2.18", "1.34"),
+        (0.95, "2.84", "1.30"),
+    ] {
+        let best = [1u32, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&g| {
+                (
+                    g,
+                    single_gpu_insert_retrieve(
+                        Distribution::Unique,
+                        opts.n,
+                        opts.modeled_n,
+                        load,
+                        g,
+                        opts.seed,
+                    ),
+                )
+            })
+            .max_by(|a, b| a.1.insert_rate.total_cmp(&b.1.insert_rate))
+            .expect("nonempty sweep");
+        let cuckoo = cuckoo_insert_retrieve(
+            Distribution::Unique,
+            opts.n,
+            opts.modeled_n,
+            load,
+            opts.seed,
+        );
+        t.row(vec![
+            format!("{load:.2}"),
+            best.0.to_string(),
+            format!("{:.2}x", best.1.insert_rate / cuckoo.insert_rate),
+            paper_ins.to_owned(),
+            format!("{:.2}x", best.1.retrieve_rate / cuckoo.retrieve_rate),
+            paper_ret.to_owned(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,103 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the index). Experiments run *functionally
+//! scaled down* by default — probe statistics at a given load factor are
+//! size-invariant, and capacity-dependent artifacts enter through the
+//! modeled capacity — and print simulated rates directly comparable to
+//! the paper's y-axes. Pass `--full` to run at paper scale (hours on a
+//! laptop; the default completes in seconds).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod table;
+
+pub use runner::{
+    cuckoo_insert_retrieve, scaled_rate, single_gpu_insert_retrieve, CuckooMeasurement,
+    SingleGpuMeasurement,
+};
+
+use std::sync::Arc;
+
+/// Default functional element count (2¹⁸) — large enough for stable probe
+/// statistics, small enough for seconds-scale runs.
+pub const DEFAULT_N: usize = 1 << 18;
+
+/// The paper's single-GPU element count (2²⁷ pairs = 1 GB).
+pub const PAPER_N_SINGLE: u64 = 1 << 27;
+
+/// Harness options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Functional element count.
+    pub n: usize,
+    /// Modeled element count (what the timing model believes).
+    pub modeled_n: u64,
+    /// Run everything at paper scale.
+    pub full: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Opts {
+    /// Parses `--full`, `--n <count>`, `--seed <seed>` from `std::env`.
+    #[must_use]
+    pub fn from_args(paper_n: u64) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--full");
+        let grab = |flag: &str| -> Option<u64> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        };
+        let n = grab("--n").map_or(if full { paper_n as usize } else { DEFAULT_N }, |v| {
+            v as usize
+        });
+        Self {
+            n,
+            modeled_n: paper_n,
+            full,
+            seed: grab("--seed").unwrap_or(42),
+        }
+    }
+}
+
+/// Creates a simulated P100 with enough pool for `words` words (the
+/// experiments size their own pools; the real 16 GB limit is exercised by
+/// `--full` runs and the capacity tests).
+#[must_use]
+pub fn p100_with_words(id: usize, words: usize) -> Arc<gpu_sim::Device> {
+    Arc::new(gpu_sim::Device::with_words(id, words))
+}
+
+/// Formats an operations-per-second rate like the paper's axes (G ops/s).
+#[must_use]
+pub fn gops(rate: f64) -> String {
+    format!("{:.2}", rate / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts_scale_down() {
+        // from_args reads real argv; just check the default math
+        let o = Opts {
+            n: DEFAULT_N,
+            modeled_n: PAPER_N_SINGLE,
+            full: false,
+            seed: 42,
+        };
+        assert!(o.n < o.modeled_n as usize);
+    }
+
+    #[test]
+    fn gops_formats() {
+        assert_eq!(gops(1.4e9), "1.40");
+        assert_eq!(gops(250.0e6), "0.25");
+    }
+}

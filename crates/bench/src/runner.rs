@@ -1,0 +1,156 @@
+//! Experiment runners shared by the figure binaries.
+
+use crate::p100_with_words;
+use warpdrive::{pack, Config, GpuHashMap};
+use workloads::Distribution;
+
+/// One (load, group size) measurement of the Fig. 7/8 protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleGpuMeasurement {
+    /// Target load factor.
+    pub load: f64,
+    /// Group size |g|.
+    pub group_size: u32,
+    /// Simulated insert rate, ops/s.
+    pub insert_rate: f64,
+    /// Simulated retrieve rate, ops/s.
+    pub retrieve_rate: f64,
+    /// Mean probing windows per insert (diagnostic).
+    pub insert_steps: f64,
+    /// Mean probing windows per query (diagnostic).
+    pub retrieve_steps: f64,
+}
+
+/// Runs the paper's single-GPU protocol (§V-B): insert `n` pairs of the
+/// given distribution into a table sized for `load`, then retrieve all of
+/// them; report simulated rates. `modeled_n` drives the >2 GB artifact at
+/// paper scale.
+///
+/// # Panics
+/// Panics if insertion fails (probing exhaustion) — callers choose loads
+/// the scheme supports.
+#[must_use]
+pub fn single_gpu_insert_retrieve(
+    dist: Distribution,
+    n: usize,
+    modeled_n: u64,
+    load: f64,
+    group_size: u32,
+    seed: u64,
+) -> SingleGpuMeasurement {
+    // `load` may exceed 1 for duplicate-heavy distributions: it is the
+    // ratio of *elements* to capacity; occupancy stays below 1 because
+    // duplicates update in place (Fig. 8's "actual occupancy" semantics)
+    let capacity = (n as f64 / load).ceil() as usize;
+    let modeled_capacity_bytes = ((modeled_n as f64 / load).ceil() as u64) * 8;
+    let dev = p100_with_words(0, capacity + 3 * n + 1024);
+    let cfg = Config::default()
+        .with_group_size(group_size)
+        .with_modeled_capacity(modeled_capacity_bytes);
+    let map = GpuHashMap::new(dev.clone(), capacity, cfg).expect("table allocation");
+
+    let pairs = dist.generate(n, seed);
+    let words: Vec<u64> = pairs.iter().map(|&(k, v)| pack(k, v)).collect();
+    let input = dev.alloc_scratch(3 * n).expect("bench scratch");
+    let in_slice = input.slice().sub(0, n);
+    dev.mem().h2d(in_slice, &words);
+
+    let ins = map
+        .insert_device(in_slice, n)
+        .unwrap_or_else(|e| panic!("insert failed at load {load}, |g| = {group_size}: {e}"));
+
+    // retrieval of all inserted keys, device-sided
+    let q_slice = input.slice().sub(n, n);
+    let out_slice = input.slice().sub(2 * n, n);
+    let queries: Vec<u64> = pairs.iter().map(|&(k, _)| u64::from(k) << 32).collect();
+    dev.mem().h2d(q_slice, &queries);
+    let ret = map.retrieve_device(q_slice, out_slice, n);
+
+    let overhead = dev.spec().launch_overhead;
+    SingleGpuMeasurement {
+        load,
+        group_size,
+        insert_rate: scaled_rate(ins.stats.sim_time, overhead, n, modeled_n),
+        retrieve_rate: scaled_rate(ret.sim_time, overhead, n, modeled_n),
+        insert_steps: ins.stats.counters.steps_per_group(),
+        retrieve_steps: ret.counters.steps_per_group(),
+    }
+}
+
+/// Converts a functional-scale kernel time into the modeled-scale rate:
+/// per-element cost scales linearly, the fixed launch overhead does not —
+/// at the paper's 2²⁷ elements it is invisible, so it must not be charged
+/// `modeled_n / n` times by a scaled-down run.
+#[must_use]
+pub fn scaled_rate(sim_time: f64, launch_overhead: f64, n: usize, modeled_n: u64) -> f64 {
+    let per_element = (sim_time - launch_overhead).max(0.0) / n as f64;
+    let modeled_time = per_element * modeled_n as f64 + launch_overhead;
+    modeled_n as f64 / modeled_time
+}
+
+/// One CUDPP-cuckoo measurement (same protocol as
+/// [`single_gpu_insert_retrieve`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CuckooMeasurement {
+    /// Target load factor.
+    pub load: f64,
+    /// Simulated insert rate, ops/s.
+    pub insert_rate: f64,
+    /// Simulated retrieve rate, ops/s.
+    pub retrieve_rate: f64,
+    /// Mean eviction-chain steps per insert.
+    pub insert_steps: f64,
+    /// Pairs that could not be placed.
+    pub failed: u64,
+}
+
+/// Runs the §V-B protocol against the CUDPP cuckoo baseline.
+#[must_use]
+pub fn cuckoo_insert_retrieve(
+    dist: Distribution,
+    n: usize,
+    modeled_n: u64,
+    load: f64,
+    seed: u64,
+) -> CuckooMeasurement {
+    use baselines::CuckooHash;
+    let capacity = (n as f64 / load).ceil() as usize;
+    let dev = p100_with_words(0, capacity + 3 * n + 1024);
+    let table = CuckooHash::new(dev.clone(), capacity, seed as u32).expect("cuckoo allocation");
+    let pairs = dist.generate(n, seed);
+    let ins = table.insert_pairs(&pairs);
+    let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+    let (_, ret) = table.retrieve(&keys);
+    let overhead = dev.spec().launch_overhead;
+    CuckooMeasurement {
+        load,
+        insert_rate: scaled_rate(ins.stats.sim_time, overhead, n, modeled_n),
+        retrieve_rate: scaled_rate(ret.sim_time, overhead, n, modeled_n),
+        insert_steps: ins.stats.counters.steps_per_group(),
+        failed: ins.failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_produces_sane_rates() {
+        let m = single_gpu_insert_retrieve(Distribution::Unique, 1 << 14, 1 << 27, 0.8, 4, 1);
+        assert!(m.insert_rate > 1e8, "insert {:.3e}", m.insert_rate);
+        assert!(
+            m.retrieve_rate > m.insert_rate,
+            "retrieve should beat insert"
+        );
+        assert!(m.insert_steps >= 1.0);
+    }
+
+    #[test]
+    fn higher_load_is_slower() {
+        let lo = single_gpu_insert_retrieve(Distribution::Unique, 1 << 14, 1 << 27, 0.5, 8, 1);
+        let hi = single_gpu_insert_retrieve(Distribution::Unique, 1 << 14, 1 << 27, 0.97, 8, 1);
+        assert!(hi.insert_rate < lo.insert_rate);
+        assert!(hi.insert_steps > lo.insert_steps);
+    }
+}

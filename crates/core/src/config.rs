@@ -1,0 +1,159 @@
+//! Hash-map configuration.
+
+use gpu_sim::GroupSize;
+use serde::{Deserialize, Serialize};
+
+/// Table memory layout (paper Fig. 1; ablation A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layout {
+    /// Array-of-structs: one packed 64-bit word per slot. Fully atomic,
+    /// cache-friendly — the paper's default.
+    Aos,
+    /// Struct-of-arrays: separate key and value words. CAS guards only
+    /// the key word; the value word is written relaxed *after* the claim,
+    /// so concurrent updaters of the same key may exhibit the priority
+    /// inversion discussed in §II. Twice the footprint in this 4+4-byte
+    /// instantiation (it pays off only for keys wider than 32 bits).
+    Soa,
+}
+
+/// Probing-scheme selection (§II; ablation A2).
+///
+/// All schemes probe `|g|`-slot windows with intra-window linear probing
+/// (the coalesced access is what the paper's contribution is about); they
+/// differ in how the *window base* advances with the outer attempt `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbingScheme {
+    /// The paper's hybrid: chaotic (double-hashed) jumps between
+    /// warp-sized spans, linear within (Fig. 3: `h ← hash(d, p)`).
+    Hybrid,
+    /// Pure linear probing: consecutive warp-sized spans
+    /// (`s(k, l) = h(k) + l`, Eq. 1 — prone to primary clustering).
+    Linear,
+    /// Quadratic probing: spans advance by `p²` (Eq. 2).
+    Quadratic,
+}
+
+/// Configuration of a [`crate::GpuHashMap`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Config {
+    /// Coalesced-group size `|g|` (the central tuning knob of Figs. 7–8).
+    #[serde(with = "group_size_serde")]
+    pub group_size: GroupSize,
+    /// Probing scheme.
+    pub probing: ProbingScheme,
+    /// Memory layout.
+    pub layout: Layout,
+    /// Maximum outer probing attempts before raising an insertion error
+    /// (`p_max` of Fig. 3).
+    pub p_max: u32,
+    /// Seed selecting the hash-family member; bumped on rebuild after an
+    /// insertion failure ("reconstruction with a distinct hash function",
+    /// §II).
+    pub seed: u32,
+    /// Capacity in bytes **at modeled scale** for the timing model's
+    /// >2 GB CAS artifact; `None` bills the actual table footprint.
+    /// Harnesses running functionally scaled-down experiments set this to
+    /// the paper-scale footprint.
+    pub modeled_capacity_bytes: Option<u64>,
+}
+
+impl Default for Config {
+    /// The paper's "reasonably fast but not optimal" reference setting:
+    /// `|g| = 4`, hybrid probing, AOS (§V-C).
+    fn default() -> Self {
+        Self {
+            group_size: GroupSize::new(4),
+            probing: ProbingScheme::Hybrid,
+            layout: Layout::Aos,
+            p_max: 10_000,
+            seed: 0,
+            modeled_capacity_bytes: None,
+        }
+    }
+}
+
+impl Config {
+    /// Sets the group size.
+    #[must_use]
+    pub fn with_group_size(mut self, g: u32) -> Self {
+        self.group_size = GroupSize::new(g);
+        self
+    }
+
+    /// Sets the probing scheme.
+    #[must_use]
+    pub fn with_probing(mut self, p: ProbingScheme) -> Self {
+        self.probing = p;
+        self
+    }
+
+    /// Sets the layout.
+    #[must_use]
+    pub fn with_layout(mut self, l: Layout) -> Self {
+        self.layout = l;
+        self
+    }
+
+    /// Sets the hash seed.
+    #[must_use]
+    pub fn with_seed(mut self, s: u32) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the modeled capacity (for scaled experiments).
+    #[must_use]
+    pub fn with_modeled_capacity(mut self, bytes: u64) -> Self {
+        self.modeled_capacity_bytes = Some(bytes);
+        self
+    }
+}
+
+mod group_size_serde {
+    use gpu_sim::GroupSize;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(g: &GroupSize, s: S) -> Result<S::Ok, S::Error> {
+        g.get().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<GroupSize, D::Error> {
+        let n = u32::deserialize(d)?;
+        if matches!(n, 1 | 2 | 4 | 8 | 16 | 32) {
+            Ok(GroupSize::new(n))
+        } else {
+            Err(serde::de::Error::custom(format!(
+                "invalid group size {n}: must be one of 1, 2, 4, 8, 16, 32"
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_reference_setting() {
+        let c = Config::default();
+        assert_eq!(c.group_size.get(), 4);
+        assert_eq!(c.probing, ProbingScheme::Hybrid);
+        assert_eq!(c.layout, Layout::Aos);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = Config::default()
+            .with_group_size(8)
+            .with_probing(ProbingScheme::Linear)
+            .with_layout(Layout::Soa)
+            .with_seed(99)
+            .with_modeled_capacity(1 << 33);
+        assert_eq!(c.group_size.get(), 8);
+        assert_eq!(c.probing, ProbingScheme::Linear);
+        assert_eq!(c.layout, Layout::Soa);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.modeled_capacity_bytes, Some(1 << 33));
+    }
+}

@@ -1,0 +1,109 @@
+//! The deletion kernel (tombstoning).
+//!
+//! Deletion replaces a live entry with the TOMBSTONE sentinel via CAS.
+//! §IV-A's safety rule applies: insertions and queries may be issued
+//! concurrently with each other, but deletions must be separated from
+//! them by a global barrier — [`crate::GpuHashMap`] enforces this by
+//! taking `&mut self` for [`crate::GpuHashMap::erase`], making the barrier
+//! a compile-time fact (exclusive access ⇒ no concurrent kernel).
+
+use crate::config::Layout;
+use crate::entry::{is_empty_slot, key_of, TOMBSTONE};
+use crate::insert::{soa_is_empty, soa_key_of};
+use crate::map::TableRef;
+use crate::probing::Prober;
+use gpu_sim::{DevSlice, Device, GroupCtx, KernelStats, LaunchOptions};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Result of a bulk erase.
+#[derive(Debug, Clone)]
+pub struct EraseOutcome {
+    /// Kernel stats.
+    pub stats: KernelStats,
+    /// Number of keys found and tombstoned.
+    pub erased: u64,
+}
+
+pub(crate) fn erase_kernel(
+    dev: &Device,
+    table: &TableRef,
+    input: DevSlice,
+    n: usize,
+    prober: &Prober,
+    p_max: u32,
+    working_set: u64,
+) -> EraseOutcome {
+    let erased = AtomicU64::new(0);
+    let stats = dev.launch(
+        "warpdrive_erase",
+        n,
+        table.group_size,
+        LaunchOptions::default().with_working_set(working_set),
+        |ctx: &GroupCtx| {
+            let key = key_of(ctx.read_stream(input, ctx.group_id()));
+            let hit = match table.layout {
+                Layout::Aos => erase_one_aos(ctx, table, prober, p_max, key),
+                Layout::Soa => erase_one_soa(ctx, table, prober, p_max, key),
+            };
+            if hit {
+                erased.fetch_add(1, Relaxed);
+            }
+        },
+    );
+    EraseOutcome {
+        stats,
+        erased: erased.load(Relaxed),
+    }
+}
+
+fn erase_one_aos(ctx: &GroupCtx, table: &TableRef, prober: &Prober, p_max: u32, key: u32) -> bool {
+    let g = ctx.size().get();
+    let cap = table.capacity;
+    let data = table.aos_slice();
+    for p in 0..p_max {
+        for q in 0..ctx.size().windows_per_warp() {
+            let base = prober.window_base(key, p, q, g) as usize;
+            let mut window = ctx.read_window(data, base);
+            loop {
+                let hit = ctx.ballot(|r| key_of(window.lane(r)) == key);
+                if let Some(r) = GroupCtx::ffs(hit) {
+                    let idx = (base + r as usize) % cap;
+                    if ctx.cas(data, idx, window.lane(r), TOMBSTONE).is_ok() {
+                        return true;
+                    }
+                    // racing update changed the word; reload and retry
+                    window = ctx.reload_window(data, base);
+                    continue;
+                }
+                if ctx.any(|r| is_empty_slot(window.lane(r))) {
+                    return false; // key is not in the map
+                }
+                break; // window full of other keys → next window
+            }
+        }
+    }
+    false
+}
+
+fn erase_one_soa(ctx: &GroupCtx, table: &TableRef, prober: &Prober, p_max: u32, key: u32) -> bool {
+    let g = ctx.size().get();
+    let cap = table.capacity;
+    let keys = table.soa_keys();
+    for p in 0..p_max {
+        for q in 0..ctx.size().windows_per_warp() {
+            let base = prober.window_base(key, p, q, g) as usize;
+            let window = ctx.read_window(keys, base);
+            let hit = ctx.ballot(|r| soa_key_of(window.lane(r)) == Some(key));
+            if let Some(r) = GroupCtx::ffs(hit) {
+                let idx = (base + r as usize) % cap;
+                // exclusive access (global barrier) makes a plain CAS
+                // against the known key word sufficient
+                return ctx.cas(keys, idx, window.lane(r), TOMBSTONE).is_ok();
+            }
+            if ctx.any(|r| soa_is_empty(window.lane(r))) {
+                return false;
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,114 @@
+//! Packed table entries and memory layouts (paper §II, Fig. 1).
+//!
+//! CUDA atomics are limited to 64-bit words, so a key-value pair is packed
+//! *array-of-structs* (AOS) into one word: key in the high 32 bits, value
+//! in the low 32 bits. The packed word is fully atomic under CAS and
+//! cache-friendly during querying. The alternative *struct-of-arrays*
+//! (SOA) layout stores keys and values in separate arrays — it would allow
+//! longer keys but needs relaxed writes to the value array, which can
+//! manifest the priority-inversion the paper warns about; it exists here
+//! for the layout ablation (A1).
+//!
+//! The key `u32::MAX` is reserved: `EMPTY` (never written) and `TOMBSTONE`
+//! (deleted) sentinels both carry it, distinguished by the value bits.
+
+/// Sentinel for a never-occupied slot (also the "miss" marker in query
+/// outputs). Packs `(u32::MAX, u32::MAX)`.
+pub const EMPTY: u64 = u64::MAX;
+
+/// Sentinel for a deleted slot. Packs `(u32::MAX, u32::MAX - 1)`.
+/// Probing may claim it during insertion but must *not* stop a query.
+pub const TOMBSTONE: u64 = u64::MAX - 1;
+
+/// The reserved key carried by both sentinels. User keys must differ.
+pub const RESERVED_KEY: u32 = u32::MAX;
+
+/// Packs a key-value pair into an AOS word.
+///
+/// # Panics
+/// Debug-asserts that `key` is not the reserved key.
+#[inline]
+#[must_use]
+pub fn pack(key: u32, value: u32) -> u64 {
+    debug_assert_ne!(key, RESERVED_KEY, "key u32::MAX is reserved");
+    (u64::from(key) << 32) | u64::from(value)
+}
+
+/// Key of a packed word.
+#[inline]
+#[must_use]
+pub fn key_of(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// Value of a packed word.
+#[inline]
+#[must_use]
+pub fn value_of(word: u64) -> u32 {
+    word as u32
+}
+
+/// Whether a slot word may be claimed by an insertion (empty or deleted).
+#[inline]
+#[must_use]
+pub fn is_vacant(word: u64) -> bool {
+    word == EMPTY || word == TOMBSTONE
+}
+
+/// Whether a slot word is the never-written sentinel (terminates queries).
+#[inline]
+#[must_use]
+pub fn is_empty_slot(word: u64) -> bool {
+    word == EMPTY
+}
+
+/// Whether a slot word is a tombstone.
+#[inline]
+#[must_use]
+pub fn is_tombstone(word: u64) -> bool {
+    word == TOMBSTONE
+}
+
+/// Whether a slot word holds a live key-value pair.
+#[inline]
+#[must_use]
+pub fn is_occupied(word: u64) -> bool {
+    key_of(word) != RESERVED_KEY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sentinels_are_distinct_and_reserved() {
+        assert_ne!(EMPTY, TOMBSTONE);
+        assert_eq!(key_of(EMPTY), RESERVED_KEY);
+        assert_eq!(key_of(TOMBSTONE), RESERVED_KEY);
+        assert!(is_vacant(EMPTY));
+        assert!(is_vacant(TOMBSTONE));
+        assert!(is_empty_slot(EMPTY));
+        assert!(!is_empty_slot(TOMBSTONE));
+        assert!(is_tombstone(TOMBSTONE));
+        assert!(!is_occupied(EMPTY));
+        assert!(!is_occupied(TOMBSTONE));
+    }
+
+    #[test]
+    fn packing_layout_is_key_high_value_low() {
+        let w = pack(0x1234_5678, 0x9abc_def0);
+        assert_eq!(w, 0x1234_5678_9abc_def0);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_round_trips(key in 0u32..u32::MAX, value: u32) {
+            let w = pack(key, value);
+            prop_assert_eq!(key_of(w), key);
+            prop_assert_eq!(value_of(w), value);
+            prop_assert!(is_occupied(w));
+            prop_assert!(!is_vacant(w));
+        }
+    }
+}

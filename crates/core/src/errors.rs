@@ -1,0 +1,96 @@
+//! Error types of the public API.
+
+use gpu_sim::OutOfMemory;
+
+/// Errors while constructing a hash map.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The table (plus auxiliary buffers) does not fit the device's VRAM —
+    /// the very limitation the multi-GPU scheme removes.
+    OutOfMemory(OutOfMemory),
+    /// Capacity of zero requested.
+    ZeroCapacity,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::OutOfMemory(e) => write!(f, "hash table allocation failed: {e}"),
+            BuildError::ZeroCapacity => write!(f, "hash table capacity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::OutOfMemory(e) => Some(e),
+            BuildError::ZeroCapacity => None,
+        }
+    }
+}
+
+impl From<OutOfMemory> for BuildError {
+    fn from(e: OutOfMemory) -> Self {
+        BuildError::OutOfMemory(e)
+    }
+}
+
+/// Errors during bulk insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// One or more pairs exhausted `p_max` probing attempts (Fig. 3,
+    /// line 26). The paper's remedy is invalidation and reconstruction
+    /// with a distinct hash function — see
+    /// [`crate::GpuHashMap::rebuild_with_fresh_hash`].
+    ProbingExhausted {
+        /// Number of pairs that could not be placed.
+        failed: u64,
+    },
+    /// A scratch allocation for the operation failed.
+    OutOfMemory(OutOfMemory),
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::ProbingExhausted { failed } => {
+                write!(f, "{failed} pair(s) exhausted the probing scheme")
+            }
+            InsertError::OutOfMemory(e) => write!(f, "insertion scratch allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+impl From<OutOfMemory> for InsertError {
+    fn from(e: OutOfMemory) -> Self {
+        InsertError::OutOfMemory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let e = BuildError::ZeroCapacity;
+        assert!(e.to_string().contains("positive"));
+        let e = InsertError::ProbingExhausted { failed: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn oom_conversions_preserve_detail() {
+        let oom = OutOfMemory {
+            requested_words: 10,
+            available_words: 5,
+        };
+        let b: BuildError = oom.into();
+        assert!(b.to_string().contains("10"));
+        let i: InsertError = oom.into();
+        assert!(i.to_string().contains("10"));
+    }
+}

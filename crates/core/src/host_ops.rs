@@ -1,0 +1,143 @@
+//! Host-sided cascades: PCIe transfers bracketing the device cascades.
+//!
+//! §V-C's "host-sided" variants prepend an H2D transfer to the insertion
+//! cascade and bracket the retrieval cascade with an H2D (keys up) and a
+//! D2H (key-value results down). The initial spread over GPUs is the
+//! *unstructured distribution* of §IV-B — equal contiguous chunks, no
+//! host-side reordering (which the paper rules out as "almost as
+//! expensive as CPU-based hash map construction").
+
+use crate::distributed::DistributedHashMap;
+use crate::entry::pack;
+use crate::errors::InsertError;
+use crate::stats::{CascadeReport, CascadeStage};
+use interconnect::{d2h_time, h2d_time};
+
+/// Splits a slice into `m` near-equal contiguous chunks.
+fn chunks<T: Copy>(items: &[T], m: usize) -> Vec<Vec<T>> {
+    let per = items.len().div_ceil(m.max(1)).max(1);
+    let mut out: Vec<Vec<T>> = items.chunks(per).map(<[T]>::to_vec).collect();
+    out.resize(m, Vec::new());
+    out
+}
+
+impl DistributedHashMap {
+    /// Host-sided insertion: transfer the packed pairs over PCIe
+    /// (unstructured equal spread), then run the device cascade.
+    ///
+    /// # Errors
+    /// Propagates the device cascade's errors.
+    pub fn insert_from_host(&self, pairs: &[(u32, u32)]) -> Result<CascadeReport, InsertError> {
+        let m = self.num_gpus();
+        let per_gpu: Vec<Vec<u64>> = chunks(pairs, m)
+            .into_iter()
+            .map(|c| c.into_iter().map(|(k, v)| pack(k, v)).collect())
+            .collect();
+        let bytes: Vec<u64> = per_gpu.iter().map(|c| c.len() as u64 * 8).collect();
+        let t_h2d = h2d_time(self.topology(), &bytes);
+
+        let mut report = CascadeReport::new(pairs.len() as u64);
+        report.push(CascadeStage::H2D, t_h2d, bytes.iter().sum());
+        let device = self.insert_device_sided(&per_gpu)?;
+        report.absorb(&CascadeReport {
+            stages: device.stages,
+            elements: 0, // already counted
+        });
+        Ok(report)
+    }
+
+    /// Host-sided retrieval: query words up over PCIe (8 bytes each —
+    /// the device cascade routes them with their origin index packed in
+    /// the low half), device cascade, packed key-value results down
+    /// (8 bytes each). Returns the results in the original key order.
+    #[must_use]
+    pub fn retrieve_from_host(&self, keys: &[u32]) -> (Vec<Option<u32>>, CascadeReport) {
+        let m = self.num_gpus();
+        let per_gpu = chunks(keys, m);
+        let up_bytes: Vec<u64> = per_gpu.iter().map(|c| c.len() as u64 * 8).collect();
+        let t_up = h2d_time(self.topology(), &up_bytes);
+
+        let (per_gpu_results, device) = self.retrieve_device_sided(&per_gpu);
+
+        let down_bytes: Vec<u64> = per_gpu.iter().map(|c| c.len() as u64 * 8).collect();
+        let t_down = d2h_time(self.topology(), &down_bytes);
+
+        let mut report = CascadeReport::new(keys.len() as u64);
+        report.push(CascadeStage::H2D, t_up, up_bytes.iter().sum());
+        report.absorb(&CascadeReport {
+            stages: device.stages,
+            elements: 0,
+        });
+        report.push(CascadeStage::D2H, t_down, down_bytes.iter().sum());
+
+        let results = per_gpu_results.into_iter().flatten().collect();
+        (results, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use gpu_sim::Device;
+    use interconnect::Topology;
+    use std::sync::Arc;
+
+    fn node(m: usize) -> DistributedHashMap {
+        let devices: Vec<Arc<Device>> = (0..m)
+            .map(|i| Arc::new(Device::with_words(i, 1 << 16)))
+            .collect();
+        DistributedHashMap::new(devices, 2048, Config::default(), Topology::p100_quad(m)).unwrap()
+    }
+
+    #[test]
+    fn host_cascade_round_trip() {
+        let d = node(4);
+        let pairs: Vec<(u32, u32)> = (0..3000u32).map(|i| (i * 13 + 7, i)).collect();
+        let rep = d.insert_from_host(&pairs).unwrap();
+        assert!(rep.time_of(CascadeStage::H2D) > 0.0);
+        assert_eq!(rep.stages[0].stage, CascadeStage::H2D);
+
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([999_999_999]).collect();
+        let (results, qrep) = d.retrieve_from_host(&keys);
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(results[i], Some(p.1), "key {}", p.0);
+        }
+        assert_eq!(results[pairs.len()], None);
+        // retrieval pays PCIe both ways
+        assert!(qrep.time_of(CascadeStage::D2H) > 0.0);
+        assert!(qrep.time_of(CascadeStage::H2D) > 0.0);
+    }
+
+    #[test]
+    fn host_insert_is_pcie_bound_for_cheap_tables() {
+        // with a low load factor the insert kernels are fast and PCIe
+        // dominates — §V-C: "host-sided insertion is comparably fast as
+        // plain memcopies". Needs a realistic batch size: at toy sizes the
+        // fixed kernel launch overheads (µs) swamp the µs-scale transfer.
+        let devices: Vec<Arc<Device>> = (0..4)
+            .map(|i| Arc::new(Device::with_words(i, 1 << 19)))
+            .collect();
+        let d =
+            DistributedHashMap::new(devices, 1 << 16, Config::default(), Topology::p100_quad(4))
+                .unwrap();
+        let pairs: Vec<(u32, u32)> = (0..120_000u32).map(|i| (i * 17 + 3, i)).collect();
+        let rep = d.insert_from_host(&pairs).unwrap();
+        let h2d = rep.time_of(CascadeStage::H2D);
+        assert!(
+            h2d > 0.3 * rep.total_time(),
+            "h2d {h2d:.3e} of {:.3e}",
+            rep.total_time()
+        );
+    }
+
+    #[test]
+    fn chunking_covers_and_pads() {
+        let c = chunks(&[1, 2, 3, 4, 5], 3);
+        assert_eq!(c.len(), 3);
+        let flat: Vec<i32> = c.iter().flatten().copied().collect();
+        assert_eq!(flat, vec![1, 2, 3, 4, 5]);
+        let c = chunks::<i32>(&[], 2);
+        assert_eq!(c, vec![Vec::<i32>::new(), Vec::new()]);
+    }
+}

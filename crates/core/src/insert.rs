@@ -1,0 +1,197 @@
+//! The insertion kernel — Fig. 3 of the paper, with the duplicate-key
+//! update semantics of §V-B ("our implementation resolves such collisions
+//! by updating an already written value for a colliding key").
+//!
+//! One coalesced group inserts one key-value pair:
+//!
+//! 1. outer loop `p < p_max`: re-derive the span base `h ← hash(d, p)`;
+//! 2. inner loop `q < 32/|g|`: coalesced load of the `|g|`-slot window;
+//! 3. ballot for a slot holding the *same key* — if present, CAS-update
+//!    the value (AOS) or overwrite it relaxed (SOA);
+//! 4. ballot for vacant slots (`∅` or tombstone); the *leader* (lowest
+//!    active lane, `__ffs`) attempts the CAS; on success every member
+//!    exits (`g.any`), on failure the window is reloaded and the ballot
+//!    repeated until the window is exhausted;
+//! 5. after `p_max` spans, raise an insertion error.
+
+use crate::config::Layout;
+use crate::entry::{is_empty_slot, is_vacant, key_of, pack, value_of, RESERVED_KEY};
+use crate::map::TableRef;
+use crate::probing::Prober;
+use gpu_sim::{DevSlice, Device, GroupCtx, KernelStats, LaunchOptions};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Result of a bulk-insert launch.
+#[derive(Debug, Clone)]
+pub struct InsertOutcome {
+    /// Kernel stats (counters + simulated time).
+    pub stats: KernelStats,
+    /// Pairs that exhausted `p_max` probing attempts.
+    pub failed: u64,
+    /// Pairs that claimed a previously vacant slot.
+    pub new_slots: u64,
+    /// Pairs that updated the value of an already-present key.
+    pub updates: u64,
+}
+
+/// Per-group insertion outcome (internal).
+enum GroupResult {
+    NewSlot,
+    Updated,
+    Failed,
+}
+
+/// Launches the insertion kernel for the packed pairs in `input[..n]`.
+pub(crate) fn insert_kernel(
+    dev: &Device,
+    table: &TableRef,
+    input: DevSlice,
+    n: usize,
+    prober: &Prober,
+    p_max: u32,
+    working_set: u64,
+) -> InsertOutcome {
+    // Bookkeeping lives host-side (captured atomics): the real kernel
+    // tracks only the error flag, so none of these cost modeled traffic.
+    let failed = AtomicU64::new(0);
+    let new_slots = AtomicU64::new(0);
+    let updates = AtomicU64::new(0);
+
+    let stats = dev.launch(
+        "warpdrive_insert",
+        n,
+        table.group_size,
+        LaunchOptions::default().with_working_set(working_set),
+        |ctx: &GroupCtx| {
+            let word = ctx.read_stream(input, ctx.group_id());
+            let r = match table.layout {
+                Layout::Aos => insert_one_aos(ctx, table, prober, p_max, word),
+                Layout::Soa => insert_one_soa(ctx, table, prober, p_max, word),
+            };
+            match r {
+                GroupResult::NewSlot => new_slots.fetch_add(1, Relaxed),
+                GroupResult::Updated => updates.fetch_add(1, Relaxed),
+                GroupResult::Failed => failed.fetch_add(1, Relaxed),
+            };
+        },
+    );
+    InsertOutcome {
+        stats,
+        failed: failed.load(Relaxed),
+        new_slots: new_slots.load(Relaxed),
+        updates: updates.load(Relaxed),
+    }
+}
+
+/// AOS insertion of one packed pair by one coalesced group.
+fn insert_one_aos(
+    ctx: &GroupCtx,
+    table: &TableRef,
+    prober: &Prober,
+    p_max: u32,
+    word: u64,
+) -> GroupResult {
+    let key = key_of(word);
+    let g = ctx.size().get();
+    let cap = table.capacity;
+    let data = table.aos_slice();
+    for p in 0..p_max {
+        for q in 0..ctx.size().windows_per_warp() {
+            let base = prober.window_base(key, p, q, g) as usize;
+            let mut window = ctx.read_window(data, base);
+            loop {
+                // update path: our key already lives in this window
+                let dup = ctx.ballot(|r| key_of(window.lane(r)) == key);
+                if let Some(r) = GroupCtx::ffs(dup) {
+                    let idx = (base + r as usize) % cap;
+                    if ctx.cas(data, idx, window.lane(r), word).is_ok() {
+                        return GroupResult::Updated;
+                    }
+                    window = ctx.reload_window(data, base);
+                    continue;
+                }
+                // claim path: leader CASes the leftmost vacant slot
+                let mask = ctx.ballot(|r| is_vacant(window.lane(r)));
+                let Some(r) = GroupCtx::ffs(mask) else {
+                    break; // window exhausted → next window
+                };
+                let idx = (base + r as usize) % cap;
+                if ctx.cas(data, idx, window.lane(r), word).is_ok() {
+                    // g.any(success) — all members exit
+                    return GroupResult::NewSlot;
+                }
+                // lost the race: reload and re-ballot (Fig. 3 lines 19–21)
+                window = ctx.reload_window(data, base);
+            }
+        }
+    }
+    GroupResult::Failed
+}
+
+/// SOA insertion: CAS claims the key word, the value word is written
+/// relaxed afterwards — faithfully reproducing the §II caveat that
+/// concurrent updates of one key may interleave (priority inversion).
+fn insert_one_soa(
+    ctx: &GroupCtx,
+    table: &TableRef,
+    prober: &Prober,
+    p_max: u32,
+    word: u64,
+) -> GroupResult {
+    let key = key_of(word);
+    let value = value_of(word);
+    let g = ctx.size().get();
+    let cap = table.capacity;
+    let keys = table.soa_keys();
+    let values = table.soa_values();
+    for p in 0..p_max {
+        for q in 0..ctx.size().windows_per_warp() {
+            let base = prober.window_base(key, p, q, g) as usize;
+            let mut window = ctx.read_window(keys, base);
+            loop {
+                let dup = ctx.ballot(|r| soa_key_of(window.lane(r)) == Some(key));
+                if let Some(r) = GroupCtx::ffs(dup) {
+                    let idx = (base + r as usize) % cap;
+                    // relaxed value overwrite: last writer wins, but two
+                    // racing updaters may interleave with readers
+                    ctx.write(values, idx, u64::from(value));
+                    return GroupResult::Updated;
+                }
+                let mask = ctx.ballot(|r| is_vacant(window.lane(r)));
+                let Some(r) = GroupCtx::ffs(mask) else {
+                    break;
+                };
+                let idx = (base + r as usize) % cap;
+                if ctx.cas(keys, idx, window.lane(r), u64::from(key)).is_ok() {
+                    ctx.write(values, idx, u64::from(value));
+                    return GroupResult::NewSlot;
+                }
+                window = ctx.reload_window(keys, base);
+            }
+        }
+    }
+    GroupResult::Failed
+}
+
+/// Key stored in an SOA key word, if the slot is occupied.
+#[inline]
+pub(crate) fn soa_key_of(key_word: u64) -> Option<u32> {
+    if is_vacant(key_word) {
+        None
+    } else {
+        debug_assert!(key_word <= u64::from(RESERVED_KEY));
+        Some(key_word as u32)
+    }
+}
+
+/// Whether an SOA key word is the EMPTY sentinel (query terminator).
+#[inline]
+pub(crate) fn soa_is_empty(key_word: u64) -> bool {
+    is_empty_slot(key_word)
+}
+
+/// Packs a retrieve result for an SOA hit.
+#[inline]
+pub(crate) fn soa_hit(key: u32, value_word: u64) -> u64 {
+    pack(key, value_word as u32)
+}

@@ -1,0 +1,69 @@
+//! # WarpDrive — massively parallel hashing on (simulated) multi-GPU nodes
+//!
+//! A faithful Rust reproduction of *"WarpDrive: Massively Parallel Hashing
+//! on Multi-GPU Nodes"* (Jünger, Hundt, Schmidt — IPDPS 2018), running on
+//! the software SIMT substrate of the [`gpu_sim`] crate (no physical GPU
+//! required; see DESIGN.md for the substitution argument).
+//!
+//! The crate provides the paper's three contributions:
+//!
+//! 1. **Subwarp-cooperative probing** ([`GpuHashMap`]) — an open-addressing
+//!    hash map whose hybrid probing scheme combines *linear probing within
+//!    a coalesced group window* of `|g| ∈ {1,…,32}` consecutive slots with
+//!    *chaotic (double-hashed) probing across windows*; insertion follows
+//!    the Fig. 3 kernel verbatim: coalesced window load → vacancy ballot →
+//!    leader CAS → group notification.
+//! 2. **Multi-GPU distribution** ([`DistributedHashMap`]) — the
+//!    *distributed multisplit transposition* cascades of §IV-B: each GPU
+//!    multisplits its elements by the partition function `p(k)`, the m×m
+//!    partition table is transposed with all-to-all NVLink communication,
+//!    and each GPU owns exactly the keys with `p(k) = i`.
+//! 3. **Asynchronous overlap** ([`async_pipe`]) — host-sided cascades whose
+//!    H2D → MST → INS stages of consecutive batches overlap on independent
+//!    hardware resources (Figs. 5, 11).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gpu_sim::{Device, DeviceSpec};
+//! use warpdrive::{Config, GpuHashMap};
+//!
+//! let dev = Arc::new(Device::with_words(0, 1 << 16));
+//! let map = GpuHashMap::new(dev, 1024, Config::default()).unwrap();
+//! map.insert_pairs(&[(7, 70), (8, 80)]).unwrap();
+//! let (results, _stats) = map.retrieve(&[7, 8, 9]);
+//! assert_eq!(results, vec![Some(70), Some(80), None]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod async_pipe;
+pub mod config;
+pub mod delete;
+pub mod distributed;
+pub mod entry;
+pub mod errors;
+pub mod host_ops;
+pub mod insert;
+pub mod map;
+pub mod multimap;
+pub mod probing;
+pub mod retrieve;
+pub mod sharded;
+pub mod stats;
+
+pub use adaptive::{recommend_group_size, AdaptiveHashMap};
+pub use config::{Config, Layout, ProbingScheme};
+pub use distributed::DistributedHashMap;
+pub use entry::{key_of, pack, value_of, EMPTY, TOMBSTONE};
+pub use errors::{BuildError, InsertError};
+pub use map::GpuHashMap;
+pub use multimap::GpuMultiMap;
+pub use sharded::ShardedHashMap;
+pub use stats::{CascadeReport, CascadeStage};
+
+/// Re-export of the group-size type used throughout the public API.
+pub use gpu_sim::GroupSize;

@@ -1,0 +1,639 @@
+//! The single-GPU hash map — WarpDrive's core data structure.
+
+use crate::config::{Config, Layout};
+use crate::delete::{erase_kernel, EraseOutcome};
+use crate::entry::{is_occupied, key_of, pack, value_of, EMPTY, RESERVED_KEY, TOMBSTONE};
+use crate::errors::{BuildError, InsertError};
+use crate::insert::{insert_kernel, InsertOutcome};
+use crate::probing::Prober;
+use crate::retrieve::retrieve_kernel;
+use gpu_sim::{DevSlice, Device, GroupSize, KernelStats};
+use hashes::DoubleHash;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Everything a kernel needs to address the table (copied into launches).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TableRef {
+    /// Backing storage: `capacity` words (AOS) or `2·capacity` (SOA).
+    pub data: DevSlice,
+    /// Number of slots.
+    pub capacity: usize,
+    /// Memory layout.
+    pub layout: Layout,
+    /// Coalesced-group size of the owning map.
+    pub group_size: GroupSize,
+}
+
+impl TableRef {
+    /// The packed-pair array (AOS layout).
+    pub fn aos_slice(&self) -> DevSlice {
+        debug_assert_eq!(self.layout, Layout::Aos);
+        self.data.sub(0, self.capacity)
+    }
+
+    /// The key array (SOA layout).
+    pub fn soa_keys(&self) -> DevSlice {
+        debug_assert_eq!(self.layout, Layout::Soa);
+        self.data.sub(0, self.capacity)
+    }
+
+    /// The value array (SOA layout).
+    pub fn soa_values(&self) -> DevSlice {
+        debug_assert_eq!(self.layout, Layout::Soa);
+        self.data.sub(self.capacity, self.capacity)
+    }
+}
+
+/// An open-addressing hash map in (simulated) GPU global memory with
+/// subwarp-cooperative probing.
+///
+/// * Bulk operations are data-parallel kernel launches: one coalesced
+///   group of `|g|` lanes per key-value pair.
+/// * Insertions and queries may be issued concurrently (they take
+///   `&self`); the outcome of a racing insert/query on the same key is
+///   decided by the "event horizon" of the kernels, as in the paper.
+/// * Deletions require exclusive access (`&mut self`) — the global
+///   barrier of §IV-A, enforced by the borrow checker.
+///
+/// See the crate docs for a usage example.
+#[derive(Debug)]
+pub struct GpuHashMap {
+    dev: Arc<Device>,
+    table: TableRef,
+    cfg: Config,
+    dh: DoubleHash,
+    /// Live (non-tombstone) entries.
+    occupied: AtomicU64,
+    /// Tombstoned slots (they still lengthen probe chains until rebuild).
+    tombstones: AtomicU64,
+}
+
+impl GpuHashMap {
+    /// Allocates and initialises a table of `capacity` slots on `dev`.
+    ///
+    /// # Errors
+    /// [`BuildError::ZeroCapacity`] for `capacity == 0`;
+    /// [`BuildError::OutOfMemory`] when the table exceeds the device's
+    /// remaining VRAM — the single-GPU limitation the distributed map
+    /// removes.
+    pub fn new(dev: Arc<Device>, capacity: usize, cfg: Config) -> Result<Self, BuildError> {
+        if capacity == 0 {
+            return Err(BuildError::ZeroCapacity);
+        }
+        // round up to a whole number of 32-slot spans so aligned spans
+        // survive the modulo (see `probing::Prober::span_base`)
+        let capacity = capacity.div_ceil(32) * 32;
+        let words = match cfg.layout {
+            Layout::Aos => capacity,
+            Layout::Soa => 2 * capacity,
+        };
+        let data = dev.alloc(words)?;
+        dev.mem().fill(data, EMPTY);
+        let table = TableRef {
+            data,
+            capacity,
+            layout: cfg.layout,
+            group_size: cfg.group_size,
+        };
+        Ok(Self {
+            dev,
+            table,
+            cfg,
+            dh: DoubleHash::from_seed(cfg.seed),
+            occupied: AtomicU64::new(0),
+            tombstones: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.table.capacity
+    }
+
+    /// Live entries (exact after quiescence; approximate while kernels for
+    /// the same map race, like any concurrent size counter).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.occupied.load(Relaxed)
+    }
+
+    /// Whether the map holds no live entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current true load factor α = live entries / capacity.
+    #[must_use]
+    pub fn load_factor(&self) -> f64 {
+        self.len() as f64 / self.table.capacity as f64
+    }
+
+    /// Tombstoned slots awaiting a rebuild.
+    #[must_use]
+    pub fn tombstones(&self) -> u64 {
+        self.tombstones.load(Relaxed)
+    }
+
+    /// The device this map lives on.
+    #[must_use]
+    pub fn device(&self) -> &Arc<Device> {
+        &self.dev
+    }
+
+    /// The map's configuration.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Changes the coalesced-group size for subsequent launches. Safe at
+    /// any quiescent point: the probing slot sequence is group-size
+    /// independent (§IV-A), so existing entries remain reachable.
+    pub fn set_group_size(&mut self, g: GroupSize) {
+        self.cfg.group_size = g;
+        self.table.group_size = g;
+    }
+
+    /// Bytes billed as the CAS working set (modeled capacity if set).
+    #[must_use]
+    pub fn working_set(&self) -> u64 {
+        self.cfg
+            .modeled_capacity_bytes
+            .unwrap_or_else(|| self.table.data.bytes())
+    }
+
+    fn prober(&self) -> Prober {
+        Prober::new(self.dh, self.cfg.probing, self.table.capacity)
+    }
+
+    // ---- device-sided operations ----------------------------------------
+
+    /// Inserts the `n` packed pairs in `input` (device-resident, key in
+    /// the high 32 bits). Duplicate keys update the stored value;
+    /// last-writer-wins on the kernel's event horizon.
+    ///
+    /// # Errors
+    /// [`InsertError::ProbingExhausted`] if any pair ran out of probing
+    /// attempts — the map should then be
+    /// [rebuilt](GpuHashMap::rebuild_with_fresh_hash).
+    pub fn insert_device(&self, input: DevSlice, n: usize) -> Result<InsertOutcome, InsertError> {
+        let outcome = insert_kernel(
+            &self.dev,
+            &self.table,
+            input,
+            n,
+            &self.prober(),
+            self.cfg.p_max,
+            self.working_set(),
+        );
+        self.occupied.fetch_add(outcome.new_slots, Relaxed);
+        if outcome.failed > 0 {
+            return Err(InsertError::ProbingExhausted {
+                failed: outcome.failed,
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// Retrieves the `n` query words of `input` into `out` (both
+    /// device-resident): `out[i] = pack(key, value)` on a hit, `EMPTY` on
+    /// a miss. Query words carry the key in their high 32 bits.
+    pub fn retrieve_device(&self, input: DevSlice, out: DevSlice, n: usize) -> KernelStats {
+        retrieve_kernel(
+            &self.dev,
+            &self.table,
+            input,
+            out,
+            n,
+            &self.prober(),
+            self.cfg.p_max,
+            self.working_set(),
+        )
+    }
+
+    /// Tombstones the `n` keys in `input` (device-resident query words).
+    /// Takes `&mut self`: the global barrier separating deletions from
+    /// concurrent inserts/queries (§IV-A).
+    pub fn erase_device(&mut self, input: DevSlice, n: usize) -> EraseOutcome {
+        self.erase_device_shared(input, n)
+    }
+
+    /// Shared-access erase used by [`crate::DistributedHashMap`], whose
+    /// own `&mut self` already provides the §IV-A barrier for every local
+    /// map. Not public: callers outside the crate must go through the
+    /// `&mut` API.
+    pub(crate) fn erase_device_shared(&self, input: DevSlice, n: usize) -> EraseOutcome {
+        let outcome = erase_kernel(
+            &self.dev,
+            &self.table,
+            input,
+            n,
+            &self.prober(),
+            self.cfg.p_max,
+            self.working_set(),
+        );
+        self.occupied.fetch_sub(outcome.erased, Relaxed);
+        self.tombstones.fetch_add(outcome.erased, Relaxed);
+        outcome
+    }
+
+    // ---- host-sided conveniences -----------------------------------------
+
+    /// Uploads and inserts host-resident pairs (staging via scratch VRAM;
+    /// PCIe time is *not* billed here — use the `host_ops` cascades for
+    /// transfer-inclusive experiments).
+    ///
+    /// # Errors
+    /// Propagates probing exhaustion and scratch OOM.
+    pub fn insert_pairs(&self, pairs: &[(u32, u32)]) -> Result<InsertOutcome, InsertError> {
+        let words: Vec<u64> = pairs.iter().map(|&(k, v)| pack(k, v)).collect();
+        let staging = self.dev.alloc_scratch(words.len().max(1))?;
+        self.dev
+            .mem()
+            .h2d(staging.slice().sub(0, words.len()), &words);
+        self.insert_device(staging.slice().sub(0, words.len()), words.len())
+    }
+
+    /// Queries host-resident keys, returning per-key results in order.
+    #[must_use]
+    pub fn retrieve(&self, keys: &[u32]) -> (Vec<Option<u32>>, KernelStats) {
+        let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
+        let n = words.len();
+        let staging = self
+            .dev
+            .alloc_scratch(2 * n.max(1))
+            .expect("scratch for retrieve");
+        let input = staging.slice().sub(0, n.max(1)).sub(0, n);
+        let out = staging.slice().sub(n.max(1), n);
+        self.dev.mem().h2d(input, &words);
+        let stats = self.retrieve_device(input, out, n);
+        let results = self
+            .dev
+            .mem()
+            .d2h(out)
+            .into_iter()
+            .map(|w| if w == EMPTY { None } else { Some(value_of(w)) })
+            .collect();
+        (results, stats)
+    }
+
+    /// Convenience single-key lookup (bulk APIs are the fast path).
+    #[must_use]
+    pub fn get(&self, key: u32) -> Option<u32> {
+        self.retrieve(&[key]).0[0]
+    }
+
+    /// Tombstones host-resident keys; returns how many were found.
+    pub fn erase(&mut self, keys: &[u32]) -> EraseOutcome {
+        let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
+        let dev = Arc::clone(&self.dev);
+        let staging = dev
+            .alloc_scratch(words.len().max(1))
+            .expect("scratch for erase");
+        let input = staging.slice().sub(0, words.len());
+        dev.mem().h2d(input, &words);
+        self.erase_device(input, words.len())
+    }
+
+    // ---- maintenance ------------------------------------------------------
+
+    /// Rebuilds the table in place with a fresh hash-function member
+    /// ("the whole data structure is invalidated followed by a subsequent
+    /// reconstruction with a distinct hash function", §II). Also purges
+    /// tombstones. Returns the re-insertion outcome.
+    ///
+    /// # Errors
+    /// Probing exhaustion can recur (retry with another seed) and scratch
+    /// may be unavailable.
+    pub fn rebuild_with_fresh_hash(&mut self) -> Result<InsertOutcome, InsertError> {
+        // extract live entries (billed as one streaming table scan)
+        let live: Vec<u64> = self
+            .dev
+            .mem()
+            .d2h(self.table.data)
+            .into_iter()
+            .take(self.table.capacity) // AOS words / SOA key words
+            .enumerate()
+            .filter_map(|(i, w)| match self.cfg.layout {
+                Layout::Aos => is_occupied(w).then_some(w),
+                Layout::Soa => crate::insert::soa_key_of(w).map(|k| {
+                    let v = self.dev.mem().d2h(self.table.soa_values().sub(i, 1))[0];
+                    pack(k, v as u32)
+                }),
+            })
+            .collect();
+        let scan_bytes = self.table.data.bytes();
+        let scan = self.dev.launch(
+            "rebuild_scan",
+            self.table.capacity.div_ceil(32),
+            GroupSize::WARP,
+            gpu_sim::LaunchOptions::default(),
+            |ctx| ctx.bill_stream_bytes(32 * 8),
+        );
+        debug_assert!(scan.counters.stream_bytes >= scan_bytes / 2);
+
+        // fresh hash family member, clean table
+        self.cfg.seed = self.cfg.seed.wrapping_add(1);
+        self.dh = DoubleHash::from_seed(self.cfg.seed);
+        self.dev.mem().fill(self.table.data, EMPTY);
+        self.occupied.store(0, Relaxed);
+        self.tombstones.store(0, Relaxed);
+
+        // re-insert
+        let staging = self.dev.alloc_scratch(live.len().max(1))?;
+        let input = staging.slice().sub(0, live.len());
+        self.dev.mem().h2d(input, &live);
+        let mut outcome = self.insert_device(input, live.len())?;
+        outcome.stats = outcome.stats.merged(&scan);
+        Ok(outcome)
+    }
+
+    /// Host-side snapshot of all live `(key, value)` pairs (diagnostic /
+    /// test helper; uncounted).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(u32, u32)> {
+        let words = self.dev.mem().d2h(self.table.data);
+        match self.cfg.layout {
+            Layout::Aos => words
+                .into_iter()
+                .filter(|&w| is_occupied(w))
+                .map(|w| (key_of(w), value_of(w)))
+                .collect(),
+            Layout::Soa => {
+                let (keys, values) = words.split_at(self.table.capacity);
+                keys.iter()
+                    .zip(values)
+                    .filter(|&(&k, _)| k != EMPTY && k != TOMBSTONE)
+                    .map(|(&k, &v)| {
+                        debug_assert!(k < u64::from(RESERVED_KEY));
+                        (k as u32, v as u32)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProbingScheme;
+    use proptest::prelude::*;
+
+    fn device(words: usize) -> Arc<Device> {
+        Arc::new(Device::with_words(0, words))
+    }
+
+    fn map_with(capacity: usize, cfg: Config) -> GpuHashMap {
+        GpuHashMap::new(device(capacity * 4 + 256), capacity, cfg).unwrap()
+    }
+
+    #[test]
+    fn insert_then_get_round_trip() {
+        let m = map_with(1024, Config::default());
+        let pairs: Vec<(u32, u32)> = (0..500u32).map(|i| (i * 7 + 1, i + 1000)).collect();
+        let outcome = m.insert_pairs(&pairs).unwrap();
+        assert_eq!(outcome.new_slots, 500);
+        assert_eq!(outcome.updates, 0);
+        assert_eq!(m.len(), 500);
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let (res, _) = m.retrieve(&keys);
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(res[i], Some(p.1));
+        }
+    }
+
+    #[test]
+    fn misses_return_none() {
+        let m = map_with(256, Config::default());
+        m.insert_pairs(&[(1, 10)]).unwrap();
+        assert_eq!(m.get(1), Some(10));
+        assert_eq!(m.get(2), None);
+        let (res, _) = m.retrieve(&[3, 1, 4]);
+        assert_eq!(res, vec![None, Some(10), None]);
+    }
+
+    #[test]
+    fn duplicate_keys_update_value() {
+        let m = map_with(128, Config::default());
+        m.insert_pairs(&[(9, 1)]).unwrap();
+        let outcome = m.insert_pairs(&[(9, 2)]).unwrap();
+        assert_eq!(outcome.updates, 1);
+        assert_eq!(outcome.new_slots, 0);
+        assert_eq!(m.get(9), Some(2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn fills_to_99_percent_load() {
+        // the paper's headline robustness claim: α > 0.95 works
+        let cap = 4096;
+        let n = (cap as f64 * 0.99) as u32;
+        for g in [1u32, 2, 4, 8, 16, 32] {
+            let m = map_with(cap, Config::default().with_group_size(g));
+            let pairs: Vec<(u32, u32)> = (0..n).map(|i| (i * 2 + 1, i)).collect();
+            m.insert_pairs(&pairs)
+                .unwrap_or_else(|e| panic!("|g|={g}: {e}"));
+            assert!((m.load_factor() - 0.99).abs() < 0.01);
+            let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let (res, _) = m.retrieve(&keys);
+            assert!(res.iter().all(Option::is_some), "|g|={g} lost keys");
+        }
+    }
+
+    #[test]
+    fn group_sizes_interoperate() {
+        // probing order is group-size independent: insert with |g|=8,
+        // retrieve with |g|=2 must find everything
+        let dev = device(8192);
+        let cfg8 = Config::default().with_group_size(8);
+        let m8 = GpuHashMap::new(Arc::clone(&dev), 1024, cfg8).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..900u32).map(|i| (i + 1, i)).collect();
+        m8.insert_pairs(&pairs).unwrap();
+        // rebuild a map view with a different group size over the same
+        // table is not part of the API; instead check the slot sequences
+        // directly via retrieval after reconfiguring through snapshot
+        let snap = m8.snapshot();
+        let cfg2 = Config::default().with_group_size(2);
+        let m2 = GpuHashMap::new(Arc::clone(&dev), 1024, cfg2).unwrap();
+        m2.insert_pairs(&snap).unwrap();
+        let (res, _) = m2.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        assert!(res.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn erase_then_reinsert_over_tombstones() {
+        let mut m = map_with(512, Config::default());
+        let pairs: Vec<(u32, u32)> = (0..400u32).map(|i| (i + 1, i)).collect();
+        m.insert_pairs(&pairs).unwrap();
+        let erased = m.erase(&(1..=200).collect::<Vec<u32>>());
+        assert_eq!(erased.erased, 200);
+        assert_eq!(m.len(), 200);
+        assert_eq!(m.tombstones(), 200);
+        // erased keys gone, others remain
+        assert_eq!(m.get(5), None);
+        assert_eq!(m.get(300), Some(299));
+        // probing walks through tombstones to find keys placed beyond them
+        let (res, _) = m.retrieve(&(201..=400).collect::<Vec<u32>>());
+        assert!(res.iter().all(Option::is_some));
+        // reinsert over tombstones
+        m.insert_pairs(&(1..=200).map(|k| (k, k * 2)).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(m.get(5), Some(10));
+        assert_eq!(m.len(), 400);
+    }
+
+    #[test]
+    fn erase_missing_keys_reports_zero() {
+        let mut m = map_with(128, Config::default());
+        m.insert_pairs(&[(1, 1)]).unwrap();
+        let out = m.erase(&[99, 100]);
+        assert_eq!(out.erased, 0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn rebuild_purges_tombstones_and_preserves_content() {
+        let mut m = map_with(512, Config::default());
+        let pairs: Vec<(u32, u32)> = (0..300u32).map(|i| (i + 1, i)).collect();
+        m.insert_pairs(&pairs).unwrap();
+        m.erase(&(1..=100).collect::<Vec<u32>>());
+        let seed_before = m.config().seed;
+        m.rebuild_with_fresh_hash().unwrap();
+        assert_eq!(m.config().seed, seed_before + 1);
+        assert_eq!(m.tombstones(), 0);
+        assert_eq!(m.len(), 200);
+        for (k, v) in pairs.iter().skip(100) {
+            assert_eq!(m.get(*k), Some(*v), "key {k} lost in rebuild");
+        }
+        assert_eq!(m.get(50), None);
+    }
+
+    #[test]
+    fn soa_layout_round_trips() {
+        let m = map_with(512, Config::default().with_layout(Layout::Soa));
+        let pairs: Vec<(u32, u32)> = (0..450u32).map(|i| (i * 3 + 2, i)).collect();
+        m.insert_pairs(&pairs).unwrap();
+        let (res, _) = m.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(res[i], Some(p.1));
+        }
+        // update + erase work in SOA too
+        m.insert_pairs(&[(pairs[0].0, 777)]).unwrap();
+        assert_eq!(m.get(pairs[0].0), Some(777));
+        let mut m = m;
+        assert_eq!(m.erase(&[pairs[1].0]).erased, 1);
+        assert_eq!(m.get(pairs[1].0), None);
+    }
+
+    #[test]
+    fn soa_uses_twice_the_memory() {
+        let dev = device(4096);
+        let before = dev.mem().available_words();
+        let _aos = GpuHashMap::new(Arc::clone(&dev), 512, Config::default()).unwrap();
+        let after_aos = dev.mem().available_words();
+        let _soa = GpuHashMap::new(
+            Arc::clone(&dev),
+            512,
+            Config::default().with_layout(Layout::Soa),
+        )
+        .unwrap();
+        let after_soa = dev.mem().available_words();
+        assert_eq!(before - after_aos, 512);
+        assert_eq!(after_aos - after_soa, 1024);
+    }
+
+    #[test]
+    fn probing_schemes_all_round_trip() {
+        for scheme in [
+            ProbingScheme::Hybrid,
+            ProbingScheme::Linear,
+            ProbingScheme::Quadratic,
+        ] {
+            let m = map_with(1024, Config::default().with_probing(scheme));
+            let pairs: Vec<(u32, u32)> = (0..900u32).map(|i| (i * 5 + 1, i)).collect();
+            m.insert_pairs(&pairs)
+                .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+            let (res, _) = m.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+            assert!(res.iter().all(Option::is_some), "{scheme:?} lost keys");
+        }
+    }
+
+    #[test]
+    fn overfull_insert_fails_with_probing_exhausted() {
+        let m = map_with(64, Config::default());
+        let pairs: Vec<(u32, u32)> = (0..80u32).map(|i| (i + 1, i)).collect();
+        let err = m.insert_pairs(&pairs).unwrap_err();
+        assert!(matches!(err, InsertError::ProbingExhausted { failed } if failed >= 16));
+        // the 64 placed entries are still retrievable
+        assert_eq!(m.len(), 64);
+    }
+
+    #[test]
+    fn table_larger_than_vram_is_rejected() {
+        let dev = device(1024);
+        let err = GpuHashMap::new(dev, 10_000, Config::default()).unwrap_err();
+        assert!(matches!(err, BuildError::OutOfMemory(_)));
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let err = GpuHashMap::new(device(64), 0, Config::default()).unwrap_err();
+        assert!(matches!(err, BuildError::ZeroCapacity));
+    }
+
+    #[test]
+    fn concurrent_inserts_of_same_key_store_exactly_one() {
+        // many pairs with one key in a single batch: groups race on the
+        // same slot; exactly one slot must be claimed, last CAS wins
+        let m = map_with(256, Config::default());
+        let pairs: Vec<(u32, u32)> = (0..64u32).map(|v| (42, v)).collect();
+        let outcome = m.insert_pairs(&pairs).unwrap();
+        assert_eq!(outcome.new_slots, 1);
+        assert_eq!(outcome.updates, 63);
+        assert_eq!(m.len(), 1);
+        let v = m.get(42).unwrap();
+        assert!(v < 64);
+    }
+
+    #[test]
+    fn stats_expose_probe_traffic() {
+        let m = map_with(1024, Config::default());
+        let pairs: Vec<(u32, u32)> = (0..500u32).map(|i| (i + 1, i)).collect();
+        let outcome = m.insert_pairs(&pairs).unwrap();
+        assert!(outcome.stats.counters.transactions >= 500);
+        assert!(outcome.stats.counters.cas_ops >= 500);
+        assert!(outcome.stats.sim_time > 0.0);
+        // retrieval does no CAS
+        let (_, stats) = m.retrieve(&[1, 2, 3]);
+        assert_eq!(stats.counters.cas_ops, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn matches_std_hashmap_model(
+            ops in proptest::collection::vec((0u32..500, any::<u32>()), 1..300),
+            g in proptest::sample::select(vec![1u32, 2, 4, 8, 16, 32]),
+        ) {
+            let m = map_with(2048, Config::default().with_group_size(g));
+            let mut model = std::collections::HashMap::new();
+            // sequential batches of one pair: deterministic model
+            for &(k, v) in &ops {
+                let key = k + 1; // avoid 0? keys may be 0; just not MAX
+                m.insert_pairs(&[(key, v)]).unwrap();
+                model.insert(key, v);
+            }
+            let keys: Vec<u32> = model.keys().copied().collect();
+            let (res, _) = m.retrieve(&keys);
+            for (i, k) in keys.iter().enumerate() {
+                prop_assert_eq!(res[i], model.get(k).copied());
+            }
+            prop_assert_eq!(m.len() as usize, model.len());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The retrieval (query) kernel.
+//!
+//! "Queries are performed in a similar way whereby the atomic swap is not
+//! required" (§IV-A). One coalesced group retrieves one key: windows are
+//! probed in the exact slot order of insertion; a ballot finds the key,
+//! and an EMPTY sentinel anywhere in a window proves absence (a tombstone
+//! does *not* — deleted slots may have been probed past by an earlier
+//! insertion, so the probe must continue through them).
+//!
+//! Output convention: `out[i] = pack(key, value)` on a hit, [`EMPTY`] on a
+//! miss. The input carries the key in the *high* 32 bits of each word; the
+//! low bits are caller payload (the distributed cascade routes origin
+//! indices through them) and are ignored here.
+
+use crate::config::Layout;
+use crate::entry::{is_empty_slot, key_of, EMPTY};
+use crate::insert::{soa_hit, soa_is_empty, soa_key_of};
+use crate::map::TableRef;
+use crate::probing::Prober;
+use gpu_sim::{DevSlice, Device, GroupCtx, KernelStats, LaunchOptions};
+
+/// Launches the retrieval kernel for the `n` query words in `input`,
+/// writing one result word per query to `out`.
+pub(crate) fn retrieve_kernel(
+    dev: &Device,
+    table: &TableRef,
+    input: DevSlice,
+    out: DevSlice,
+    n: usize,
+    prober: &Prober,
+    p_max: u32,
+    working_set: u64,
+) -> KernelStats {
+    dev.launch(
+        "warpdrive_retrieve",
+        n,
+        table.group_size,
+        LaunchOptions::default().with_working_set(working_set),
+        |ctx: &GroupCtx| {
+            let query = ctx.read_stream(input, ctx.group_id());
+            let key = key_of(query);
+            let result = match table.layout {
+                Layout::Aos => retrieve_one_aos(ctx, table, prober, p_max, key),
+                Layout::Soa => retrieve_one_soa(ctx, table, prober, p_max, key),
+            };
+            ctx.write_stream(out, ctx.group_id(), result);
+        },
+    )
+}
+
+fn retrieve_one_aos(
+    ctx: &GroupCtx,
+    table: &TableRef,
+    prober: &Prober,
+    p_max: u32,
+    key: u32,
+) -> u64 {
+    let g = ctx.size().get();
+    let data = table.aos_slice();
+    for p in 0..p_max {
+        for q in 0..ctx.size().windows_per_warp() {
+            let base = prober.window_base(key, p, q, g) as usize;
+            let window = ctx.read_window(data, base);
+            // hit check first: the window may contain both our key and an
+            // EMPTY slot when racing with inserts of unrelated keys
+            let hit = ctx.ballot(|r| key_of(window.lane(r)) == key);
+            if let Some(r) = GroupCtx::ffs(hit) {
+                return window.lane(r);
+            }
+            if ctx.any(|r| is_empty_slot(window.lane(r))) {
+                return EMPTY; // insertion would have claimed this slot
+            }
+        }
+    }
+    EMPTY // probing exhausted: definitively absent under p_max
+}
+
+fn retrieve_one_soa(
+    ctx: &GroupCtx,
+    table: &TableRef,
+    prober: &Prober,
+    p_max: u32,
+    key: u32,
+) -> u64 {
+    let g = ctx.size().get();
+    let keys = table.soa_keys();
+    let values = table.soa_values();
+    let cap = table.capacity;
+    for p in 0..p_max {
+        for q in 0..ctx.size().windows_per_warp() {
+            let base = prober.window_base(key, p, q, g) as usize;
+            let window = ctx.read_window(keys, base);
+            let hit = ctx.ballot(|r| soa_key_of(window.lane(r)) == Some(key));
+            if let Some(r) = GroupCtx::ffs(hit) {
+                // the Fig. 1 SOA cost: a second, uncoalesced access to
+                // fetch the value word
+                let idx = (base + r as usize) % cap;
+                return soa_hit(key, ctx.read(values, idx));
+            }
+            if ctx.any(|r| soa_is_empty(window.lane(r))) {
+                return EMPTY;
+            }
+        }
+    }
+    EMPTY
+}

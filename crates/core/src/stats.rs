@@ -1,0 +1,197 @@
+//! Cascade timing reports.
+//!
+//! Multi-GPU operations are *cascades* of globally-barriered phases
+//! (§IV-B): multisplit → transposition → insert for insertion, and
+//! multisplit → transposition → query → transposition for retrieval,
+//! optionally bracketed by PCIe transfers. Each phase's simulated time is
+//! recorded so the harnesses can print both aggregate rates (Figs. 9–10)
+//! and the per-stage decomposition (Fig. 11).
+
+use serde::{Deserialize, Serialize};
+
+/// A cascade phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CascadeStage {
+    /// Host → device PCIe transfer.
+    H2D,
+    /// Per-GPU multisplit (video memory).
+    Multisplit,
+    /// All-to-all partition transposition (NVLink).
+    Transpose,
+    /// Hash-table insertion kernels.
+    Insert,
+    /// Hash-table query kernels.
+    Query,
+    /// Result routing back to the origin GPUs (NVLink).
+    TransposeBack,
+    /// Result scatter into origin order (video memory).
+    Scatter,
+    /// Device → host PCIe transfer.
+    D2H,
+}
+
+/// One timed phase.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Which phase.
+    pub stage: CascadeStage,
+    /// Simulated seconds (max over GPUs for per-GPU phases — the phases
+    /// are separated by global barriers).
+    pub time: f64,
+    /// Bytes moved by the phase, where meaningful (transfers), else 0.
+    pub bytes: u64,
+    /// Fixed (size-independent) launch-overhead portion of `time`. Used
+    /// by scaled-down experiments: per-element cost extrapolates
+    /// linearly, this part does not.
+    pub overhead: f64,
+}
+
+impl StageTiming {
+    /// The stage's time extrapolated to `scale`× the element count.
+    #[must_use]
+    pub fn scaled_time(&self, scale: f64) -> f64 {
+        (self.time - self.overhead).max(0.0) * scale + self.overhead
+    }
+}
+
+/// Timing report of one cascade over a batch of elements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CascadeReport {
+    /// Phases in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Elements processed.
+    pub elements: u64,
+}
+
+impl CascadeReport {
+    /// Builds a report.
+    #[must_use]
+    pub fn new(elements: u64) -> Self {
+        Self {
+            stages: Vec::new(),
+            elements,
+        }
+    }
+
+    /// Appends a phase with no fixed-overhead component.
+    pub fn push(&mut self, stage: CascadeStage, time: f64, bytes: u64) {
+        self.push_with_overhead(stage, time, bytes, 0.0);
+    }
+
+    /// Appends a phase, recording the launch-overhead portion of `time`.
+    pub fn push_with_overhead(
+        &mut self,
+        stage: CascadeStage,
+        time: f64,
+        bytes: u64,
+        overhead: f64,
+    ) {
+        self.stages.push(StageTiming {
+            stage,
+            time,
+            bytes,
+            overhead,
+        });
+    }
+
+    /// Total cascade time extrapolated to `scale`× the element count
+    /// (variable parts scale, fixed overheads do not).
+    #[must_use]
+    pub fn modeled_time(&self, scale: f64) -> f64 {
+        self.stages.iter().map(|s| s.scaled_time(scale)).sum()
+    }
+
+    /// Operation rate at modeled scale.
+    #[must_use]
+    pub fn modeled_ops_per_sec(&self, scale: f64) -> f64 {
+        let t = self.modeled_time(scale);
+        if t == 0.0 {
+            0.0
+        } else {
+            self.elements as f64 * scale / t
+        }
+    }
+
+    /// Total cascade time (phases are globally barriered, so they add).
+    #[must_use]
+    pub fn total_time(&self) -> f64 {
+        self.stages.iter().map(|s| s.time).sum()
+    }
+
+    /// Aggregate operation rate.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        let t = self.total_time();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.elements as f64 / t
+        }
+    }
+
+    /// Accumulated time of one phase kind (a cascade may, e.g., transpose
+    /// twice).
+    #[must_use]
+    pub fn time_of(&self, stage: CascadeStage) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.time)
+            .sum()
+    }
+
+    /// Fraction of total time spent in a phase kind.
+    #[must_use]
+    pub fn fraction_of(&self, stage: CascadeStage) -> f64 {
+        let t = self.total_time();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.time_of(stage) / t
+        }
+    }
+
+    /// Merges another report (e.g. successive batches of one stream):
+    /// element counts and per-stage times accumulate.
+    pub fn absorb(&mut self, other: &CascadeReport) {
+        self.elements += other.elements;
+        for s in &other.stages {
+            self.push_with_overhead(s.stage, s.time, s.bytes, s.overhead);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let mut r = CascadeReport::new(1000);
+        r.push(CascadeStage::Multisplit, 0.02, 0);
+        r.push(CascadeStage::Transpose, 0.03, 4096);
+        r.push(CascadeStage::Insert, 0.95, 0);
+        assert!((r.total_time() - 1.0).abs() < 1e-12);
+        assert!((r.ops_per_sec() - 1000.0).abs() < 1e-9);
+        assert!((r.fraction_of(CascadeStage::Transpose) - 0.03).abs() < 1e-12);
+        assert_eq!(r.time_of(CascadeStage::Query), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = CascadeReport::new(10);
+        a.push(CascadeStage::Insert, 1.0, 0);
+        let mut b = CascadeReport::new(20);
+        b.push(CascadeStage::Insert, 2.0, 0);
+        a.absorb(&b);
+        assert_eq!(a.elements, 30);
+        assert!((a.time_of(CascadeStage::Insert) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_rates_are_zero() {
+        let r = CascadeReport::new(0);
+        assert_eq!(r.ops_per_sec(), 0.0);
+        assert_eq!(r.fraction_of(CascadeStage::H2D), 0.0);
+    }
+}

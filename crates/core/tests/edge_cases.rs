@@ -1,0 +1,197 @@
+//! Edge-case coverage for the warpdrive crate: boundary sizes, extreme
+//! values, failure paths and recovery — the inputs a downstream user will
+//! eventually throw at the library.
+
+use interconnect::Topology;
+use std::sync::Arc;
+use warpdrive::{
+    pack, Config, DistributedHashMap, GpuHashMap, GpuMultiMap, InsertError, Layout, ShardedHashMap,
+};
+
+fn device(words: usize) -> Arc<gpu_sim::Device> {
+    Arc::new(gpu_sim::Device::with_words(0, words))
+}
+
+#[test]
+fn empty_batches_are_noops() {
+    let mut map = GpuHashMap::new(device(1 << 12), 256, Config::default()).unwrap();
+    let out = map.insert_pairs(&[]).unwrap();
+    assert_eq!(out.new_slots, 0);
+    let (res, _) = map.retrieve(&[]);
+    assert!(res.is_empty());
+    assert_eq!(map.erase(&[]).erased, 0);
+    assert!(map.is_empty());
+}
+
+#[test]
+fn capacity_rounds_up_to_spans() {
+    let map = GpuHashMap::new(device(1 << 12), 1, Config::default()).unwrap();
+    assert_eq!(map.capacity(), 32);
+    let map = GpuHashMap::new(device(1 << 12), 33, Config::default()).unwrap();
+    assert_eq!(map.capacity(), 64);
+}
+
+#[test]
+fn extreme_key_and_value_bits_round_trip() {
+    let map = GpuHashMap::new(device(1 << 12), 64, Config::default()).unwrap();
+    // key 0, max legal key, value 0 and value u32::MAX all survive
+    let pairs = [(0u32, 0u32), (0xFFFF_FFFE, u32::MAX), (1, 0x8000_0000)];
+    map.insert_pairs(&pairs).unwrap();
+    for (k, v) in pairs {
+        assert_eq!(map.get(k), Some(v), "key {k:#x}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "reserved")]
+fn reserved_key_panics_in_debug() {
+    let map = GpuHashMap::new(device(1 << 12), 64, Config::default()).unwrap();
+    let _ = map.insert_pairs(&[(u32::MAX, 1)]);
+}
+
+#[test]
+fn tiny_p_max_fails_fast_and_recovers() {
+    let mut cfg = Config::default();
+    cfg.p_max = 1; // one span only: 32 slots reachable per key
+    let map = GpuHashMap::new(device(1 << 13), 96, cfg).unwrap();
+    // overfill one span's worth of keys: some must fail
+    let pairs: Vec<(u32, u32)> = (0..96u32).map(|i| (i + 1, i)).collect();
+    match map.insert_pairs(&pairs) {
+        Ok(_) => { /* possible if hashing spread perfectly */ }
+        Err(InsertError::ProbingExhausted { failed }) => {
+            assert!(failed > 0);
+            // the placed subset is still fully retrievable
+            let placed = map.len();
+            let (res, _) = map.retrieve(&(1..=96).collect::<Vec<u32>>());
+            assert_eq!(res.iter().filter(|r| r.is_some()).count() as u64, placed);
+        }
+        Err(e) => panic!("unexpected {e}"),
+    }
+}
+
+#[test]
+fn interleaved_erase_insert_query_cycles() {
+    let mut map = GpuHashMap::new(device(1 << 14), 512, Config::default()).unwrap();
+    for round in 0..6u32 {
+        let base = round * 100;
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (base + i + 1, round)).collect();
+        map.insert_pairs(&pairs).unwrap();
+        if round % 2 == 1 {
+            // erase the previous round entirely
+            let victims: Vec<u32> = (0..100).map(|i| base - 100 + i + 1).collect();
+            assert_eq!(map.erase(&victims).erased, 100);
+        }
+    }
+    // rounds 0,2,4 were erased by 1,3,5 → rounds 1,3,5 + none of 0,2,4?
+    // erasures happen on odd rounds against the preceding even round
+    assert_eq!(map.len(), 300);
+    assert_eq!(map.tombstones(), 300);
+    assert_eq!(map.get(1), None); // round 0, erased
+    assert_eq!(map.get(101), Some(1)); // round 1, alive
+                                       // rebuild compacts and preserves
+    map.rebuild_with_fresh_hash().unwrap();
+    assert_eq!(map.len(), 300);
+    assert_eq!(map.get(101), Some(1));
+}
+
+#[test]
+fn soa_and_aos_agree_on_everything() {
+    let pairs: Vec<(u32, u32)> = (0..700u32).map(|i| (i * 13 + 1, i ^ 0xbeef)).collect();
+    let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([42]).collect();
+    let mut results = Vec::new();
+    for layout in [Layout::Aos, Layout::Soa] {
+        let mut map =
+            GpuHashMap::new(device(1 << 13), 1024, Config::default().with_layout(layout)).unwrap();
+        map.insert_pairs(&pairs).unwrap();
+        map.erase(&[pairs[0].0, pairs[1].0]);
+        map.insert_pairs(&[(pairs[2].0, 777)]).unwrap();
+        let (res, _) = map.retrieve(&keys);
+        results.push(res);
+    }
+    assert_eq!(results[0], results[1]);
+}
+
+#[test]
+fn multimap_empty_and_absent_keys() {
+    let map = GpuMultiMap::new(device(1 << 12), 128, Config::default()).unwrap();
+    let (res, _) = map.retrieve_all(&[5]);
+    assert!(res[0].is_empty());
+    assert_eq!(map.count(5), 0);
+    map.insert_pairs(&[]).unwrap();
+    assert!(map.is_empty());
+}
+
+#[test]
+fn distributed_two_and_three_gpu_nodes() {
+    for m in [2usize, 3] {
+        let devices: Vec<_> = (0..m)
+            .map(|i| Arc::new(gpu_sim::Device::with_words(i, 1 << 15)))
+            .collect();
+        let dmap =
+            DistributedHashMap::new(devices, 2048, Config::default(), Topology::p100_quad(m))
+                .unwrap();
+        let pairs: Vec<(u32, u32)> = (0..2500u32).map(|i| (i * 11 + 1, i)).collect();
+        dmap.insert_from_host(&pairs).unwrap();
+        assert_eq!(dmap.len(), 2500, "m = {m}");
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let (res, _) = dmap.retrieve_from_host(&keys);
+        assert!(res.iter().all(Option::is_some), "m = {m}");
+    }
+}
+
+#[test]
+fn distributed_handles_empty_and_skewed_gpu_batches() {
+    let devices: Vec<_> = (0..4)
+        .map(|i| Arc::new(gpu_sim::Device::with_words(i, 1 << 15)))
+        .collect();
+    let dmap =
+        DistributedHashMap::new(devices, 2048, Config::default(), Topology::p100_quad(4)).unwrap();
+    // everything on GPU 0, nothing elsewhere
+    let words: Vec<u64> = (0..1000u32).map(|i| pack(i * 3 + 1, i)).collect();
+    let rep = dmap
+        .insert_device_sided(&[words, Vec::new(), Vec::new(), Vec::new()])
+        .unwrap();
+    assert_eq!(dmap.len(), 1000);
+    assert!(rep.total_time() > 0.0);
+    // query entirely from GPU 3
+    let keys: Vec<u32> = (0..1000u32).map(|i| i * 3 + 1).collect();
+    let (res, _) = dmap.retrieve_device_sided(&[Vec::new(), Vec::new(), Vec::new(), keys]);
+    assert!(res[3].iter().all(Option::is_some));
+}
+
+#[test]
+fn sharded_map_single_shard_degenerates_to_plain() {
+    let sharded = ShardedHashMap::new(device(1 << 13), 1024, 1, Config::default()).unwrap();
+    let pairs: Vec<(u32, u32)> = (0..900u32).map(|i| (i + 1, i)).collect();
+    sharded.insert_pairs(&pairs).unwrap();
+    assert_eq!(sharded.num_shards(), 1);
+    let (res, _) = sharded.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+    assert!(res.iter().all(Option::is_some));
+}
+
+#[test]
+fn overlapped_batch_size_larger_than_input() {
+    let devices: Vec<_> = (0..4)
+        .map(|i| Arc::new(gpu_sim::Device::with_words(i, 1 << 15)))
+        .collect();
+    let dmap =
+        DistributedHashMap::new(devices, 2048, Config::default(), Topology::p100_quad(4)).unwrap();
+    let pairs: Vec<(u32, u32)> = (0..100u32).map(|i| (i + 1, i)).collect();
+    let rep = dmap.insert_overlapped(&pairs, 10_000, 4).unwrap();
+    assert_eq!(rep.batches, 1);
+    assert_eq!(rep.saving(), 0.0); // one batch cannot overlap with itself
+    assert_eq!(dmap.len(), 100);
+}
+
+#[test]
+fn group_size_can_change_between_batches() {
+    let mut map = GpuHashMap::new(device(1 << 13), 1024, Config::default()).unwrap();
+    let pairs: Vec<(u32, u32)> = (0..800u32).map(|i| (i + 1, i)).collect();
+    for (i, chunk) in pairs.chunks(200).enumerate() {
+        map.set_group_size(gpu_sim::GroupSize::new([1u32, 4, 16, 32][i]));
+        map.insert_pairs(chunk).unwrap();
+    }
+    map.set_group_size(gpu_sim::GroupSize::new(2));
+    let (res, _) = map.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+    assert!(res.iter().all(Option::is_some));
+}

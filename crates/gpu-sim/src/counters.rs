@@ -1,0 +1,228 @@
+//! Access-pattern counters recorded by the functional execution.
+//!
+//! Counters are incremented with `Relaxed` atomics from every simulated
+//! group; they are statistics, not synchronization, so relaxed ordering is
+//! sufficient (the final read happens after the Rayon join, which provides
+//! the necessary happens-before edge).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Live counters for one kernel launch.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    /// Number of 32-byte memory transactions issued for *irregular*
+    /// (probing) accesses.
+    pub transactions: AtomicU64,
+    /// Bytes moved by fully coalesced streaming accesses (bulk input
+    /// reads, result writes).
+    pub stream_bytes: AtomicU64,
+    /// 64-bit compare-and-swap operations (successful or not).
+    pub cas_ops: AtomicU64,
+    /// CAS operations that failed (lost a race) — diagnostic only.
+    pub cas_failed: AtomicU64,
+    /// Warm global atomics (fetch-add / or / max on L2-resident lines).
+    pub atomic_ops: AtomicU64,
+    /// Cold atomics (RMW on lines not recently touched — a full DRAM
+    /// round-trip each, e.g. cuckoo's eviction `atomicExch`).
+    pub cold_atomics: AtomicU64,
+    /// Dependent memory round-trips accumulated across all groups; the
+    /// latency-bound term divides this by the number of groups in flight.
+    pub group_steps: AtomicU64,
+    /// Number of groups executed.
+    pub groups: AtomicU64,
+}
+
+impl KernelCounters {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` irregular 32-byte transactions (also one dependent step).
+    #[inline]
+    pub fn add_transactions(&self, n: u64) {
+        self.transactions.fetch_add(n, Relaxed);
+    }
+
+    /// Records `bytes` of fully coalesced streaming traffic.
+    #[inline]
+    pub fn add_stream_bytes(&self, bytes: u64) {
+        self.stream_bytes.fetch_add(bytes, Relaxed);
+    }
+
+    /// Records one CAS, with success flag.
+    #[inline]
+    pub fn add_cas(&self, success: bool) {
+        self.cas_ops.fetch_add(1, Relaxed);
+        if !success {
+            self.cas_failed.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Records one warm (L2-resident) non-CAS global atomic.
+    #[inline]
+    pub fn add_atomic(&self) {
+        self.atomic_ops.fetch_add(1, Relaxed);
+    }
+
+    /// Records one cold non-CAS global atomic.
+    #[inline]
+    pub fn add_cold_atomic(&self) {
+        self.cold_atomics.fetch_add(1, Relaxed);
+    }
+
+    /// Records `n` dependent round-trips for the issuing group.
+    #[inline]
+    pub fn add_steps(&self, n: u64) {
+        self.group_steps.fetch_add(n, Relaxed);
+    }
+
+    /// Records that a group ran to completion.
+    #[inline]
+    pub fn add_group(&self) {
+        self.groups.fetch_add(1, Relaxed);
+    }
+
+    /// Immutable snapshot for the timing model.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            transactions: self.transactions.load(Relaxed),
+            stream_bytes: self.stream_bytes.load(Relaxed),
+            cas_ops: self.cas_ops.load(Relaxed),
+            cas_failed: self.cas_failed.load(Relaxed),
+            atomic_ops: self.atomic_ops.load(Relaxed),
+            cold_atomics: self.cold_atomics.load(Relaxed),
+            group_steps: self.group_steps.load(Relaxed),
+            groups: self.groups.load(Relaxed),
+        }
+    }
+}
+
+/// Frozen counter values after a launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Irregular 32-byte transactions.
+    pub transactions: u64,
+    /// Coalesced streaming bytes.
+    pub stream_bytes: u64,
+    /// CAS operations issued.
+    pub cas_ops: u64,
+    /// CAS operations that lost their race.
+    pub cas_failed: u64,
+    /// Warm non-CAS global atomics.
+    pub atomic_ops: u64,
+    /// Cold non-CAS global atomics.
+    pub cold_atomics: u64,
+    /// Dependent round-trips summed over groups.
+    pub group_steps: u64,
+    /// Groups executed.
+    pub groups: u64,
+}
+
+impl CounterSnapshot {
+    /// Total bytes attributable to irregular transactions
+    /// (`transactions × 32`).
+    #[must_use]
+    pub fn random_bytes(&self, transaction_bytes: u64) -> u64 {
+        self.transactions * transaction_bytes
+    }
+
+    /// Mean dependent steps per group — the simulated probe-chain length.
+    #[must_use]
+    pub fn steps_per_group(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.group_steps as f64 / self.groups as f64
+        }
+    }
+
+    /// Element-wise sum, used when a logical operation spans several
+    /// launches (e.g. the m passes of the binary multisplit).
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            transactions: self.transactions + other.transactions,
+            stream_bytes: self.stream_bytes + other.stream_bytes,
+            cas_ops: self.cas_ops + other.cas_ops,
+            cas_failed: self.cas_failed + other.cas_failed,
+            atomic_ops: self.atomic_ops + other.atomic_ops,
+            cold_atomics: self.cold_atomics + other.cold_atomics,
+            group_steps: self.group_steps + other.group_steps,
+            groups: self.groups + other.groups,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let c = KernelCounters::new();
+        c.add_transactions(3);
+        c.add_stream_bytes(128);
+        c.add_cas(true);
+        c.add_cas(false);
+        c.add_atomic();
+        c.add_steps(5);
+        c.add_group();
+        let s = c.snapshot();
+        assert_eq!(s.transactions, 3);
+        assert_eq!(s.stream_bytes, 128);
+        assert_eq!(s.cas_ops, 2);
+        assert_eq!(s.cas_failed, 1);
+        assert_eq!(s.atomic_ops, 1);
+        assert_eq!(s.group_steps, 5);
+        assert_eq!(s.groups, 1);
+        assert_eq!(s.random_bytes(32), 96);
+    }
+
+    #[test]
+    fn merged_adds_componentwise() {
+        let a = CounterSnapshot {
+            transactions: 1,
+            stream_bytes: 2,
+            cas_ops: 3,
+            cas_failed: 1,
+            atomic_ops: 4,
+            cold_atomics: 2,
+            group_steps: 5,
+            groups: 6,
+        };
+        let b = a;
+        let m = a.merged(b);
+        assert_eq!(m.transactions, 2);
+        assert_eq!(m.groups, 12);
+    }
+
+    #[test]
+    fn steps_per_group_handles_zero_groups() {
+        let s = CounterSnapshot::default();
+        assert_eq!(s.steps_per_group(), 0.0);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = std::sync::Arc::new(KernelCounters::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = std::sync::Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.add_transactions(1);
+                    c.add_steps(2);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.transactions, 4000);
+        assert_eq!(s.group_steps, 8000);
+    }
+}

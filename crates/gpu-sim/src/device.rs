@@ -1,0 +1,292 @@
+//! The simulated device: memory + kernel launcher + timing.
+
+use crate::counters::{CounterSnapshot, KernelCounters};
+use crate::mem::{DevSlice, DeviceMemory, OutOfMemory};
+use crate::simt::{GroupCtx, GroupSize};
+use crate::spec::DeviceSpec;
+use crate::timing::{TimeBreakdown, TimingModel};
+use rayon::prelude::*;
+
+/// Options for a kernel launch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaunchOptions {
+    /// Bytes of the kernel's hot working set **at modeled scale** — used
+    /// for the >2 GB CAS degradation artifact. When experiments run
+    /// functionally scaled down, pass the full-scale footprint here.
+    /// `None` means "use the actual footprint is unknown; no degradation".
+    pub modeled_working_set: Option<u64>,
+    /// Run groups sequentially on the calling thread (deterministic order
+    /// for tests; production launches use the Rayon pool).
+    pub sequential: bool,
+}
+
+impl LaunchOptions {
+    /// Sets the modeled working set.
+    #[must_use]
+    pub fn with_working_set(mut self, bytes: u64) -> Self {
+        self.modeled_working_set = Some(bytes);
+        self
+    }
+
+    /// Forces deterministic sequential execution.
+    #[must_use]
+    pub fn sequential(mut self) -> Self {
+        self.sequential = true;
+        self
+    }
+}
+
+/// Result of a kernel launch: measured counters and modeled time.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Access-pattern counters from the functional run.
+    pub counters: CounterSnapshot,
+    /// Per-term time breakdown from the analytical model.
+    pub breakdown: TimeBreakdown,
+    /// Simulated seconds (breakdown total).
+    pub sim_time: f64,
+    /// Group size of the launch.
+    pub group_size: GroupSize,
+    /// Number of groups launched.
+    pub num_groups: u64,
+}
+
+impl KernelStats {
+    /// Simulated operation rate, given the number of logical operations
+    /// the launch performed.
+    #[must_use]
+    pub fn ops_per_sec(&self, ops: u64) -> f64 {
+        ops as f64 / self.sim_time
+    }
+
+    /// Merges stats of a multi-launch logical operation: counters add,
+    /// simulated times add, the name and group size of `self` win.
+    #[must_use]
+    pub fn merged(mut self, other: &KernelStats) -> KernelStats {
+        self.counters = self.counters.merged(other.counters);
+        self.sim_time += other.sim_time;
+        self.num_groups += other.num_groups;
+        self
+    }
+}
+
+/// One simulated CUDA device: global memory, a calibrated spec and a
+/// kernel launcher.
+#[derive(Debug)]
+pub struct Device {
+    /// Device identifier within a node (0-based).
+    pub id: usize,
+    mem: DeviceMemory,
+    timing: TimingModel,
+}
+
+impl Device {
+    /// Creates device `id` with the full VRAM of `spec` available.
+    #[must_use]
+    pub fn new(id: usize, spec: DeviceSpec) -> Self {
+        let words = (spec.vram_bytes / 8) as usize;
+        Self {
+            id,
+            mem: DeviceMemory::new(words),
+            timing: TimingModel::new(spec),
+        }
+    }
+
+    /// Creates a small test device with `words` words of memory.
+    #[must_use]
+    pub fn with_words(id: usize, words: usize) -> Self {
+        Self {
+            id,
+            mem: DeviceMemory::new(words),
+            timing: TimingModel::new(DeviceSpec::test_small((words as u64) * 8)),
+        }
+    }
+
+    /// The device's memory (host-side, uncounted access).
+    #[must_use]
+    pub fn mem(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// The device specification.
+    #[must_use]
+    pub fn spec(&self) -> &DeviceSpec {
+        self.timing.spec()
+    }
+
+    /// The timing model.
+    #[must_use]
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Allocates `len` words of global memory.
+    ///
+    /// # Errors
+    /// Returns [`OutOfMemory`] when VRAM is exhausted — the capacity limit
+    /// whose removal motivates the paper's multi-GPU scheme.
+    pub fn alloc(&self, len: usize) -> Result<DevSlice, OutOfMemory> {
+        self.mem.alloc(len)
+    }
+
+    /// Allocates transient scratch (reclaimed when the guard drops) —
+    /// staging buffers for host-API bulk operations.
+    ///
+    /// # Errors
+    /// Returns [`OutOfMemory`] when scratch would collide with persistent
+    /// allocations.
+    pub fn alloc_scratch(&self, len: usize) -> Result<crate::mem::ScratchGuard<'_>, OutOfMemory> {
+        self.mem.alloc_scratch(len)
+    }
+
+    /// Launches `num_groups` coalesced groups of size `group_size` running
+    /// `kernel`, returning measured counters and modeled time.
+    ///
+    /// Groups execute concurrently on the Rayon pool (or sequentially with
+    /// [`LaunchOptions::sequential`]); every inter-group interleaving is a
+    /// legal schedule of the corresponding CUDA grid.
+    pub fn launch<F>(
+        &self,
+        name: &str,
+        num_groups: usize,
+        group_size: GroupSize,
+        opts: LaunchOptions,
+        kernel: F,
+    ) -> KernelStats
+    where
+        F: Fn(&GroupCtx) + Sync,
+    {
+        let counters = KernelCounters::new();
+        if opts.sequential {
+            for gid in 0..num_groups {
+                let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size);
+                kernel(&ctx);
+                counters.add_group();
+            }
+        } else {
+            // Chunk groups so per-task overhead stays negligible even for
+            // millions of tiny groups (perf-book: amortize par_iter tasks).
+            const CHUNK: usize = 1024;
+            (0..num_groups)
+                .into_par_iter()
+                .with_min_len(CHUNK)
+                .for_each(|gid| {
+                    let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size);
+                    kernel(&ctx);
+                    counters.add_group();
+                });
+        }
+        let snapshot = counters.snapshot();
+        let working_set = opts.modeled_working_set.unwrap_or(0);
+        let breakdown =
+            self.timing
+                .kernel_time(snapshot, group_size, num_groups as u64, working_set);
+        KernelStats {
+            name: name.to_owned(),
+            counters: snapshot,
+            breakdown,
+            sim_time: breakdown.total(),
+            group_size,
+            num_groups: num_groups as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn launch_runs_every_group_once() {
+        let dev = Device::with_words(0, 1024);
+        let hits = AtomicU64::new(0);
+        let stats = dev.launch(
+            "count",
+            500,
+            GroupSize::new(4),
+            LaunchOptions::default(),
+            |_ctx| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+        assert_eq!(stats.counters.groups, 500);
+        assert!(stats.sim_time > 0.0);
+    }
+
+    #[test]
+    fn sequential_launch_is_ordered() {
+        let dev = Device::with_words(0, 1024);
+        let order = std::sync::Mutex::new(Vec::new());
+        dev.launch(
+            "seq",
+            16,
+            GroupSize::new(1),
+            LaunchOptions::default().sequential(),
+            |ctx| order.lock().unwrap().push(ctx.group_id()),
+        );
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_groups_share_memory_atomically() {
+        let dev = Device::with_words(0, 64);
+        let counter = dev.alloc(1).unwrap();
+        dev.launch(
+            "inc",
+            10_000,
+            GroupSize::new(1),
+            LaunchOptions::default(),
+            |ctx| {
+                let _ = ctx.atomic_add(counter, 0, 1);
+            },
+        );
+        assert_eq!(dev.mem().d2h(counter)[0], 10_000);
+    }
+
+    #[test]
+    fn stats_expose_rates_and_merge() {
+        let dev = Device::with_words(0, 1024);
+        let buf = dev.alloc(512).unwrap();
+        let s1 = dev.launch(
+            "a",
+            128,
+            GroupSize::new(4),
+            LaunchOptions::default(),
+            |ctx| {
+                let _ = ctx.read_window(buf, ctx.group_id() * 4);
+            },
+        );
+        let s2 = s1.clone().merged(&s1);
+        assert_eq!(s2.counters.transactions, 2 * s1.counters.transactions);
+        assert!((s2.sim_time - 2.0 * s1.sim_time).abs() < 1e-12);
+        assert!(s1.ops_per_sec(128) > 0.0);
+    }
+
+    #[test]
+    fn working_set_option_changes_cas_bound_time() {
+        let dev = Device::with_words(0, 1024);
+        let slot = dev.alloc(1).unwrap();
+        let run = |ws: u64| {
+            dev.launch(
+                "cas",
+                100_000,
+                GroupSize::new(1),
+                LaunchOptions::default().with_working_set(ws),
+                |ctx| {
+                    // hammer CAS so it binds
+                    for _ in 0..4 {
+                        let _ = ctx.cas(slot, 0, 0, 0);
+                    }
+                },
+            )
+        };
+        let small = run(1 << 20);
+        let large = run(16 << 30);
+        assert!(large.breakdown.cas > small.breakdown.cas * 1.5);
+    }
+}

@@ -1,0 +1,419 @@
+//! Simulated device global memory.
+//!
+//! Global memory is a flat array of [`AtomicU64`] words, mirroring the
+//! 64-bit word granularity the paper's hash map relies on (CUDA atomics
+//! are limited to 64-bit words, §II, so key-value pairs are packed AOS
+//! into one word). Two allocators share the pool:
+//!
+//! * a **bump allocator** growing from the bottom for long-lived
+//!   structures (the hash table, distributed double buffers) — no free,
+//!   like a `cudaMalloc` arena held for the experiment's lifetime;
+//! * a **scratch stack** growing from the top for per-call staging
+//!   buffers (host-API inputs/outputs), released RAII-style via
+//!   [`ScratchGuard`] so repeated bulk operations don't leak VRAM.
+//!
+//! Functional accesses go through [`crate::simt::GroupCtx`] (which
+//! performs transaction accounting); the raw accessors here are for
+//! host-side setup and verification and are *not* counted.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error returned when a device allocation exceeds the remaining VRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Words requested by the failing allocation.
+    pub requested_words: usize,
+    /// Words still available.
+    pub available_words: usize,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} words, {} available",
+            self.requested_words, self.available_words
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// A handle to a contiguous region of device words.
+///
+/// Deliberately does not borrow the memory: kernels receive copies and
+/// resolve them against the device they run on, like raw device pointers
+/// in CUDA (but bounds-checked at access time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevSlice {
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+}
+
+impl DevSlice {
+    /// Number of 64-bit words in the slice.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        (self.len as u64) * 8
+    }
+
+    /// Sub-slice `[start, start+len)`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the slice.
+    #[must_use]
+    pub fn sub(&self, start: usize, len: usize) -> DevSlice {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "sub-slice [{start}, {start}+{len}) out of bounds for slice of {} words",
+            self.len
+        );
+        DevSlice {
+            offset: self.offset + start,
+            len,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct AllocState {
+    /// First free word above the bump region.
+    next_free: usize,
+    /// Live scratch allocations (offsets of the descending stack).
+    scratch_live: Vec<DevSlice>,
+    /// Lowest offset handed to scratch (== pool size when none live).
+    scratch_floor: usize,
+}
+
+/// Global memory of one simulated device.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    words: Box<[AtomicU64]>,
+    state: Mutex<AllocState>,
+}
+
+impl DeviceMemory {
+    /// Allocates a memory pool of `words` 64-bit words, zero-initialised.
+    #[must_use]
+    pub fn new(words: usize) -> Self {
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU64::new(0));
+        Self {
+            words: v.into_boxed_slice(),
+            state: Mutex::new(AllocState {
+                next_free: 0,
+                scratch_live: Vec::new(),
+                scratch_floor: words,
+            }),
+        }
+    }
+
+    /// Total pool size in words.
+    #[must_use]
+    pub fn capacity_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Words not claimed by either allocator.
+    #[must_use]
+    pub fn available_words(&self) -> usize {
+        let s = self.state.lock();
+        s.scratch_floor - s.next_free
+    }
+
+    /// Bump-allocates `len` words for the lifetime of the device.
+    ///
+    /// # Errors
+    /// Returns [`OutOfMemory`] if the pool is exhausted. There is no
+    /// per-allocation free: experiments allocate long-lived structures up
+    /// front, like `cudaMalloc` arenas (use [`DeviceMemory::alloc_scratch`]
+    /// for transient staging buffers, or [`DeviceMemory::reset`]).
+    pub fn alloc(&self, len: usize) -> Result<DevSlice, OutOfMemory> {
+        let mut s = self.state.lock();
+        // align to 32-byte sectors (4 words), like cudaMalloc: keeps the
+        // transaction accounting of aligned windows exact
+        let offset = s.next_free.div_ceil(4) * 4;
+        let end = offset.checked_add(len).filter(|&e| e <= s.scratch_floor);
+        match end {
+            Some(end) => {
+                s.next_free = end;
+                Ok(DevSlice { offset, len })
+            }
+            None => Err(OutOfMemory {
+                requested_words: len,
+                available_words: s.scratch_floor.saturating_sub(s.next_free),
+            }),
+        }
+    }
+
+    /// Allocates `len` words from the scratch stack at the top of the
+    /// pool; the region is reclaimed when the returned guard drops.
+    ///
+    /// # Errors
+    /// Returns [`OutOfMemory`] when scratch would collide with the bump
+    /// region.
+    pub fn alloc_scratch(&self, len: usize) -> Result<ScratchGuard<'_>, OutOfMemory> {
+        let mut s = self.state.lock();
+        let offset = s
+            .scratch_floor
+            .checked_sub(len)
+            .map(|o| o / 4 * 4) // sector alignment, cf. alloc
+            .filter(|&o| o >= s.next_free)
+            .ok_or(OutOfMemory {
+                requested_words: len,
+                available_words: s.scratch_floor - s.next_free,
+            })?;
+        let slice = DevSlice { offset, len };
+        s.scratch_live.push(slice);
+        s.scratch_floor = offset;
+        Ok(ScratchGuard { mem: self, slice })
+    }
+
+    fn release_scratch(&self, slice: DevSlice) {
+        let mut s = self.state.lock();
+        let pos = s
+            .scratch_live
+            .iter()
+            .position(|l| *l == slice)
+            .expect("scratch guard released twice");
+        s.scratch_live.swap_remove(pos);
+        s.scratch_floor = s
+            .scratch_live
+            .iter()
+            .map(|l| l.offset)
+            .min()
+            .unwrap_or(self.words.len());
+    }
+
+    /// Resets both allocators, invalidating all outstanding slices
+    /// (contents are *not* cleared; callers fill what they allocate).
+    pub fn reset(&self) {
+        let mut s = self.state.lock();
+        s.next_free = 0;
+        s.scratch_live.clear();
+        s.scratch_floor = self.words.len();
+    }
+
+    /// Direct word access (host-side / uncounted).
+    #[inline]
+    pub(crate) fn word(&self, slice: DevSlice, idx: usize) -> &AtomicU64 {
+        debug_assert!(
+            idx < slice.len,
+            "index {idx} out of slice len {}",
+            slice.len
+        );
+        &self.words[slice.offset + idx]
+    }
+
+    /// Host → device copy (uncounted; transfer time is modeled by the
+    /// `interconnect` crate, not here).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != slice.len()`.
+    pub fn h2d(&self, slice: DevSlice, data: &[u64]) {
+        assert_eq!(data.len(), slice.len, "h2d length mismatch");
+        for (i, &w) in data.iter().enumerate() {
+            self.words[slice.offset + i].store(w, Ordering::Relaxed);
+        }
+    }
+
+    /// Device → host copy (uncounted).
+    #[must_use]
+    pub fn d2h(&self, slice: DevSlice) -> Vec<u64> {
+        (0..slice.len)
+            .map(|i| self.words[slice.offset + i].load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Device → device copy within one device (uncounted raw move; kernels
+    /// bill their own traffic, inter-device transfers bill via the
+    /// interconnect model).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn d2d(&self, src: DevSlice, dst: DevSlice) {
+        assert_eq!(src.len, dst.len, "d2d length mismatch");
+        for i in 0..src.len {
+            let w = self.words[src.offset + i].load(Ordering::Relaxed);
+            self.words[dst.offset + i].store(w, Ordering::Relaxed);
+        }
+    }
+
+    /// Fills a slice with a constant word (e.g. the EMPTY sentinel).
+    pub fn fill(&self, slice: DevSlice, value: u64) {
+        for i in 0..slice.len {
+            self.words[slice.offset + i].store(value, Ordering::Relaxed);
+        }
+    }
+}
+
+/// RAII guard for a scratch allocation (see
+/// [`DeviceMemory::alloc_scratch`]).
+#[derive(Debug)]
+pub struct ScratchGuard<'m> {
+    mem: &'m DeviceMemory,
+    slice: DevSlice,
+}
+
+impl ScratchGuard<'_> {
+    /// The allocated region (copy the handle into kernels freely; it must
+    /// simply not outlive the guard).
+    #[must_use]
+    pub fn slice(&self) -> DevSlice {
+        self.slice
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        self.mem.release_scratch(self.slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_round_trip() {
+        let mem = DeviceMemory::new(1024);
+        let a = mem.alloc(100).unwrap();
+        let b = mem.alloc(200).unwrap();
+        assert_eq!(a.len(), 100);
+        assert_eq!(b.len(), 200);
+        assert_eq!(mem.available_words(), 1024 - 300);
+
+        let data: Vec<u64> = (0..100).collect();
+        mem.h2d(a, &data);
+        assert_eq!(mem.d2h(a), data);
+        // b unaffected
+        assert!(mem.d2h(b).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn alloc_exhaustion_reports_oom() {
+        let mem = DeviceMemory::new(16);
+        let _ = mem.alloc(10).unwrap();
+        let err = mem.alloc(10).unwrap_err();
+        assert_eq!(err.requested_words, 10);
+        assert_eq!(err.available_words, 6);
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn reset_reclaims_pool() {
+        let mem = DeviceMemory::new(8);
+        let _ = mem.alloc(8).unwrap();
+        assert!(mem.alloc(1).is_err());
+        mem.reset();
+        assert!(mem.alloc(8).is_ok());
+    }
+
+    #[test]
+    fn scratch_reclaims_on_drop() {
+        let mem = DeviceMemory::new(100);
+        let _persistent = mem.alloc(40).unwrap();
+        {
+            let s = mem.alloc_scratch(52).unwrap();
+            assert_eq!(s.slice().len(), 52);
+            assert_eq!(mem.available_words(), 8);
+            assert!(mem.alloc_scratch(20).is_err());
+        }
+        assert_eq!(mem.available_words(), 60);
+        let again = mem.alloc_scratch(60).unwrap();
+        assert_eq!(again.slice().len(), 60);
+    }
+
+    #[test]
+    fn scratch_and_bump_collide_safely() {
+        let mem = DeviceMemory::new(64);
+        let _s = mem.alloc_scratch(32).unwrap();
+        assert!(mem.alloc(40).is_err());
+        assert!(mem.alloc(32).is_ok());
+    }
+
+    #[test]
+    fn out_of_order_scratch_release() {
+        let mem = DeviceMemory::new(100);
+        let a = mem.alloc_scratch(12).unwrap();
+        let b = mem.alloc_scratch(12).unwrap();
+        drop(a); // floor cannot rise while b is live
+        assert_eq!(mem.available_words(), 76);
+        drop(b);
+        assert_eq!(mem.available_words(), 100);
+    }
+
+    #[test]
+    fn fill_sets_every_word() {
+        let mem = DeviceMemory::new(32);
+        let s = mem.alloc(32).unwrap();
+        mem.fill(s, u64::MAX);
+        assert!(mem.d2h(s).iter().all(|&w| w == u64::MAX));
+    }
+
+    #[test]
+    fn d2d_copies_between_regions() {
+        let mem = DeviceMemory::new(32);
+        let a = mem.alloc(8).unwrap();
+        let b = mem.alloc(8).unwrap();
+        mem.h2d(a, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        mem.d2d(a, b);
+        assert_eq!(mem.d2h(b), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn sub_slice_windows() {
+        let mem = DeviceMemory::new(64);
+        let s = mem.alloc(64).unwrap();
+        let data: Vec<u64> = (0..64).collect();
+        mem.h2d(s, &data);
+        let w = s.sub(16, 8);
+        assert_eq!(mem.d2h(w), (16..24).collect::<Vec<u64>>());
+        assert_eq!(w.bytes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sub_slice_bounds_checked() {
+        let mem = DeviceMemory::new(8);
+        let s = mem.alloc(8).unwrap();
+        let _ = s.sub(4, 8);
+    }
+
+    #[test]
+    fn concurrent_alloc_never_overlaps() {
+        let mem = std::sync::Arc::new(DeviceMemory::new(4096));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let mem = std::sync::Arc::clone(&mem);
+            handles.push(std::thread::spawn(move || {
+                let mut slices = Vec::new();
+                for _ in 0..16 {
+                    slices.push(mem.alloc(32).unwrap());
+                }
+                slices
+            }));
+        }
+        let mut all: Vec<DevSlice> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_by_key(|s| s.offset);
+        for pair in all.windows(2) {
+            assert!(pair[0].offset + pair[0].len <= pair[1].offset);
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Coalesced-group execution contexts — the simulated SIMT layer.
+//!
+//! The paper (§IV-A) expresses its kernels against *coalesced groups*
+//! (CGs): `|g| ∈ {1, 2, 4, 8, 16, 32}` consecutive threads that execute in
+//! lock-step (guaranteed on pre-Volta hardware, enforced with explicit
+//! synchronization on Volta+). Because a CG is lock-step by definition,
+//! the simulator executes each group as **one** unit of work whose
+//! per-lane state lives in small stack arrays; the warp collectives
+//! (`ballot`, `any`, leader election via find-first-set) become plain
+//! bit-mask operations over those arrays. This is exactly the
+//! warp-synchronous semantics the algorithm assumes, while different
+//! *groups* race against each other for real on a Rayon thread pool.
+
+use crate::counters::KernelCounters;
+use crate::mem::{DevSlice, DeviceMemory};
+use std::sync::atomic::Ordering;
+
+/// A validated coalesced-group size: one of `{1, 2, 4, 8, 16, 32}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupSize(u32);
+
+impl GroupSize {
+    /// All legal group sizes, smallest first (the x-axis of Figs. 7–8).
+    pub const ALL: [GroupSize; 6] = [
+        GroupSize(1),
+        GroupSize(2),
+        GroupSize(4),
+        GroupSize(8),
+        GroupSize(16),
+        GroupSize(32),
+    ];
+
+    /// A full warp (`|g| = 32`).
+    pub const WARP: GroupSize = GroupSize(32);
+
+    /// Creates a group size.
+    ///
+    /// # Panics
+    /// Panics unless `n ∈ {1, 2, 4, 8, 16, 32}`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(
+            matches!(n, 1 | 2 | 4 | 8 | 16 | 32),
+            "coalesced group size must divide a warp: got {n}"
+        );
+        Self(n)
+    }
+
+    /// The raw size.
+    #[inline]
+    #[must_use]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Number of sub-group probing windows per warp-sized span
+    /// (`32 / |g|`, the inner-loop trip count of Fig. 3).
+    #[inline]
+    #[must_use]
+    pub fn windows_per_warp(self) -> u32 {
+        32 / self.0
+    }
+}
+
+impl std::fmt::Display for GroupSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A window of up to 32 words read by one coalesced group.
+///
+/// `vals[r]` is the word loaded by lane `r`. Mirrors the register copies
+/// `d_t` in the Fig. 3 pseudocode.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    vals: [u64; 32],
+    size: u32,
+}
+
+impl Window {
+    /// Word held by lane `rank`.
+    #[inline]
+    #[must_use]
+    pub fn lane(&self, rank: u32) -> u64 {
+        debug_assert!(rank < self.size);
+        self.vals[rank as usize]
+    }
+
+    /// Updates the register copy of one lane (after a reload).
+    #[inline]
+    pub fn set_lane(&mut self, rank: u32, val: u64) {
+        debug_assert!(rank < self.size);
+        self.vals[rank as usize] = val;
+    }
+
+    /// Number of lanes.
+    #[inline]
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Iterator over `(rank, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        (0..self.size).map(move |r| (r, self.vals[r as usize]))
+    }
+}
+
+/// Execution context of one coalesced group inside a kernel launch.
+///
+/// All device-memory accessors perform transaction accounting; collectives
+/// are pure bit operations (their hardware cost is negligible next to the
+/// global-memory traffic, as in the paper).
+pub struct GroupCtx<'a> {
+    mem: &'a DeviceMemory,
+    counters: &'a KernelCounters,
+    group_id: usize,
+    size: GroupSize,
+}
+
+impl<'a> GroupCtx<'a> {
+    pub(crate) fn new(
+        mem: &'a DeviceMemory,
+        counters: &'a KernelCounters,
+        group_id: usize,
+        size: GroupSize,
+    ) -> Self {
+        Self {
+            mem,
+            counters,
+            group_id,
+            size,
+        }
+    }
+
+    /// Identifier of this group within the launch (like
+    /// `blockIdx * groupsPerBlock + groupIdx`).
+    #[inline]
+    #[must_use]
+    pub fn group_id(&self) -> usize {
+        self.group_id
+    }
+
+    /// Size of the coalesced group.
+    #[inline]
+    #[must_use]
+    pub fn size(&self) -> GroupSize {
+        self.size
+    }
+
+    // ---- collectives ----------------------------------------------------
+
+    /// `g.ballot(pred)`: evaluates `pred(rank)` on every lane and returns
+    /// the packed `|g|`-bit mask (implicitly synchronizing, as the paper's
+    /// CG member function does).
+    #[inline]
+    #[must_use]
+    pub fn ballot(&self, mut pred: impl FnMut(u32) -> bool) -> u32 {
+        let mut mask = 0u32;
+        for rank in 0..self.size.get() {
+            if pred(rank) {
+                mask |= 1 << rank;
+            }
+        }
+        mask
+    }
+
+    /// `g.any(pred)`: true if the predicate holds on any lane.
+    #[inline]
+    #[must_use]
+    pub fn any(&self, pred: impl FnMut(u32) -> bool) -> bool {
+        self.ballot(pred) != 0
+    }
+
+    /// `g.all(pred)`: true if the predicate holds on every lane.
+    #[inline]
+    #[must_use]
+    pub fn all(&self, mut pred: impl FnMut(u32) -> bool) -> bool {
+        (0..self.size.get()).all(|r| pred(r))
+    }
+
+    /// `__ffs(mask) - 1`: the lowest-ranked active lane — the *leader* in
+    /// the paper's probing scheme ("leftmost position in the CG").
+    #[inline]
+    #[must_use]
+    pub fn ffs(mask: u32) -> Option<u32> {
+        if mask == 0 {
+            None
+        } else {
+            Some(mask.trailing_zeros())
+        }
+    }
+
+    // ---- counted memory accesses ----------------------------------------
+
+    /// Coalesced group load of `|g|` consecutive slots starting at
+    /// `base mod slice.len()` (each lane `r` loads slot
+    /// `(base + r) mod len`, line 7–8 of Fig. 3).
+    ///
+    /// Counts the exact number of 32-byte transactions the access pattern
+    /// touches — including the extra transaction when the window wraps
+    /// around the end of the table — and one dependent round-trip.
+    #[must_use]
+    pub fn read_window(&self, slice: DevSlice, base: usize) -> Window {
+        let len = slice.len();
+        debug_assert!(len > 0);
+        let g = self.size.get() as usize;
+        let start = base % len;
+        let mut vals = [0u64; 32];
+        for (r, val) in vals.iter_mut().enumerate().take(g) {
+            let idx = (start + r) % len;
+            *val = self.mem.word(slice, idx).load(Ordering::Relaxed);
+        }
+        self.counters
+            .add_transactions(window_transactions(slice, start, g));
+        self.counters.add_steps(1);
+        Window {
+            vals,
+            size: self.size.get(),
+        }
+    }
+
+    /// Reloads a single lane's slot after a failed CAS (line 20 of
+    /// Fig. 3). The hardware would reload the full window in one
+    /// transaction; we count one transaction and one step.
+    #[must_use]
+    pub fn reload_window(&self, slice: DevSlice, base: usize) -> Window {
+        // Semantically identical to read_window but kept separate so the
+        // counters reflect that a reload is a fresh round trip.
+        self.read_window(slice, base)
+    }
+
+    /// Uncoalesced single-word load (one full 32-byte transaction even
+    /// though only 8 bytes are useful — this is what makes the `|g| = 1`
+    /// naïve scheme and the cuckoo baselines bandwidth-hungry).
+    #[must_use]
+    pub fn read(&self, slice: DevSlice, idx: usize) -> u64 {
+        let v = self
+            .mem
+            .word(slice, idx % slice.len())
+            .load(Ordering::Relaxed);
+        self.counters.add_transactions(1);
+        self.counters.add_steps(1);
+        v
+    }
+
+    /// Uncoalesced single-word store.
+    pub fn write(&self, slice: DevSlice, idx: usize, val: u64) {
+        self.mem
+            .word(slice, idx % slice.len())
+            .store(val, Ordering::Relaxed);
+        self.counters.add_transactions(1);
+    }
+
+    /// Fully coalesced streaming load (bulk inputs: keys to insert or
+    /// query). Counts 8 bytes at streaming bandwidth, no dependent step —
+    /// these accesses are prefetch-friendly.
+    #[must_use]
+    pub fn read_stream(&self, slice: DevSlice, idx: usize) -> u64 {
+        let v = self.mem.word(slice, idx).load(Ordering::Relaxed);
+        self.counters.add_stream_bytes(8);
+        v
+    }
+
+    /// Fully coalesced streaming store (bulk outputs: query results).
+    pub fn write_stream(&self, slice: DevSlice, idx: usize, val: u64) {
+        self.mem.word(slice, idx).store(val, Ordering::Relaxed);
+        self.counters.add_stream_bytes(8);
+    }
+
+    /// 64-bit `atomicCAS` on a table slot (line 13 of Fig. 3).
+    ///
+    /// Returns `Ok(())` on success and `Err(actual)` with the word that was
+    /// found on failure, mirroring `compare_exchange`. The packed key-value
+    /// word is self-contained — no other memory is published through it —
+    /// so `Relaxed` ordering suffices (the AOS layout exists precisely to
+    /// avoid cross-word publication; cf. the paper's SOA discussion).
+    ///
+    /// Billed as a *warm* atomic: in every WarpDrive kernel the CAS
+    /// immediately follows the coalesced window load of the same sector,
+    /// so the line is L2-resident and the RMW executes near the cache —
+    /// no extra DRAM transaction.
+    pub fn cas(&self, slice: DevSlice, idx: usize, current: u64, new: u64) -> Result<(), u64> {
+        let r = self.mem.word(slice, idx % slice.len()).compare_exchange(
+            current,
+            new,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.counters.add_cas(r.is_ok());
+        self.counters.add_steps(1);
+        r.map(|_| ()).map_err(|actual| actual)
+    }
+
+    /// 64-bit `atomicExch` to a *cold* random address (the cuckoo
+    /// baseline's eviction step): the line is not L2-resident, so the RMW
+    /// pays a full sector fetch plus the cold-atomic round-trip.
+    pub fn exchange(&self, slice: DevSlice, idx: usize, new: u64) -> u64 {
+        let old = self
+            .mem
+            .word(slice, idx % slice.len())
+            .swap(new, Ordering::Relaxed);
+        self.counters.add_cold_atomic();
+        self.counters.add_transactions(1); // sector fetch
+        self.counters.add_steps(1);
+        old
+    }
+
+    /// 64-bit `atomicAdd` returning the previous value (multisplit
+    /// counters, warp-aggregated compaction).
+    pub fn atomic_add(&self, slice: DevSlice, idx: usize, delta: u64) -> u64 {
+        let old = self
+            .mem
+            .word(slice, idx % slice.len())
+            .fetch_add(delta, Ordering::Relaxed);
+        self.counters.add_atomic();
+        self.counters.add_steps(1);
+        old
+    }
+
+    /// 64-bit `atomicOr` returning the previous value (ticket-board bit
+    /// claims in the Stadium-hash baseline).
+    pub fn atomic_or(&self, slice: DevSlice, idx: usize, bits: u64) -> u64 {
+        let old = self
+            .mem
+            .word(slice, idx % slice.len())
+            .fetch_or(bits, Ordering::Relaxed);
+        self.counters.add_atomic();
+        self.counters.add_steps(1);
+        old
+    }
+
+    /// Bills `n` irregular 32-byte transactions without touching memory —
+    /// a modeling hook for composite kernels whose functional work happens
+    /// elsewhere (e.g. the radix-scatter pass of the sort-based
+    /// multisplit, whose permutation is computed host-side but whose
+    /// traffic must still be charged).
+    pub fn bill_transactions(&self, n: u64) {
+        self.counters.add_transactions(n);
+        self.counters.add_steps(1);
+    }
+
+    /// Bills `bytes` of coalesced streaming traffic without touching
+    /// memory (modeling hook, cf. [`GroupCtx::bill_transactions`]).
+    pub fn bill_stream_bytes(&self, bytes: u64) {
+        self.counters.add_stream_bytes(bytes);
+    }
+
+    /// 64-bit `atomicMax` (used by some baselines' stash bookkeeping).
+    pub fn atomic_max(&self, slice: DevSlice, idx: usize, val: u64) -> u64 {
+        let old = self
+            .mem
+            .word(slice, idx % slice.len())
+            .fetch_max(val, Ordering::Relaxed);
+        self.counters.add_atomic();
+        self.counters.add_steps(1);
+        old
+    }
+}
+
+/// Number of 32-byte transactions touched by a `len`-slot window starting
+/// at `start` (word indices relative to the slice), accounting for
+/// wraparound at the slice end and for the slice's absolute alignment.
+fn window_transactions(slice: DevSlice, start: usize, len: usize) -> u64 {
+    const WORDS_PER_TXN: usize = 4; // 32 bytes / 8-byte words
+    let table_len = slice.len();
+    let seg_of = |abs_word: usize| abs_word / WORDS_PER_TXN;
+    if start + len <= table_len {
+        let first = seg_of(slice.offset + start);
+        let last = seg_of(slice.offset + start + len - 1);
+        (last - first + 1) as u64
+    } else {
+        // wrapped: [start, table_len) and [0, start+len-table_len)
+        let head = table_len - start;
+        let tail = len - head;
+        window_transactions(slice, start, head) + window_transactions(slice, 0, tail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::KernelCounters;
+    use crate::mem::DeviceMemory;
+
+    fn ctx<'a>(mem: &'a DeviceMemory, counters: &'a KernelCounters, g: u32) -> GroupCtx<'a> {
+        GroupCtx::new(mem, counters, 0, GroupSize::new(g))
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn invalid_group_size_rejected() {
+        let _ = GroupSize::new(3);
+    }
+
+    #[test]
+    fn windows_per_warp_is_inner_trip_count() {
+        assert_eq!(GroupSize::new(1).windows_per_warp(), 32);
+        assert_eq!(GroupSize::new(8).windows_per_warp(), 4);
+        assert_eq!(GroupSize::WARP.windows_per_warp(), 1);
+    }
+
+    #[test]
+    fn ballot_packs_lane_predicates() {
+        let mem = DeviceMemory::new(64);
+        let c = KernelCounters::new();
+        let g = ctx(&mem, &c, 8);
+        let mask = g.ballot(|r| r % 2 == 0);
+        assert_eq!(mask, 0b0101_0101);
+        assert!(g.any(|r| r == 7));
+        assert!(!g.any(|r| r > 7));
+        assert!(g.all(|r| r < 8));
+    }
+
+    #[test]
+    fn ffs_finds_lowest_rank() {
+        assert_eq!(GroupCtx::ffs(0), None);
+        assert_eq!(GroupCtx::ffs(0b1000), Some(3));
+        assert_eq!(GroupCtx::ffs(0b1001), Some(0));
+    }
+
+    #[test]
+    fn read_window_wraps_around_table() {
+        let mem = DeviceMemory::new(16);
+        let c = KernelCounters::new();
+        let s = mem.alloc(10).unwrap();
+        let data: Vec<u64> = (100..110).collect();
+        mem.h2d(s, &data);
+        let g = ctx(&mem, &c, 4);
+        let w = g.read_window(s, 8); // slots 8, 9, 0, 1
+        assert_eq!(w.lane(0), 108);
+        assert_eq!(w.lane(1), 109);
+        assert_eq!(w.lane(2), 100);
+        assert_eq!(w.lane(3), 101);
+    }
+
+    #[test]
+    fn window_transaction_counting_aligned() {
+        let mem = DeviceMemory::new(64);
+        let c = KernelCounters::new();
+        let s = mem.alloc(64).unwrap(); // offset 0, aligned
+        let g8 = ctx(&mem, &c, 8);
+        let _ = g8.read_window(s, 0); // words 0..8 → segments 0,1 → 2 txns
+        assert_eq!(c.snapshot().transactions, 2);
+        let _ = g8.read_window(s, 2); // words 2..10 → segments 0,1,2 → 3 txns
+        assert_eq!(c.snapshot().transactions, 5);
+    }
+
+    #[test]
+    fn window_transaction_counting_wrapped() {
+        let mem = DeviceMemory::new(64);
+        let c = KernelCounters::new();
+        let s = mem.alloc(16).unwrap();
+        let g4 = ctx(&mem, &c, 4);
+        let _ = g4.read_window(s, 14); // 14,15 + 0,1 → 2 segments
+        assert_eq!(c.snapshot().transactions, 2);
+    }
+
+    #[test]
+    fn cas_success_and_failure_paths() {
+        let mem = DeviceMemory::new(8);
+        let c = KernelCounters::new();
+        let s = mem.alloc(4).unwrap();
+        let g = ctx(&mem, &c, 1);
+        assert!(g.cas(s, 2, 0, 42).is_ok());
+        assert_eq!(g.cas(s, 2, 0, 43), Err(42));
+        let snap = c.snapshot();
+        assert_eq!(snap.cas_ops, 2);
+        assert_eq!(snap.cas_failed, 1);
+        assert_eq!(mem.d2h(s)[2], 42);
+    }
+
+    #[test]
+    fn atomic_add_returns_previous() {
+        let mem = DeviceMemory::new(4);
+        let c = KernelCounters::new();
+        let s = mem.alloc(1).unwrap();
+        let g = ctx(&mem, &c, 1);
+        assert_eq!(g.atomic_add(s, 0, 5), 0);
+        assert_eq!(g.atomic_add(s, 0, 7), 5);
+        assert_eq!(mem.d2h(s)[0], 12);
+        assert_eq!(c.snapshot().atomic_ops, 2);
+    }
+
+    #[test]
+    fn stream_accesses_count_bytes_not_transactions() {
+        let mem = DeviceMemory::new(8);
+        let c = KernelCounters::new();
+        let s = mem.alloc(8).unwrap();
+        let g = ctx(&mem, &c, 4);
+        let _ = g.read_stream(s, 0);
+        g.write_stream(s, 1, 9);
+        let snap = c.snapshot();
+        assert_eq!(snap.stream_bytes, 16);
+        assert_eq!(snap.transactions, 0);
+        assert_eq!(snap.group_steps, 0);
+    }
+
+    #[test]
+    fn exchange_swaps_and_counts() {
+        let mem = DeviceMemory::new(4);
+        let c = KernelCounters::new();
+        let s = mem.alloc(1).unwrap();
+        mem.h2d(s, &[11]);
+        let g = ctx(&mem, &c, 1);
+        assert_eq!(g.exchange(s, 0, 22), 11);
+        assert_eq!(mem.d2h(s)[0], 22);
+    }
+}

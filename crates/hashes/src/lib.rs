@@ -1,0 +1,38 @@
+//! Hash-function families for the WarpDrive reproduction.
+//!
+//! The paper (§V-A) uses two 4-byte hash functions with strong avalanche
+//! properties that additionally act as *isomorphisms* (bijections) on the
+//! space of 32-bit integers:
+//!
+//! * the integer finalizer of Appleby's MurmurHash3 ([`murmur::fmix32`]),
+//! * the similar construction by Mueller ([`mueller::mueller32`]).
+//!
+//! Because both are index permutations, *translated* variants
+//! `h̃_y(x) = h(x + y)` retain the bijectivity, which the paper exploits to
+//! derive fresh hash functions after an insertion failure. That scheme is
+//! captured by [`family::Translated`].
+//!
+//! §II of the paper also discusses the theory of probing guarantees:
+//! pair-wise independent hash functions give expected *logarithmic* time for
+//! linear probing while 5-wise independent functions (constructible with
+//! *tabulation hashing*) give expected constant time. We implement
+//! tabulation hashing in [`tabulation`] so the probing ablations can compare
+//! hash families, not just probing schemes.
+//!
+//! Everything here is `no_std`-style pure arithmetic (no allocation except
+//! tabulation tables) and is shared by the device kernels, the multisplit
+//! partition function and the CPU baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avalanche;
+pub mod family;
+pub mod mueller;
+pub mod murmur;
+pub mod tabulation;
+
+pub use family::{DoubleHash, HashFamily, HashFn32, Hasher32, PartitionFn, Translated};
+pub use mueller::{mueller32, mueller64};
+pub use murmur::{fmix32, fmix64};
+pub use tabulation::Tabulation32;

@@ -1,0 +1,102 @@
+//! Tabulation-based hashing.
+//!
+//! §II of the paper cites Thorup & Zhang: linear probing with a merely
+//! pair-wise independent hash function only guarantees expected logarithmic
+//! operation time, while a 5-wise independent family guarantees expected
+//! constant time, and such families can be constructed with *tabulation
+//! hashing*. Simple tabulation (one random table per input byte, XOR of the
+//! looked-up words) is 3-wise independent but is known to behave like a
+//! 5-wise independent family for linear probing (Pătraşcu & Thorup), which
+//! is the property the paper appeals to.
+//!
+//! We provide [`Tabulation32`] so the hash-family ablation
+//! (`ablation_hash`) can compare multiplicative finalizers against
+//! tabulation on real probe-length distributions.
+
+use rand::{Rng, SeedableRng};
+
+/// Simple tabulation hashing over 32-bit keys: four 256-entry tables of
+/// random 32-bit words, one per key byte, combined with XOR.
+#[derive(Clone)]
+pub struct Tabulation32 {
+    tables: Box<[[u32; 256]; 4]>,
+}
+
+impl Tabulation32 {
+    /// Builds the four random tables from a seed (deterministic per seed).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut tables = Box::new([[0u32; 256]; 4]);
+        for table in tables.iter_mut() {
+            for entry in table.iter_mut() {
+                *entry = rng.gen();
+            }
+        }
+        Self { tables }
+    }
+
+    /// Hashes a 32-bit key by XOR-ing the per-byte table entries.
+    #[inline]
+    #[must_use]
+    pub fn hash(&self, x: u32) -> u32 {
+        let b = x.to_le_bytes();
+        self.tables[0][b[0] as usize]
+            ^ self.tables[1][b[1] as usize]
+            ^ self.tables[2][b[2] as usize]
+            ^ self.tables[3][b[3] as usize]
+    }
+}
+
+impl std::fmt::Debug for Tabulation32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tabulation32").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Tabulation32::new(42);
+        let b = Tabulation32::new(42);
+        let c = Tabulation32::new(43);
+        assert_eq!(a.hash(0xdead_beef), b.hash(0xdead_beef));
+        assert_ne!(a.hash(0xdead_beef), c.hash(0xdead_beef));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // sequential keys must not land in sequential buckets
+        let t = Tabulation32::new(7);
+        let c = 1024u32;
+        let mut hits = vec![0u32; c as usize];
+        for k in 0..4096u32 {
+            hits[(t.hash(k) % c) as usize] += 1;
+        }
+        let max = *hits.iter().max().unwrap();
+        // expected 4 per bucket; a badly broken table would cluster
+        assert!(max < 20, "max bucket occupancy {max}");
+    }
+
+    #[test]
+    fn three_wise_independence_smoke() {
+        // XOR of hashes of three distinct keys should itself look uniform:
+        // check bit balance over many triples.
+        let t = Tabulation32::new(99);
+        let mut ones = [0u32; 32];
+        let n = 2000u32;
+        for i in 0..n {
+            let v = t.hash(i) ^ t.hash(i + 1) ^ t.hash(i + 2);
+            for (bit, one) in ones.iter_mut().enumerate() {
+                *one += (v >> bit) & 1;
+            }
+        }
+        for (bit, &count) in ones.iter().enumerate() {
+            let frac = f64::from(count) / f64::from(n);
+            assert!((0.40..=0.60).contains(&frac), "bit {bit} biased: {frac:.3}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Exclusive prefix scans.
+//!
+//! The partition-table bookkeeping of §IV-B needs *row-wise* exclusive
+//! scans over the m×m table for the senders and *column-wise* scans for
+//! the receivers. The tables are tiny (m ≤ 4), so these run on the host;
+//! they are exact counterparts of the device-side scans in the original
+//! implementation.
+
+/// Exclusive prefix scan: `out[i] = Σ_{j<i} xs[j]`, `out[0] = 0`.
+#[must_use]
+pub fn exclusive_scan(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0u64;
+    for &x in xs {
+        out.push(acc);
+        acc += x;
+    }
+    out
+}
+
+/// Row-wise exclusive scan of a matrix (per-sender offsets).
+#[must_use]
+pub fn row_exclusive_scan(m: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    m.iter().map(|row| exclusive_scan(row)).collect()
+}
+
+/// Column-wise exclusive scan of a matrix (per-receiver offsets).
+///
+/// # Panics
+/// Panics on ragged input.
+#[must_use]
+pub fn col_exclusive_scan(m: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    if m.is_empty() {
+        return Vec::new();
+    }
+    let cols = m[0].len();
+    assert!(m.iter().all(|r| r.len() == cols), "ragged matrix");
+    let mut out = vec![vec![0u64; cols]; m.len()];
+    for c in 0..cols {
+        let mut acc = 0u64;
+        for r in 0..m.len() {
+            out[r][c] = acc;
+            acc += m[r][c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exclusive_scan_basics() {
+        assert_eq!(exclusive_scan(&[]), Vec::<u64>::new());
+        assert_eq!(exclusive_scan(&[5]), vec![0]);
+        assert_eq!(exclusive_scan(&[3, 1, 4, 1, 5]), vec![0, 3, 4, 8, 9]);
+    }
+
+    #[test]
+    fn row_and_col_scans() {
+        let m = vec![vec![1, 2], vec![3, 4]];
+        assert_eq!(row_exclusive_scan(&m), vec![vec![0, 1], vec![0, 3]]);
+        assert_eq!(col_exclusive_scan(&m), vec![vec![0, 0], vec![1, 2]]);
+    }
+
+    proptest! {
+        #[test]
+        fn scan_last_plus_last_is_total(xs in proptest::collection::vec(0u64..1000, 1..50)) {
+            let s = exclusive_scan(&xs);
+            let total: u64 = xs.iter().sum();
+            prop_assert_eq!(s[s.len() - 1] + xs[xs.len() - 1], total);
+        }
+
+        #[test]
+        fn scan_is_monotone(xs in proptest::collection::vec(0u64..1000, 1..50)) {
+            let s = exclusive_scan(&xs);
+            prop_assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

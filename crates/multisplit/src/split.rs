@@ -1,0 +1,184 @@
+//! The paper's m-pass binary multisplit.
+//!
+//! "Our approach is based on a simpler technique that consecutively
+//! computes m binary splits (one class versus the rest) of keys in global
+//! memory … using a warp-aggregated atomic counter" (§IV-B). Pass `c`
+//! compacts all elements of class `c` behind the elements of classes
+//! `< c` in the output buffer, so after `m` passes the buffer is
+//! partition-ordered and the per-class counts/offsets fall out of the
+//! counters.
+
+use crate::scan::exclusive_scan;
+use crate::warp_agg::warp_aggregated_compact;
+use gpu_sim::{DevSlice, Device, KernelStats};
+
+/// Outcome of a device multisplit.
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// Partition-ordered output buffer (same length as the input).
+    pub out: DevSlice,
+    /// Number of elements in each class.
+    pub counts: Vec<u64>,
+    /// Exclusive offsets of each class within `out`.
+    pub offsets: Vec<u64>,
+    /// Merged stats over all passes (counters add, simulated times add).
+    pub stats: KernelStats,
+}
+
+impl SplitResult {
+    /// The sub-slice of `out` holding class `c`.
+    #[must_use]
+    pub fn class_slice(&self, c: usize) -> DevSlice {
+        self.out
+            .sub(self.offsets[c] as usize, self.counts[c] as usize)
+    }
+}
+
+/// Splits the words of `input` into `m` classes given by `class_of`,
+/// writing the partition-ordered result to `out` (a caller-allocated
+/// double buffer of at least `input.len()` words, as in Fig. 4's
+/// out-of-place scheme). `scratch` must hold ≥ 1 word for the aggregated
+/// counter.
+///
+/// # Panics
+/// Panics if `m == 0`, `out` is shorter than `input`, or `class_of`
+/// returns a class ≥ `m`.
+pub fn device_multisplit<F>(
+    dev: &Device,
+    input: DevSlice,
+    out: DevSlice,
+    scratch: DevSlice,
+    m: usize,
+    class_of: F,
+) -> SplitResult
+where
+    F: Fn(u64) -> u32 + Sync,
+{
+    assert!(m > 0, "need at least one class");
+    assert!(out.len() >= input.len(), "output buffer too small");
+    assert!(!scratch.is_empty(), "need a counter word");
+    let counter = scratch.sub(0, 1);
+
+    let mut counts = Vec::with_capacity(m);
+    let mut stats: Option<KernelStats> = None;
+    let mut written = 0u64;
+    for c in 0..m as u32 {
+        dev.mem().fill(counter, 0);
+        let remaining = out.len() - written as usize;
+        let class_out = out.sub(written as usize, remaining);
+        let pass = warp_aggregated_compact(dev, input, class_out, counter, |w| {
+            let cls = class_of(w);
+            assert!(cls < m as u32, "class {cls} out of range (m = {m})");
+            cls == c
+        });
+        let kept = dev.mem().d2h(counter)[0];
+        counts.push(kept);
+        written += kept;
+        stats = Some(match stats {
+            None => pass,
+            Some(s) => s.merged(&pass),
+        });
+    }
+    assert_eq!(
+        written as usize,
+        input.len(),
+        "classes must cover every element"
+    );
+    let offsets = exclusive_scan(&counts);
+    SplitResult {
+        out: out.sub(0, input.len()),
+        counts,
+        offsets,
+        stats: stats.expect("m > 0 guarantees at least one pass"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+    use hashes::PartitionFn;
+
+    fn run_split(data: &[u64], m: usize) -> (Device, SplitResult) {
+        let dev = Device::with_words(0, 2 * data.len() + 8);
+        let input = dev.alloc(data.len()).unwrap();
+        let out = dev.alloc(data.len()).unwrap();
+        let scratch = dev.alloc(1).unwrap();
+        dev.mem().h2d(input, data);
+        let p = PartitionFn::modulo(m as u32);
+        let res = device_multisplit(&dev, input, out, scratch, m, move |w| p.part(w as u32));
+        (dev, res)
+    }
+
+    #[test]
+    fn partitions_are_contiguous_and_complete() {
+        let data: Vec<u64> = (0..997u64).map(|i| i * 31 % 1000).collect();
+        let m = 4;
+        let (dev, res) = run_split(&data, m);
+        let out = dev.mem().d2h(res.out);
+        assert_eq!(out.len(), data.len());
+        // classes contiguous in class order
+        for c in 0..m {
+            let lo = res.offsets[c] as usize;
+            let hi = lo + res.counts[c] as usize;
+            assert!(out[lo..hi]
+                .iter()
+                .all(|&w| (w as u32) % m as u32 == c as u32));
+        }
+        // multiset preserved
+        let mut a = out.clone();
+        let mut b = data.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // counts match ground truth
+        for c in 0..m {
+            let truth = data
+                .iter()
+                .filter(|&&w| (w as u32) % m as u32 == c as u32)
+                .count() as u64;
+            assert_eq!(res.counts[c], truth);
+        }
+    }
+
+    #[test]
+    fn class_slices_address_their_partition() {
+        let data: Vec<u64> = (0..256u64).collect();
+        let (dev, res) = run_split(&data, 2);
+        let evens = dev.mem().d2h(res.class_slice(0));
+        assert_eq!(evens.len(), 128);
+        assert!(evens.iter().all(|&w| w % 2 == 0));
+    }
+
+    #[test]
+    fn single_class_is_a_copy() {
+        let data: Vec<u64> = vec![9, 8, 7, 6];
+        let (dev, res) = run_split(&data, 1);
+        let mut out = dev.mem().d2h(res.out);
+        out.sort_unstable();
+        assert_eq!(out, vec![6, 7, 8, 9]);
+        assert_eq!(res.counts, vec![4]);
+        assert_eq!(res.offsets, vec![0]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_classes() {
+        let (_, res) = run_split(&[], 3);
+        assert_eq!(res.counts, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn stats_accumulate_m_passes() {
+        let data: Vec<u64> = (0..64u64).collect();
+        let (_, res2) = run_split(&data, 2);
+        let (_, res4) = run_split(&data, 4);
+        // m passes re-read the input m times
+        assert!(res4.counters_stream_bytes() > res2.counters_stream_bytes());
+    }
+
+    impl SplitResult {
+        fn counters_stream_bytes(&self) -> u64 {
+            self.stats.counters.stream_bytes
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The m×m partition table and its transposition algebra (§IV-B, Fig. 4).
+//!
+//! After each GPU runs its local multisplit, `counts[gpu][part]` records
+//! how many elements of partition `part` sit on GPU `gpu`. The all-to-all
+//! phase transposes this table: afterwards GPU `i` exclusively holds the
+//! keys with `p(k) = i`, concatenated over their source GPUs. "Matrix
+//! transposition is an isomorphism and thus all-to-all communication is
+//! reversible as well" — the query cascade uses the inverse transpose to
+//! route results back, which is why [`PartitionTable::transposed`] being
+//! an involution is property-tested.
+
+/// Element counts of each (source GPU, partition) cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionTable {
+    /// Number of GPUs / partitions (square table).
+    pub m: usize,
+    /// `counts[gpu][part]`.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl PartitionTable {
+    /// Builds a table from per-GPU multisplit counts.
+    ///
+    /// # Panics
+    /// Panics if `counts` is not square.
+    #[must_use]
+    pub fn new(counts: Vec<Vec<u64>>) -> Self {
+        let m = counts.len();
+        assert!(
+            counts.iter().all(|r| r.len() == m),
+            "partition table must be square"
+        );
+        Self { m, counts }
+    }
+
+    /// The transposed table `T^t[part, gpu]` describing the layout after
+    /// the all-to-all phase.
+    #[must_use]
+    pub fn transposed(&self) -> PartitionTable {
+        let m = self.m;
+        let counts = (0..m)
+            .map(|i| (0..m).map(|j| self.counts[j][i]).collect())
+            .collect();
+        PartitionTable { m, counts }
+    }
+
+    /// Bytes each ordered (source → target) transfer moves, for the
+    /// all-to-all cost model. Diagonal entries are zero (data stays put).
+    #[must_use]
+    pub fn byte_matrix(&self, bytes_per_element: u64) -> Vec<Vec<u64>> {
+        (0..self.m)
+            .map(|i| {
+                (0..self.m)
+                    .map(|j| {
+                        if i == j {
+                            0
+                        } else {
+                            self.counts[i][j] * bytes_per_element
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Total elements per *target* GPU after transposition — what each
+    /// local hash map will receive. Used to check load balance and VRAM
+    /// headroom before committing to an insertion cascade.
+    #[must_use]
+    pub fn elements_per_target(&self) -> Vec<u64> {
+        (0..self.m)
+            .map(|part| (0..self.m).map(|gpu| self.counts[gpu][part]).sum())
+            .collect()
+    }
+
+    /// Total elements in the table.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Receive offsets: where, inside target GPU `part`'s receive buffer,
+    /// the chunk from source `gpu` begins (column-wise exclusive scan).
+    #[must_use]
+    pub fn recv_offsets(&self) -> Vec<Vec<u64>> {
+        crate::scan::col_exclusive_scan(&self.counts)
+    }
+
+    /// Send offsets: where, inside source GPU `gpu`'s partition-ordered
+    /// buffer, partition `part` begins (row-wise exclusive scan).
+    #[must_use]
+    pub fn send_offsets(&self) -> Vec<Vec<u64>> {
+        crate::scan::row_exclusive_scan(&self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fig4_table() -> PartitionTable {
+        // 4 GPUs × 7 keys each, p(k) = k mod 4 — an instance shaped like
+        // the Fig. 4 example (28 keys total)
+        PartitionTable::new(vec![
+            vec![2, 2, 2, 1],
+            vec![1, 3, 1, 2],
+            vec![2, 1, 2, 2],
+            vec![3, 1, 1, 2],
+        ])
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let t = fig4_table();
+        let tt = t.transposed();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(t.counts[i][j], tt.counts[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let t = fig4_table();
+        assert_eq!(t.transposed().transposed(), t);
+    }
+
+    #[test]
+    fn per_target_sums_columns() {
+        let t = fig4_table();
+        assert_eq!(t.elements_per_target(), vec![8, 7, 6, 7]);
+        assert_eq!(t.total(), 28);
+    }
+
+    #[test]
+    fn byte_matrix_zeroes_diagonal() {
+        let t = fig4_table();
+        let b = t.byte_matrix(8);
+        for i in 0..4 {
+            assert_eq!(b[i][i], 0);
+            for j in 0..4 {
+                if i != j {
+                    assert_eq!(b[i][j], t.counts[i][j] * 8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_are_consistent() {
+        let t = fig4_table();
+        let send = t.send_offsets();
+        // offsets within a row increase by the counts
+        for (row, offs) in t.counts.iter().zip(&send) {
+            for j in 1..t.m {
+                assert_eq!(offs[j], offs[j - 1] + row[j - 1]);
+            }
+        }
+        let recv = t.recv_offsets();
+        for j in 0..t.m {
+            for i in 1..t.m {
+                assert_eq!(recv[i][j], recv[i - 1][j] + t.counts[i - 1][j]);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_involution_holds_generally(
+            cells in proptest::collection::vec(0u64..1000, 16)
+        ) {
+            let counts: Vec<Vec<u64>> = cells.chunks(4).map(<[u64]>::to_vec).collect();
+            let t = PartitionTable::new(counts);
+            prop_assert_eq!(t.transposed().transposed(), t.clone());
+            // totals preserved under transposition
+            prop_assert_eq!(t.transposed().total(), t.total());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn ragged_table_rejected() {
+        let _ = PartitionTable::new(vec![vec![1, 2], vec![3]]);
+    }
+}

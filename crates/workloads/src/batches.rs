@@ -1,0 +1,79 @@
+//! Batch decomposition for the out-of-core cascades.
+//!
+//! Host-sided insertion and retrieval operate on batches of 2²⁴ packed
+//! pairs (128 MB) in the paper (§V-C); the async pipeline overlaps the
+//! H2D → MST → INS stages of consecutive batches. This module slices a
+//! workload into such batches and carries per-batch metadata.
+
+use crate::Pair;
+
+/// One batch of key-value pairs flowing through a cascade.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Batch index within the stream.
+    pub index: usize,
+    /// The pairs of this batch.
+    pub pairs: Vec<Pair>,
+}
+
+impl Batch {
+    /// Size in bytes when packed as 64-bit AOS words (what travels over
+    /// PCIe).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        (self.pairs.len() as u64) * 8
+    }
+}
+
+/// Splits `pairs` into batches of at most `batch_size` elements,
+/// preserving order (the last batch may be short).
+///
+/// # Panics
+/// Panics if `batch_size == 0`.
+#[must_use]
+pub fn batches_of(pairs: &[Pair], batch_size: usize) -> Vec<Batch> {
+    assert!(batch_size > 0, "batch size must be positive");
+    pairs
+        .chunks(batch_size)
+        .enumerate()
+        .map(|(index, chunk)| Batch {
+            index,
+            pairs: chunk.to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_preserving_order_and_tail() {
+        let pairs: Vec<Pair> = (0..10u32).map(|i| (i, i * 2)).collect();
+        let batches = batches_of(&pairs, 4);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].pairs.len(), 4);
+        assert_eq!(batches[2].pairs.len(), 2);
+        assert_eq!(batches[1].index, 1);
+        let flat: Vec<Pair> = batches.iter().flat_map(|b| b.pairs.clone()).collect();
+        assert_eq!(flat, pairs);
+    }
+
+    #[test]
+    fn bytes_counts_packed_words() {
+        let pairs: Vec<Pair> = (0..3u32).map(|i| (i, i)).collect();
+        let b = &batches_of(&pairs, 8)[0];
+        assert_eq!(b.bytes(), 24);
+    }
+
+    #[test]
+    fn empty_input_gives_no_batches() {
+        assert!(batches_of(&[], 16).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = batches_of(&[(1, 2)], 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Workload generators reproducing the paper's three key distributions
+//! (§V-A):
+//!
+//! * **Unique** — up to 2³² keys sampled *without* replacement from the
+//!   4-byte key space, "equivalent to a Fisher–Yates shuffle of an
+//!   ascending integer sequence". We realise the shuffle with a Feistel
+//!   bijection over `u32` ([`unique`]) so it needs O(1) memory instead of a
+//!   16 GiB permutation table.
+//! * **Uniform** — keys drawn *with* replacement; the expected unique
+//!   fraction follows the bootstrap ratio `1 − e^{−n/2³²}` ([`uniform`]).
+//! * **Zipf** — key multiplicities follow a power law with damping
+//!   exponent `s > 1`; the paper uses `s = 1 + 10⁻⁶` ([`zipf`]).
+//!
+//! Values are arbitrary 4 bytes; we derive them deterministically from the
+//! key index so tests can predict the *last-writer-wins* outcome for
+//! duplicate keys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batches;
+pub mod uniform;
+pub mod unique;
+pub mod zipf;
+
+pub use batches::{batches_of, Batch};
+pub use uniform::UniformKeys;
+pub use unique::UniqueKeys;
+pub use zipf::Zipf;
+
+use serde::{Deserialize, Serialize};
+
+/// A key-value pair as fed to the hash map: 4-byte key, 4-byte value.
+pub type Pair = (u32, u32);
+
+/// The paper's key distributions, selectable by experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Sampling without replacement (all keys distinct).
+    Unique,
+    /// Sampling with replacement from the full 4-byte space.
+    Uniform,
+    /// Power-law multiplicities with exponent `s`.
+    Zipf {
+        /// Exponential damping coefficient (`s > 1`); the paper uses
+        /// `1 + 10⁻⁶`.
+        s: f64,
+    },
+}
+
+impl Distribution {
+    /// The paper's Zipf configuration.
+    #[must_use]
+    pub fn paper_zipf() -> Self {
+        Distribution::Zipf { s: 1.0 + 1e-6 }
+    }
+
+    /// Generates `n` key-value pairs with the given seed.
+    ///
+    /// Keys never equal `u32::MAX` (reserved for the hash map's EMPTY /
+    /// TOMBSTONE sentinels); values are `fmix64`-derived from the pair
+    /// index so duplicate keys carry distinct values.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Pair> {
+        match *self {
+            Distribution::Unique => UniqueKeys::new(seed).pairs(n),
+            Distribution::Uniform => UniformKeys::new(seed).pairs(n),
+            Distribution::Zipf { s } => Zipf::new(s, u64::from(u32::MAX), seed).pairs(n),
+        }
+    }
+
+    /// Short label used in benchmark tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Distribution::Unique => "unique",
+            Distribution::Uniform => "uniform",
+            Distribution::Zipf { .. } => "zipf",
+        }
+    }
+}
+
+/// Value deterministically associated with the `i`-th generated pair.
+/// Exposed so tests can recompute expected values.
+#[must_use]
+pub fn value_for_index(seed: u64, i: u64) -> u32 {
+    // avoid the all-ones value so tests can use it as a miss marker
+    (hashes::fmix64(seed ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15))) as u32) & 0x7fff_ffff
+}
+
+/// Expected fraction of *distinct* keys when drawing `n` samples uniformly
+/// with replacement from a space of `space` keys — the bootstrap ratio
+/// `(1 − e^{−n/space})·space/n` quoted in §V-B.
+#[must_use]
+pub fn expected_unique_fraction(n: u64, space: u64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let ratio = n as f64 / space as f64;
+    (1.0 - (-ratio).exp()) / ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_respects_distribution() {
+        let u = Distribution::Unique.generate(1000, 1);
+        let mut keys: Vec<u32> = u.iter().map(|p| p.0).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 1000, "unique keys must not repeat");
+
+        let z = Distribution::paper_zipf().generate(10_000, 1);
+        let mut zk: Vec<u32> = z.iter().map(|p| p.0).collect();
+        zk.sort_unstable();
+        zk.dedup();
+        assert!(zk.len() < 10_000, "zipf must produce duplicates");
+    }
+
+    #[test]
+    fn no_sentinel_keys_generated() {
+        for d in [
+            Distribution::Unique,
+            Distribution::Uniform,
+            Distribution::paper_zipf(),
+        ] {
+            let pairs = d.generate(5_000, 7);
+            assert!(
+                pairs.iter().all(|&(k, _)| k != u32::MAX),
+                "{} produced the reserved key",
+                d.label()
+            );
+        }
+    }
+
+    #[test]
+    fn bootstrap_ratio_matches_paper_number() {
+        // §V-B: drawing 2^27 keys out of 2^32 with replacement gives
+        // ≈ 98.5% unique keys
+        let frac = expected_unique_fraction(1 << 27, 1 << 32);
+        assert!((frac - 0.985).abs() < 0.002, "got {frac}");
+    }
+
+    #[test]
+    fn values_are_deterministic_and_distinct_per_index() {
+        assert_eq!(value_for_index(1, 0), value_for_index(1, 0));
+        assert_ne!(value_for_index(1, 0), value_for_index(1, 1));
+        assert_ne!(value_for_index(1, 5), value_for_index(2, 5));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Distribution::Unique.label(), "unique");
+        assert_eq!(Distribution::paper_zipf().label(), "zipf");
+    }
+}

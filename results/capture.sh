@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every captured harness output in this directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BINS="fig7 fig8 fig9 fig10 fig11 table_speedup table_baselines topo_check \
+      ablation_layout ablation_probing ablation_multisplit \
+      ablation_distribution ablation_hash ablation_adaptive ablation_sharding"
+for b in $BINS; do
+  echo "capturing $b"
+  cargo run --release -p wd-bench --bin "$b" -- --n 65536 > "results/$b.txt"
+done

@@ -1,0 +1,130 @@
+//! Concurrency stress: the simulated kernels use real atomics on real
+//! threads, so these tests genuinely race coalesced groups against each
+//! other the way CUDA blocks race on a device.
+
+use std::sync::Arc;
+use warpdrive::{pack, Config, GpuHashMap, EMPTY};
+use workloads::Distribution;
+
+/// Hammer one small table with many racing groups carrying colliding
+/// keys; the table must stay consistent (every surviving word is one of
+/// the inserted pairs, every key appears exactly once).
+#[test]
+fn racing_duplicate_inserts_keep_one_slot_per_key() {
+    for trial in 0..10 {
+        let dev = Arc::new(gpu_sim::Device::with_words(0, 1 << 14));
+        let map = GpuHashMap::new(dev, 256, Config::default().with_seed(trial)).unwrap();
+        // 64 distinct keys, 32 values each, in one big racing batch
+        let pairs: Vec<(u32, u32)> = (0..2048u32).map(|i| (i % 64 + 1, i)).collect();
+        let outcome = map.insert_pairs(&pairs).unwrap();
+        assert_eq!(outcome.new_slots, 64, "trial {trial}");
+        assert_eq!(outcome.updates, 2048 - 64, "trial {trial}");
+        assert_eq!(map.len(), 64);
+        let snap = map.snapshot();
+        assert_eq!(snap.len(), 64);
+        let mut seen = std::collections::HashSet::new();
+        for (k, v) in snap {
+            assert!(seen.insert(k), "key {k} stored twice");
+            // value must be one that was actually paired with k
+            assert_eq!(v % 64, (k - 1) % 64, "foreign value {v} under key {k}");
+        }
+    }
+}
+
+/// Concurrent inserts and queries on the same map (both take &self): a
+/// query must return either "absent" or a value that was actually
+/// inserted for that key — never garbage. This is the paper's "event
+/// horizon" semantics.
+#[test]
+fn concurrent_insert_and_query_never_yield_garbage() {
+    let dev = Arc::new(gpu_sim::Device::with_words(0, 1 << 16));
+    let map = Arc::new(GpuHashMap::new(dev, 8192, Config::default()).unwrap());
+    let pairs: Vec<(u32, u32)> = (0..4000u32).map(|i| (i + 1, i + 1_000_000)).collect();
+
+    let writer = {
+        let map = Arc::clone(&map);
+        let pairs = pairs.clone();
+        std::thread::spawn(move || {
+            for chunk in pairs.chunks(500) {
+                map.insert_pairs(chunk).unwrap();
+            }
+        })
+    };
+    let reader = {
+        let map = Arc::clone(&map);
+        std::thread::spawn(move || {
+            let keys: Vec<u32> = (1..=4000).collect();
+            for _ in 0..5 {
+                let (res, _) = map.retrieve(&keys);
+                for (i, r) in res.iter().enumerate() {
+                    if let Some(v) = r {
+                        assert_eq!(*v, i as u32 + 1_000_000, "garbage value");
+                    }
+                }
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+    // after quiescence everything is visible
+    let (res, _) = map.retrieve(&(1..=4000).collect::<Vec<u32>>());
+    assert!(res.iter().all(Option::is_some));
+}
+
+/// Randomized schedules: repeat a racing workload many times with
+/// different seeds; invariants must hold under every interleaving the
+/// thread scheduler produces.
+#[test]
+fn randomized_schedule_stress() {
+    for seed in 0..8u64 {
+        let n = 3000;
+        let pairs = Distribution::Uniform.generate(n, seed);
+        let dev = Arc::new(gpu_sim::Device::with_words(0, 1 << 16));
+        let map = GpuHashMap::new(dev, 8192, Config::default()).unwrap();
+        map.insert_pairs(&pairs).unwrap();
+        // table words are either EMPTY or an inserted pair
+        let inserted: std::collections::HashMap<u32, Vec<u32>> =
+            pairs
+                .iter()
+                .fold(std::collections::HashMap::new(), |mut m, &(k, v)| {
+                    m.entry(k).or_default().push(v);
+                    m
+                });
+        for (k, v) in map.snapshot() {
+            let vs = inserted
+                .get(&k)
+                .unwrap_or_else(|| panic!("phantom key {k}"));
+            assert!(vs.contains(&v), "phantom value {v} for key {k}");
+        }
+        let distinct = inserted.len() as u64;
+        assert_eq!(map.len(), distinct, "seed {seed}");
+    }
+}
+
+/// The raw device API: racing CAS through GroupCtx must never lose or
+/// duplicate a claim (one winner per slot word).
+#[test]
+fn device_level_cas_has_single_winners() {
+    let dev = gpu_sim::Device::with_words(0, 4096);
+    let slots = dev.alloc(64).unwrap();
+    dev.mem().fill(slots, EMPTY);
+    // 64 × 32 groups all try to claim slot (gid % 64)
+    let stats = dev.launch(
+        "claim_race",
+        2048,
+        gpu_sim::GroupSize::new(1),
+        gpu_sim::LaunchOptions::default(),
+        |ctx| {
+            let slot = ctx.group_id() % 64;
+            let word = pack(slot as u32 + 1, ctx.group_id() as u32);
+            let _ = ctx.cas(slots, slot, EMPTY, word);
+        },
+    );
+    // exactly 64 CAS successes; all slots claimed with their own key
+    assert_eq!(stats.counters.cas_ops - stats.counters.cas_failed, 64);
+    let words = dev.mem().d2h(slots);
+    for (i, w) in words.iter().enumerate() {
+        assert_eq!(warpdrive::key_of(*w) as usize, i + 1);
+        assert_eq!(warpdrive::value_of(*w) as usize % 64, i);
+    }
+}

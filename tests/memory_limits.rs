@@ -1,0 +1,106 @@
+//! VRAM-limit behaviour across the stack — the paper's motivation: the
+//! single-GPU table size is bounded by global memory, and the multi-GPU
+//! scheme removes that bound.
+
+use interconnect::Topology;
+use std::sync::Arc;
+use warpdrive::{BuildError, Config, DistributedHashMap, GpuHashMap};
+use workloads::Distribution;
+
+/// A table that exceeds one device's VRAM fails to build …
+#[test]
+fn single_gpu_table_is_vram_bounded() {
+    let dev = Arc::new(gpu_sim::Device::with_words(0, 10_000));
+    let err = GpuHashMap::new(dev, 20_000, Config::default()).unwrap_err();
+    match err {
+        BuildError::OutOfMemory(oom) => {
+            assert!(oom.requested_words >= 20_000);
+            assert!(oom.available_words <= 10_000);
+        }
+        e => panic!("expected OOM, got {e}"),
+    }
+}
+
+/// … while the same aggregate capacity distributes over four devices.
+#[test]
+fn distributed_map_exceeds_single_device_capacity() {
+    let per_dev_words = 10_000;
+    let total_capacity = 24_000; // will not fit one 10k-word device
+    let devices: Vec<_> = (0..4)
+        .map(|i| Arc::new(gpu_sim::Device::with_words(i, per_dev_words)))
+        .collect();
+    let dmap = DistributedHashMap::new(
+        devices,
+        total_capacity / 4,
+        Config::default(),
+        Topology::p100_quad(4),
+    )
+    .expect("distributed map fits");
+    let pairs = Distribution::Unique.generate(4000, 1);
+    dmap.insert_from_host(&pairs).unwrap();
+    assert_eq!(dmap.len(), 4000);
+}
+
+/// Scratch staging is reclaimed: thousands of host-API calls must not
+/// exhaust VRAM (the regression the scratch allocator exists for).
+#[test]
+fn repeated_host_calls_do_not_leak_vram() {
+    let dev = Arc::new(gpu_sim::Device::with_words(0, 1 << 14));
+    let map = GpuHashMap::new(Arc::clone(&dev), 2048, Config::default()).unwrap();
+    let before = dev.mem().available_words();
+    for round in 0..2000u32 {
+        map.insert_pairs(&[(round + 1, round)]).unwrap();
+        let _ = map.get(round + 1);
+    }
+    assert_eq!(dev.mem().available_words(), before, "scratch leaked");
+}
+
+/// When the staging buffers cannot fit next to the table, the operation
+/// fails cleanly with OOM instead of corrupting anything.
+#[test]
+fn oversized_staging_fails_cleanly() {
+    let dev = Arc::new(gpu_sim::Device::with_words(0, 4096));
+    let map = GpuHashMap::new(Arc::clone(&dev), 3968, Config::default()).unwrap();
+    // staging for 4096 pairs cannot fit beside a ~4k-word table
+    let pairs: Vec<(u32, u32)> = (0..4096u32).map(|i| (i + 1, i)).collect();
+    let err = map.insert_pairs(&pairs).unwrap_err();
+    assert!(matches!(err, warpdrive::InsertError::OutOfMemory(_)));
+    // the map remains usable
+    map.insert_pairs(&[(5, 50)]).unwrap();
+    assert_eq!(map.get(5), Some(50));
+}
+
+/// Rebuild-after-failure: an overfilled probing sequence triggers
+/// ProbingExhausted; a rebuild with a fresh hash function reuses the
+/// same VRAM (no second allocation).
+#[test]
+fn rebuild_reuses_table_memory() {
+    let dev = Arc::new(gpu_sim::Device::with_words(0, 1 << 14));
+    let mut map = GpuHashMap::new(Arc::clone(&dev), 1024, Config::default()).unwrap();
+    let pairs = Distribution::Unique.generate(1000, 9);
+    map.insert_pairs(&pairs).unwrap();
+    let free_before = dev.mem().available_words();
+    map.rebuild_with_fresh_hash().unwrap();
+    assert_eq!(dev.mem().available_words(), free_before);
+    assert_eq!(map.len(), 1000);
+}
+
+/// The full 16 GB P100 pool arithmetic: capacity accounting matches the
+/// spec (a paper-scale table of 2^27/0.95 slots consumes ~1.1 GB).
+#[test]
+fn paper_scale_capacity_arithmetic() {
+    let spec = gpu_sim::DeviceSpec::p100();
+    assert_eq!(spec.vram_bytes, 16 << 30);
+    let capacity = ((1u64 << 27) as f64 / 0.95).ceil() as u64;
+    let table_bytes = capacity * 8;
+    assert!(
+        table_bytes < 2 << 30,
+        "single-GPU Fig. 7 table fits in 2 GB"
+    );
+    // 2^32 pairs at alpha = 0.95 need ~36 GB — impossible on one 16 GB
+    // device, the Fig. 10 motivation
+    let big = ((1u64 << 32) as f64 / 0.95).ceil() as u64 * 8;
+    assert!(big > spec.vram_bytes);
+    // but fine across four devices
+    assert!(big / 4 < spec.vram_bytes);
+}
