@@ -10,6 +10,32 @@
 
 use std::sync::Arc;
 
+/// Reads a `u64` environment knob, falling back to `default` when the
+/// variable is unset or unparsable. Shared by the sweep-breadth knobs
+/// below (proptest case counts have their own `PROPTEST_CASES`).
+#[must_use]
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Number of stepwise-schedule seeds the concurrency sweeps run per
+/// (layout × group size) cell. Override with `WD_SWEEP_SEEDS` — raise it
+/// for a deeper overnight hunt, lower it for a quick smoke pass.
+#[must_use]
+pub fn sweep_seeds() -> u64 {
+    env_u64("WD_SWEEP_SEEDS", 32)
+}
+
+/// Seed budget for proving the mutation double is caught (defaults to
+/// the sweep budget). Override with `WD_MUTATION_SEEDS`.
+#[must_use]
+pub fn mutation_seeds() -> u64 {
+    env_u64("WD_MUTATION_SEEDS", sweep_seeds())
+}
+
 /// Builds a simulated quad-P100 node sized for experiments of `n`
 /// elements per GPU: per-GPU pool = table capacity + staging room.
 #[must_use]

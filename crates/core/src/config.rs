@@ -1,6 +1,6 @@
 //! Hash-map configuration.
 
-use gpu_sim::GroupSize;
+use gpu_sim::{GroupSize, Schedule};
 use serde::{Deserialize, Serialize};
 
 /// Table memory layout (paper Fig. 1; ablation A1).
@@ -56,6 +56,20 @@ pub struct Config {
     /// Harnesses running functionally scaled-down experiments set this to
     /// the paper-scale footprint.
     pub modeled_capacity_bytes: Option<u64>,
+    /// How this map's kernel launches interleave their groups: the racing
+    /// Rayon pool (default) or a deterministic stepwise schedule for
+    /// concurrency testing and replay. `Config::default()` honors the
+    /// `WD_SCHED_MODE` / `WD_SCHED_SEED` environment variables (see
+    /// [`gpu_sim::Schedule::from_env`]), so any test can be replayed
+    /// under a recorded schedule without code changes.
+    pub schedule: Schedule,
+    /// **Mutation double — test-only.** When `true`, insertion skips the
+    /// Fig. 3 window-reload/re-ballot after a failed claim CAS and retries
+    /// the next vacant slot of the *stale* window instead. This is a
+    /// deliberately broken probing variant that can store one key in two
+    /// slots; it exists so the linearizability harness can prove it
+    /// catches exactly this class of bug. Never enable outside tests.
+    pub broken_cas_recheck: bool,
 }
 
 impl Default for Config {
@@ -69,6 +83,8 @@ impl Default for Config {
             p_max: 10_000,
             seed: 0,
             modeled_capacity_bytes: None,
+            schedule: Schedule::from_env(),
+            broken_cas_recheck: false,
         }
     }
 }
@@ -108,8 +124,26 @@ impl Config {
         self.modeled_capacity_bytes = Some(bytes);
         self
     }
+
+    /// Sets the group schedule for this map's kernel launches.
+    #[must_use]
+    pub fn with_schedule(mut self, s: Schedule) -> Self {
+        self.schedule = s;
+        self
+    }
+
+    /// Enables the broken-probing mutation double (test-only; see the
+    /// field docs on [`Config::broken_cas_recheck`]).
+    #[must_use]
+    pub fn with_broken_cas_recheck(mut self) -> Self {
+        self.broken_cas_recheck = true;
+        self
+    }
 }
 
+// With the offline serde stand-in the derives are no-ops, so nothing
+// references these helpers; they stay for when real serde returns.
+#[allow(dead_code)]
 mod group_size_serde {
     use gpu_sim::GroupSize;
     use serde::{Deserialize, Deserializer, Serialize, Serializer};

@@ -8,7 +8,8 @@
 //! a compile-time fact (exclusive access ⇒ no concurrent kernel).
 
 use crate::config::Layout;
-use crate::entry::{is_empty_slot, key_of, TOMBSTONE};
+use crate::entry::{is_empty_slot, key_of, EMPTY, TOMBSTONE};
+use crate::history::{HistoryRecorder, OpKind, OpResponse};
 use crate::insert::{soa_is_empty, soa_key_of};
 use crate::map::TableRef;
 use crate::probing::Prober;
@@ -31,15 +32,17 @@ pub(crate) fn erase_kernel(
     n: usize,
     prober: &Prober,
     p_max: u32,
-    working_set: u64,
+    opts: LaunchOptions,
+    recorder: Option<&HistoryRecorder>,
 ) -> EraseOutcome {
     let erased = AtomicU64::new(0);
     let stats = dev.launch(
         "warpdrive_erase",
         n,
         table.group_size,
-        LaunchOptions::default().with_working_set(working_set),
+        opts,
         |ctx: &GroupCtx| {
+            let invoked = recorder.map(HistoryRecorder::invoke);
             let key = key_of(ctx.read_stream(input, ctx.group_id()));
             let hit = match table.layout {
                 Layout::Aos => erase_one_aos(ctx, table, prober, p_max, key),
@@ -47,6 +50,9 @@ pub(crate) fn erase_kernel(
             };
             if hit {
                 erased.fetch_add(1, Relaxed);
+            }
+            if let (Some(rec), Some(invoked)) = (recorder, invoked) {
+                rec.complete(key, OpKind::Erase, OpResponse::Erased { hit }, invoked);
             }
         },
     );
@@ -98,7 +104,14 @@ fn erase_one_soa(ctx: &GroupCtx, table: &TableRef, prober: &Prober, p_max: u32, 
                 let idx = (base + r as usize) % cap;
                 // exclusive access (global barrier) makes a plain CAS
                 // against the known key word sufficient
-                return ctx.cas(keys, idx, window.lane(r), TOMBSTONE).is_ok();
+                if ctx.cas(keys, idx, window.lane(r), TOMBSTONE).is_ok() {
+                    // restore the value-word sentinel so a reclaiming
+                    // insert re-enters the publication protocol (see
+                    // `insert_one_soa`)
+                    ctx.write(table.soa_values(), idx, EMPTY);
+                    return true;
+                }
+                return false;
             }
             if ctx.any(|r| soa_is_empty(window.lane(r))) {
                 return false;

@@ -104,6 +104,17 @@ impl DistributedHashMap {
         &self.part
     }
 
+    /// Attaches (or detaches) one shared history recorder to every local
+    /// map: the union of per-GPU kernel events forms a single history on
+    /// the recorder's shared clock, so cross-GPU operations on one key
+    /// stay totally ordered in real time. See
+    /// [`crate::GpuHashMap::set_recorder`].
+    pub fn set_recorder(&mut self, rec: Option<std::sync::Arc<crate::HistoryRecorder>>) {
+        for map in &mut self.maps {
+            map.set_recorder(rec.clone());
+        }
+    }
+
     /// Total live entries over all GPUs.
     #[must_use]
     pub fn len(&self) -> u64 {

@@ -1,0 +1,196 @@
+//! Per-operation history recording for linearizability checking.
+//!
+//! A [`HistoryRecorder`] attached to a map stamps every logical operation
+//! (one coalesced group's insert / retrieve / erase) with an invocation
+//! and a response timestamp from a shared logical clock, plus the
+//! operation's observed outcome. The resulting [`OpEvent`] list is a
+//! *history* in the Herlihy–Wing sense; [`crate::linearize`] searches it
+//! for a valid linearization.
+//!
+//! Recording is opt-in and zero-cost when off: kernels carry an
+//! `Option<&HistoryRecorder>` that is `None` unless a recorder was
+//! attached via [`crate::GpuHashMap::set_recorder`] (or the multimap /
+//! distributed equivalents), and the only per-op cost with recording on
+//! is two relaxed `fetch_add`s and one mutex push — none of which is
+//! billed as modeled device traffic.
+//!
+//! Under a stepwise [`gpu_sim::Schedule`] exactly one group executes
+//! between preemption points, so timestamps and event order are a pure
+//! function of the schedule seed: replaying a seed reproduces the history
+//! bit-for-bit.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+/// The invocation side of an operation: what was asked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Single-value insert of `value` (duplicate keys update in place).
+    Insert {
+        /// Value to store.
+        value: u32,
+    },
+    /// Multi-map insert of `value` (duplicate keys accumulate).
+    InsertMulti {
+        /// Value to append.
+        value: u32,
+    },
+    /// Single-value retrieve.
+    Retrieve,
+    /// Multi-map retrieve of all values under the key.
+    RetrieveAll,
+    /// Erase (tombstone) of the key.
+    Erase,
+}
+
+/// The response side of an operation: what it reported.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OpResponse {
+    /// Insert succeeded; `new_slot` is whether a vacant slot was claimed
+    /// (as opposed to updating an already-present key).
+    Inserted {
+        /// `true` iff the pair claimed a previously vacant slot.
+        new_slot: bool,
+    },
+    /// Insert exhausted its probing budget.
+    InsertFailed,
+    /// Retrieve hit: the stored value.
+    Found {
+        /// The value observed.
+        value: u32,
+    },
+    /// Retrieve miss.
+    NotFound,
+    /// Multi-map retrieve: all values under the key, sorted ascending.
+    FoundAll {
+        /// The observed values, sorted.
+        values: Vec<u32>,
+    },
+    /// Erase response: whether the key was present (and is now gone).
+    Erased {
+        /// `true` iff a live entry was tombstoned.
+        hit: bool,
+    },
+}
+
+/// One completed operation of a recorded history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpEvent {
+    /// The key operated on.
+    pub key: u32,
+    /// What was asked.
+    pub kind: OpKind,
+    /// What was reported.
+    pub response: OpResponse,
+    /// Logical invocation timestamp (taken before the op's first table
+    /// access).
+    pub invoked: u64,
+    /// Logical response timestamp (taken after the op's outcome is
+    /// decided).
+    pub responded: u64,
+}
+
+impl OpEvent {
+    /// Real-time precedence: `self` responded before `other` was invoked.
+    /// Two ops where neither precedes the other are concurrent.
+    #[must_use]
+    pub fn precedes(&self, other: &OpEvent) -> bool {
+        self.responded < other.invoked
+    }
+}
+
+/// Records per-operation invocation/response events against a shared
+/// logical clock. Attach one (via `Arc`) to any number of maps; the
+/// shared clock keeps cross-map real-time order consistent.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    clock: AtomicU64,
+    events: Mutex<Vec<OpEvent>>,
+}
+
+impl HistoryRecorder {
+    /// A fresh recorder with an empty history and clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stamps an invocation; pass the returned timestamp to
+    /// [`HistoryRecorder::complete`].
+    #[must_use]
+    pub fn invoke(&self) -> u64 {
+        self.clock.fetch_add(1, SeqCst)
+    }
+
+    /// Stamps the response and appends the completed event.
+    pub fn complete(&self, key: u32, kind: OpKind, response: OpResponse, invoked: u64) {
+        let responded = self.clock.fetch_add(1, SeqCst);
+        self.events.lock().push(OpEvent {
+            key,
+            kind,
+            response,
+            invoked,
+            responded,
+        });
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the history so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<OpEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Drains the history (the clock keeps running).
+    #[must_use]
+    pub fn take(&self) -> Vec<OpEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_are_strictly_increasing() {
+        let rec = HistoryRecorder::new();
+        let i1 = rec.invoke();
+        rec.complete(1, OpKind::Retrieve, OpResponse::NotFound, i1);
+        let i2 = rec.invoke();
+        rec.complete(
+            1,
+            OpKind::Insert { value: 9 },
+            OpResponse::Inserted { new_slot: true },
+            i2,
+        );
+        let ev = rec.events();
+        assert_eq!(ev.len(), 2);
+        assert!(ev[0].invoked < ev[0].responded);
+        assert!(ev[0].responded < ev[1].invoked);
+        assert!(ev[0].precedes(&ev[1]));
+        assert!(!ev[1].precedes(&ev[0]));
+    }
+
+    #[test]
+    fn take_drains_but_keeps_clock() {
+        let rec = HistoryRecorder::new();
+        let i = rec.invoke();
+        rec.complete(7, OpKind::Erase, OpResponse::Erased { hit: false }, i);
+        assert_eq!(rec.take().len(), 1);
+        assert!(rec.is_empty());
+        let i2 = rec.invoke();
+        assert!(i2 >= 2, "clock must not reset on take");
+    }
+}

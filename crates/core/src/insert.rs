@@ -7,15 +7,27 @@
 //! 1. outer loop `p < p_max`: re-derive the span base `h ← hash(d, p)`;
 //! 2. inner loop `q < 32/|g|`: coalesced load of the `|g|`-slot window;
 //! 3. ballot for a slot holding the *same key* — if present, CAS-update
-//!    the value (AOS) or overwrite it relaxed (SOA);
+//!    the value (AOS) or overwrite the value word (SOA, see
+//!    [`insert_one_soa`] for the sentinel protocol that keeps the
+//!    split-word layout linearizable);
 //! 4. ballot for vacant slots (`∅` or tombstone); the *leader* (lowest
 //!    active lane, `__ffs`) attempts the CAS; on success every member
 //!    exits (`g.any`), on failure the window is reloaded and the ballot
 //!    repeated until the window is exhausted;
 //! 5. after `p_max` spans, raise an insertion error.
+//!
+//! The reload in step 4 is load-bearing: a failed claim CAS means another
+//! group changed the window — possibly by inserting *our* key — so both
+//! ballots must rerun against fresh data. [`crate::Config`]'s
+//! `broken_cas_recheck` mutation double skips exactly that reload so the
+//! linearizability harness can prove it catches the resulting
+//! duplicate-slot anomaly.
 
 use crate::config::Layout;
-use crate::entry::{is_empty_slot, is_vacant, key_of, pack, value_of, RESERVED_KEY};
+use crate::entry::{
+    is_empty_slot, is_tombstone, is_vacant, key_of, pack, value_of, EMPTY, RESERVED_KEY,
+};
+use crate::history::{HistoryRecorder, OpKind, OpResponse};
 use crate::map::TableRef;
 use crate::probing::Prober;
 use gpu_sim::{DevSlice, Device, GroupCtx, KernelStats, LaunchOptions};
@@ -32,11 +44,17 @@ pub struct InsertOutcome {
     pub new_slots: u64,
     /// Pairs that updated the value of an already-present key.
     pub updates: u64,
+    /// Subset of `new_slots` whose claimed slot was a tombstone (the
+    /// owning map deducts these from its tombstone count).
+    pub reclaimed: u64,
 }
 
 /// Per-group insertion outcome (internal).
 enum GroupResult {
-    NewSlot,
+    NewSlot {
+        /// The claimed slot held a TOMBSTONE (not EMPTY).
+        reclaimed: bool,
+    },
     Updated,
     Failed,
 }
@@ -49,30 +67,58 @@ pub(crate) fn insert_kernel(
     n: usize,
     prober: &Prober,
     p_max: u32,
-    working_set: u64,
+    opts: LaunchOptions,
+    broken_cas_recheck: bool,
+    recorder: Option<&HistoryRecorder>,
 ) -> InsertOutcome {
     // Bookkeeping lives host-side (captured atomics): the real kernel
     // tracks only the error flag, so none of these cost modeled traffic.
     let failed = AtomicU64::new(0);
     let new_slots = AtomicU64::new(0);
     let updates = AtomicU64::new(0);
+    let reclaimed = AtomicU64::new(0);
 
     let stats = dev.launch(
         "warpdrive_insert",
         n,
         table.group_size,
-        LaunchOptions::default().with_working_set(working_set),
+        opts,
         |ctx: &GroupCtx| {
+            let invoked = recorder.map(HistoryRecorder::invoke);
             let word = ctx.read_stream(input, ctx.group_id());
             let r = match table.layout {
-                Layout::Aos => insert_one_aos(ctx, table, prober, p_max, word),
-                Layout::Soa => insert_one_soa(ctx, table, prober, p_max, word),
+                Layout::Aos => insert_one_aos(ctx, table, prober, p_max, word, broken_cas_recheck),
+                Layout::Soa => insert_one_soa(ctx, table, prober, p_max, word, broken_cas_recheck),
             };
             match r {
-                GroupResult::NewSlot => new_slots.fetch_add(1, Relaxed),
-                GroupResult::Updated => updates.fetch_add(1, Relaxed),
-                GroupResult::Failed => failed.fetch_add(1, Relaxed),
-            };
+                GroupResult::NewSlot { reclaimed: tomb } => {
+                    new_slots.fetch_add(1, Relaxed);
+                    if tomb {
+                        reclaimed.fetch_add(1, Relaxed);
+                    }
+                }
+                GroupResult::Updated => {
+                    updates.fetch_add(1, Relaxed);
+                }
+                GroupResult::Failed => {
+                    failed.fetch_add(1, Relaxed);
+                }
+            }
+            if let (Some(rec), Some(invoked)) = (recorder, invoked) {
+                let response = match r {
+                    GroupResult::NewSlot { .. } => OpResponse::Inserted { new_slot: true },
+                    GroupResult::Updated => OpResponse::Inserted { new_slot: false },
+                    GroupResult::Failed => OpResponse::InsertFailed,
+                };
+                rec.complete(
+                    key_of(word),
+                    OpKind::Insert {
+                        value: value_of(word),
+                    },
+                    response,
+                    invoked,
+                );
+            }
         },
     );
     InsertOutcome {
@@ -80,6 +126,7 @@ pub(crate) fn insert_kernel(
         failed: failed.load(Relaxed),
         new_slots: new_slots.load(Relaxed),
         updates: updates.load(Relaxed),
+        reclaimed: reclaimed.load(Relaxed),
     }
 }
 
@@ -90,6 +137,7 @@ fn insert_one_aos(
     prober: &Prober,
     p_max: u32,
     word: u64,
+    broken_cas_recheck: bool,
 ) -> GroupResult {
     let key = key_of(word);
     let g = ctx.size().get();
@@ -99,6 +147,9 @@ fn insert_one_aos(
         for q in 0..ctx.size().windows_per_warp() {
             let base = prober.window_base(key, p, q, g) as usize;
             let mut window = ctx.read_window(data, base);
+            // lanes already CAS-failed since the last reload (only ever
+            // non-zero under the mutation double)
+            let mut tried: u32 = 0;
             loop {
                 // update path: our key already lives in this window
                 let dup = ctx.ballot(|r| key_of(window.lane(r)) == key);
@@ -108,17 +159,29 @@ fn insert_one_aos(
                         return GroupResult::Updated;
                     }
                     window = ctx.reload_window(data, base);
+                    tried = 0;
                     continue;
                 }
                 // claim path: leader CASes the leftmost vacant slot
-                let mask = ctx.ballot(|r| is_vacant(window.lane(r)));
+                let mask = ctx.ballot(|r| is_vacant(window.lane(r))) & !tried;
                 let Some(r) = GroupCtx::ffs(mask) else {
                     break; // window exhausted → next window
                 };
                 let idx = (base + r as usize) % cap;
-                if ctx.cas(data, idx, window.lane(r), word).is_ok() {
+                let expected = window.lane(r);
+                if ctx.cas(data, idx, expected, word).is_ok() {
                     // g.any(success) — all members exit
-                    return GroupResult::NewSlot;
+                    return GroupResult::NewSlot {
+                        reclaimed: is_tombstone(expected),
+                    };
+                }
+                if broken_cas_recheck {
+                    // MUTATION DOUBLE: keep the stale window and move on to
+                    // its next vacant slot without re-running the ballots —
+                    // misses a racing insert of our own key, so the key can
+                    // end up in two slots. See `Config::broken_cas_recheck`.
+                    tried |= 1 << r;
+                    continue;
                 }
                 // lost the race: reload and re-ballot (Fig. 3 lines 19–21)
                 window = ctx.reload_window(data, base);
@@ -128,15 +191,23 @@ fn insert_one_aos(
     GroupResult::Failed
 }
 
-/// SOA insertion: CAS claims the key word, the value word is written
-/// relaxed afterwards — faithfully reproducing the §II caveat that
-/// concurrent updates of one key may interleave (priority inversion).
+/// SOA insertion: CAS claims the key word, then the value word is
+/// *published* with a CAS from the EMPTY sentinel. The sentinel CAS is
+/// what makes the split-word layout linearizable: once the key word is
+/// visible, racing duplicates of the same key take the update path and
+/// overwrite the value word — if one of them gets there before the
+/// claimer, the claimer's sentinel CAS fails and its (older) value is
+/// discarded instead of clobbering an update that already responded.
+/// (The schedule-sweep harness found exactly that lost-update anomaly in
+/// the original plain-store variant.) Erase restores the sentinel, so
+/// tombstone reclaim re-enters the same protocol.
 fn insert_one_soa(
     ctx: &GroupCtx,
     table: &TableRef,
     prober: &Prober,
     p_max: u32,
     word: u64,
+    broken_cas_recheck: bool,
 ) -> GroupResult {
     let key = key_of(word);
     let value = value_of(word);
@@ -148,6 +219,7 @@ fn insert_one_soa(
         for q in 0..ctx.size().windows_per_warp() {
             let base = prober.window_base(key, p, q, g) as usize;
             let mut window = ctx.read_window(keys, base);
+            let mut tried: u32 = 0;
             loop {
                 let dup = ctx.ballot(|r| soa_key_of(window.lane(r)) == Some(key));
                 if let Some(r) = GroupCtx::ffs(dup) {
@@ -157,14 +229,25 @@ fn insert_one_soa(
                     ctx.write(values, idx, u64::from(value));
                     return GroupResult::Updated;
                 }
-                let mask = ctx.ballot(|r| is_vacant(window.lane(r)));
+                let mask = ctx.ballot(|r| is_vacant(window.lane(r))) & !tried;
                 let Some(r) = GroupCtx::ffs(mask) else {
                     break;
                 };
                 let idx = (base + r as usize) % cap;
-                if ctx.cas(keys, idx, window.lane(r), u64::from(key)).is_ok() {
-                    ctx.write(values, idx, u64::from(value));
-                    return GroupResult::NewSlot;
+                let expected = window.lane(r);
+                if ctx.cas(keys, idx, expected, u64::from(key)).is_ok() {
+                    // publish the value only if no racing update of this
+                    // key beat us to the word (its response already
+                    // promised the newer value survives)
+                    let _ = ctx.cas(values, idx, EMPTY, u64::from(value));
+                    return GroupResult::NewSlot {
+                        reclaimed: is_tombstone(expected),
+                    };
+                }
+                if broken_cas_recheck {
+                    // MUTATION DOUBLE — see the AOS variant above
+                    tried |= 1 << r;
+                    continue;
                 }
                 window = ctx.reload_window(keys, base);
             }

@@ -46,8 +46,10 @@ pub mod delete;
 pub mod distributed;
 pub mod entry;
 pub mod errors;
+pub mod history;
 pub mod host_ops;
 pub mod insert;
+pub mod linearize;
 pub mod map;
 pub mod multimap;
 pub mod probing;
@@ -60,6 +62,8 @@ pub use config::{Config, Layout, ProbingScheme};
 pub use distributed::DistributedHashMap;
 pub use entry::{key_of, pack, value_of, EMPTY, TOMBSTONE};
 pub use errors::{BuildError, InsertError};
+pub use history::{HistoryRecorder, OpEvent, OpKind, OpResponse};
+pub use linearize::{check_linearizable, check_linearizable_multi, Violation};
 pub use map::GpuHashMap;
 pub use multimap::GpuMultiMap;
 pub use sharded::ShardedHashMap;
@@ -67,3 +71,8 @@ pub use stats::{CascadeReport, CascadeStage};
 
 /// Re-export of the group-size type used throughout the public API.
 pub use gpu_sim::GroupSize;
+
+/// Re-export of the kernel-launch schedule selector (see
+/// [`Config::schedule`] and the "Testing & determinism" section of
+/// DESIGN.md).
+pub use gpu_sim::Schedule;

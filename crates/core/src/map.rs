@@ -4,10 +4,11 @@ use crate::config::{Config, Layout};
 use crate::delete::{erase_kernel, EraseOutcome};
 use crate::entry::{is_occupied, key_of, pack, value_of, EMPTY, RESERVED_KEY, TOMBSTONE};
 use crate::errors::{BuildError, InsertError};
+use crate::history::HistoryRecorder;
 use crate::insert::{insert_kernel, InsertOutcome};
 use crate::probing::Prober;
 use crate::retrieve::retrieve_kernel;
-use gpu_sim::{DevSlice, Device, GroupSize, KernelStats};
+use gpu_sim::{DevSlice, Device, GroupSize, KernelStats, LaunchOptions};
 use hashes::DoubleHash;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
@@ -65,8 +66,11 @@ pub struct GpuHashMap {
     dh: DoubleHash,
     /// Live (non-tombstone) entries.
     occupied: AtomicU64,
-    /// Tombstoned slots (they still lengthen probe chains until rebuild).
+    /// Tombstoned slots (they still lengthen probe chains until rebuild
+    /// or until an insertion reclaims them).
     tombstones: AtomicU64,
+    /// Optional per-operation history recorder (linearizability testing).
+    recorder: Option<Arc<HistoryRecorder>>,
 }
 
 impl GpuHashMap {
@@ -103,6 +107,7 @@ impl GpuHashMap {
             dh: DoubleHash::from_seed(cfg.seed),
             occupied: AtomicU64::new(0),
             tombstones: AtomicU64::new(0),
+            recorder: None,
         })
     }
 
@@ -165,8 +170,30 @@ impl GpuHashMap {
             .unwrap_or_else(|| self.table.data.bytes())
     }
 
+    /// Attaches (or detaches, with `None`) a history recorder: every
+    /// subsequent insert/retrieve/erase operation logs an invocation/
+    /// response event. Zero cost while detached. Share one recorder
+    /// across maps to get a single globally-ordered history.
+    pub fn set_recorder(&mut self, rec: Option<Arc<HistoryRecorder>>) {
+        self.recorder = rec;
+    }
+
+    /// The attached history recorder, if any.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&Arc<HistoryRecorder>> {
+        self.recorder.as_ref()
+    }
+
     fn prober(&self) -> Prober {
         Prober::new(self.dh, self.cfg.probing, self.table.capacity)
+    }
+
+    /// Launch options shared by this map's kernels: billed working set
+    /// plus the configured group schedule.
+    fn launch_opts(&self) -> LaunchOptions {
+        LaunchOptions::default()
+            .with_working_set(self.working_set())
+            .with_schedule(self.cfg.schedule)
     }
 
     // ---- device-sided operations ----------------------------------------
@@ -187,9 +214,13 @@ impl GpuHashMap {
             n,
             &self.prober(),
             self.cfg.p_max,
-            self.working_set(),
+            self.launch_opts(),
+            self.cfg.broken_cas_recheck,
+            self.recorder.as_deref(),
         );
         self.occupied.fetch_add(outcome.new_slots, Relaxed);
+        // claims over TOMBSTONE words shorten the pending-rebuild debt
+        self.tombstones.fetch_sub(outcome.reclaimed, Relaxed);
         if outcome.failed > 0 {
             return Err(InsertError::ProbingExhausted {
                 failed: outcome.failed,
@@ -210,7 +241,8 @@ impl GpuHashMap {
             n,
             &self.prober(),
             self.cfg.p_max,
-            self.working_set(),
+            self.launch_opts(),
+            self.recorder.as_deref(),
         )
     }
 
@@ -233,7 +265,8 @@ impl GpuHashMap {
             n,
             &self.prober(),
             self.cfg.p_max,
-            self.working_set(),
+            self.launch_opts(),
+            self.recorder.as_deref(),
         );
         self.occupied.fetch_sub(outcome.erased, Relaxed);
         self.tombstones.fetch_add(outcome.erased, Relaxed);

@@ -12,6 +12,7 @@
 use crate::config::Config;
 use crate::entry::{is_empty_slot, is_occupied, is_vacant, key_of, pack, value_of, EMPTY};
 use crate::errors::{BuildError, InsertError};
+use crate::history::{HistoryRecorder, OpKind, OpResponse};
 use crate::probing::Prober;
 use gpu_sim::{DevSlice, Device, GroupCtx, KernelStats, LaunchOptions};
 use hashes::DoubleHash;
@@ -29,6 +30,7 @@ pub struct GpuMultiMap {
     cfg: Config,
     dh: DoubleHash,
     occupied: AtomicU64,
+    recorder: Option<Arc<HistoryRecorder>>,
 }
 
 impl GpuMultiMap {
@@ -50,7 +52,16 @@ impl GpuMultiMap {
             cfg,
             dh: DoubleHash::from_seed(cfg.seed),
             occupied: AtomicU64::new(0),
+            recorder: None,
         })
+    }
+
+    /// Attaches (or detaches) a per-operation history recorder — see
+    /// [`crate::GpuHashMap::set_recorder`]. Multi-map events use the
+    /// multiset op kinds checked by
+    /// [`crate::linearize::check_linearizable_multi`].
+    pub fn set_recorder(&mut self, rec: Option<Arc<HistoryRecorder>>) {
+        self.recorder = rec;
     }
 
     /// Total stored pairs (each duplicate counts).
@@ -92,16 +103,21 @@ impl GpuMultiMap {
         let cap = self.capacity;
         let prober = self.prober();
         let p_max = self.cfg.p_max;
+        let recorder = self.recorder.as_deref();
         let stats = self.dev.launch(
             "multimap_insert",
             words.len(),
             self.cfg.group_size,
-            LaunchOptions::default().with_working_set(table.bytes()),
+            LaunchOptions::default()
+                .with_working_set(table.bytes())
+                .with_schedule(self.cfg.schedule),
             |ctx: &GroupCtx| {
+                let invoked = recorder.map(HistoryRecorder::invoke);
                 let word = ctx.read_stream(input, ctx.group_id());
                 let key = key_of(word);
                 let g = ctx.size().get();
-                for p in 0..p_max {
+                let mut claimed = false;
+                'probe: for p in 0..p_max {
                     for q in 0..ctx.size().windows_per_warp() {
                         let base = prober.window_base(key, p, q, g) as usize;
                         let mut window = ctx.read_window(table, base);
@@ -112,13 +128,31 @@ impl GpuMultiMap {
                             let idx = (base + r as usize) % cap;
                             if ctx.cas(table, idx, window.lane(r), word).is_ok() {
                                 inserted.fetch_add(1, Relaxed);
-                                return;
+                                claimed = true;
+                                break 'probe;
                             }
                             window = ctx.reload_window(table, base);
                         }
                     }
                 }
-                failed.fetch_add(1, Relaxed);
+                if !claimed {
+                    failed.fetch_add(1, Relaxed);
+                }
+                if let (Some(rec), Some(invoked)) = (recorder, invoked) {
+                    let response = if claimed {
+                        OpResponse::Inserted { new_slot: true }
+                    } else {
+                        OpResponse::InsertFailed
+                    };
+                    rec.complete(
+                        key,
+                        OpKind::InsertMulti {
+                            value: value_of(word),
+                        },
+                        response,
+                        invoked,
+                    );
+                }
             },
         );
         self.occupied.fetch_add(inserted.load(Relaxed), Relaxed);
@@ -145,12 +179,16 @@ impl GpuMultiMap {
         let table = self.table;
         let prober = self.prober();
         let p_max = self.cfg.p_max;
+        let recorder = self.recorder.as_deref();
         let stats = self.dev.launch(
             "multimap_retrieve_all",
             words.len(),
             self.cfg.group_size,
-            LaunchOptions::default().with_working_set(table.bytes()),
+            LaunchOptions::default()
+                .with_working_set(table.bytes())
+                .with_schedule(self.cfg.schedule),
             |ctx: &GroupCtx| {
+                let invoked = recorder.map(HistoryRecorder::invoke);
                 let gid = ctx.group_id();
                 let key = key_of(ctx.read_stream(input, gid));
                 let g = ctx.size().get();
@@ -175,6 +213,16 @@ impl GpuMultiMap {
                 hits.sort_unstable_by_key(|h| h.0);
                 hits.dedup_by_key(|h| h.0);
                 let found: Vec<u32> = hits.into_iter().map(|h| h.1).collect();
+                if let (Some(rec), Some(invoked)) = (recorder, invoked) {
+                    let mut values = found.clone();
+                    values.sort_unstable();
+                    rec.complete(
+                        key,
+                        OpKind::RetrieveAll,
+                        OpResponse::FoundAll { values },
+                        invoked,
+                    );
+                }
                 // result sizes are variable; materialize host-side and
                 // bill the writes as streaming output
                 ctx.bill_stream_bytes(8 * found.len().max(1) as u64);

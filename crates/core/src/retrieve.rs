@@ -13,7 +13,8 @@
 //! indices through them) and are ignored here.
 
 use crate::config::Layout;
-use crate::entry::{is_empty_slot, key_of, EMPTY};
+use crate::entry::{is_empty_slot, key_of, value_of, EMPTY};
+use crate::history::{HistoryRecorder, OpKind, OpResponse};
 use crate::insert::{soa_hit, soa_is_empty, soa_key_of};
 use crate::map::TableRef;
 use crate::probing::Prober;
@@ -29,20 +30,32 @@ pub(crate) fn retrieve_kernel(
     n: usize,
     prober: &Prober,
     p_max: u32,
-    working_set: u64,
+    opts: LaunchOptions,
+    recorder: Option<&HistoryRecorder>,
 ) -> KernelStats {
     dev.launch(
         "warpdrive_retrieve",
         n,
         table.group_size,
-        LaunchOptions::default().with_working_set(working_set),
+        opts,
         |ctx: &GroupCtx| {
+            let invoked = recorder.map(HistoryRecorder::invoke);
             let query = ctx.read_stream(input, ctx.group_id());
             let key = key_of(query);
             let result = match table.layout {
                 Layout::Aos => retrieve_one_aos(ctx, table, prober, p_max, key),
                 Layout::Soa => retrieve_one_soa(ctx, table, prober, p_max, key),
             };
+            if let (Some(rec), Some(invoked)) = (recorder, invoked) {
+                let response = if result == EMPTY {
+                    OpResponse::NotFound
+                } else {
+                    OpResponse::Found {
+                        value: value_of(result),
+                    }
+                };
+                rec.complete(key, OpKind::Retrieve, response, invoked);
+            }
             ctx.write_stream(out, ctx.group_id(), result);
         },
     )

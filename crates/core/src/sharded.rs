@@ -128,6 +128,7 @@ impl ShardedHashMap {
                             acc.stats = acc.stats.merged(&o.stats);
                             acc.new_slots += o.new_slots;
                             acc.updates += o.updates;
+                            acc.reclaimed += o.reclaimed;
                             acc
                         }
                     });
@@ -141,6 +142,7 @@ impl ShardedHashMap {
             failed: 0,
             new_slots: 0,
             updates: 0,
+            reclaimed: 0,
         });
         outcome.stats = outcome.stats.merged(&route_stats);
         outcome.failed = failed;

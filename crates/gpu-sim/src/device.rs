@@ -2,6 +2,7 @@
 
 use crate::counters::{CounterSnapshot, KernelCounters};
 use crate::mem::{DevSlice, DeviceMemory, OutOfMemory};
+use crate::sched::{self, Schedule};
 use crate::simt::{GroupCtx, GroupSize};
 use crate::spec::DeviceSpec;
 use crate::timing::{TimeBreakdown, TimingModel};
@@ -16,8 +17,14 @@ pub struct LaunchOptions {
     /// `None` means "use the actual footprint is unknown; no degradation".
     pub modeled_working_set: Option<u64>,
     /// Run groups sequentially on the calling thread (deterministic order
-    /// for tests; production launches use the Rayon pool).
+    /// for tests; production launches use the Rayon pool). Equivalent to
+    /// `schedule = Schedule::Sequential` and kept for compatibility; it
+    /// wins over `schedule` when set.
     pub sequential: bool,
+    /// How groups interleave: the racing pool (default), sequential, or
+    /// one of the deterministic stepwise schedules (see
+    /// [`crate::sched`]).
+    pub schedule: Schedule,
 }
 
 impl LaunchOptions {
@@ -33,6 +40,23 @@ impl LaunchOptions {
     pub fn sequential(mut self) -> Self {
         self.sequential = true;
         self
+    }
+
+    /// Selects the group schedule for this launch.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The schedule this launch will actually use (`sequential` wins).
+    #[must_use]
+    pub fn effective_schedule(&self) -> Schedule {
+        if self.sequential {
+            Schedule::Sequential
+        } else {
+            self.schedule
+        }
     }
 }
 
@@ -159,24 +183,36 @@ impl Device {
         F: Fn(&GroupCtx) + Sync,
     {
         let counters = KernelCounters::new();
-        if opts.sequential {
-            for gid in 0..num_groups {
-                let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size);
-                kernel(&ctx);
-                counters.add_group();
-            }
-        } else {
-            // Chunk groups so per-task overhead stays negligible even for
-            // millions of tiny groups (perf-book: amortize par_iter tasks).
-            const CHUNK: usize = 1024;
-            (0..num_groups)
-                .into_par_iter()
-                .with_min_len(CHUNK)
-                .for_each(|gid| {
+        match opts.effective_schedule() {
+            Schedule::Sequential => {
+                for gid in 0..num_groups {
                     let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size);
                     kernel(&ctx);
                     counters.add_group();
+                }
+            }
+            Schedule::Pool => {
+                // Chunk groups so per-task overhead stays negligible even
+                // for millions of tiny groups (perf-book: amortize
+                // par_iter tasks).
+                const CHUNK: usize = 1024;
+                (0..num_groups)
+                    .into_par_iter()
+                    .with_min_len(CHUNK)
+                    .for_each(|gid| {
+                        let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size);
+                        kernel(&ctx);
+                        counters.add_group();
+                    });
+            }
+            stepwise => {
+                sched::run_stepwise(stepwise, num_groups, |gid, step| {
+                    let ctx =
+                        GroupCtx::new_stepped(&self.mem, &counters, gid, group_size, step);
+                    kernel(&ctx);
+                    counters.add_group();
                 });
+            }
         }
         let snapshot = counters.snapshot();
         let working_set = opts.modeled_working_set.unwrap_or(0);

@@ -33,6 +33,7 @@ pub mod clock;
 pub mod counters;
 pub mod device;
 pub mod mem;
+pub mod sched;
 pub mod simt;
 pub mod spec;
 pub mod timing;
@@ -41,6 +42,7 @@ pub use clock::ResourceTimeline;
 pub use counters::{CounterSnapshot, KernelCounters};
 pub use device::{Device, KernelStats, LaunchOptions};
 pub use mem::{DevSlice, DeviceMemory, OutOfMemory, ScratchGuard};
+pub use sched::{AdversarialMode, Schedule, StepSched};
 pub use simt::{GroupCtx, GroupSize};
 pub use spec::DeviceSpec;
 pub use timing::TimingModel;

@@ -13,6 +13,7 @@
 
 use crate::counters::KernelCounters;
 use crate::mem::{DevSlice, DeviceMemory};
+use crate::sched::StepSched;
 use std::sync::atomic::Ordering;
 
 /// A validated coalesced-group size: one of `{1, 2, 4, 8, 16, 32}`.
@@ -117,6 +118,10 @@ pub struct GroupCtx<'a> {
     counters: &'a KernelCounters,
     group_id: usize,
     size: GroupSize,
+    /// Stepwise scheduler of the launch, when one is active. `None` on
+    /// the pool/sequential paths, so the per-operation pacing check is a
+    /// single predictable branch.
+    sched: Option<&'a StepSched>,
 }
 
 impl<'a> GroupCtx<'a> {
@@ -131,6 +136,34 @@ impl<'a> GroupCtx<'a> {
             counters,
             group_id,
             size,
+            sched: None,
+        }
+    }
+
+    pub(crate) fn new_stepped(
+        mem: &'a DeviceMemory,
+        counters: &'a KernelCounters,
+        group_id: usize,
+        size: GroupSize,
+        sched: &'a StepSched,
+    ) -> Self {
+        Self {
+            mem,
+            counters,
+            group_id,
+            size,
+            sched: Some(sched),
+        }
+    }
+
+    /// Preemption point: under a stepwise schedule, possibly hands
+    /// execution to another group. Free (one `None` check) on the pool
+    /// and sequential paths. Called at the top of every counted
+    /// device-memory operation — the places where groups interact.
+    #[inline]
+    fn pace(&self) {
+        if let Some(s) = self.sched {
+            s.yield_point(self.group_id);
         }
     }
 
@@ -203,6 +236,7 @@ impl<'a> GroupCtx<'a> {
     /// around the end of the table — and one dependent round-trip.
     #[must_use]
     pub fn read_window(&self, slice: DevSlice, base: usize) -> Window {
+        self.pace();
         let len = slice.len();
         debug_assert!(len > 0);
         let g = self.size.get() as usize;
@@ -236,6 +270,7 @@ impl<'a> GroupCtx<'a> {
     /// naïve scheme and the cuckoo baselines bandwidth-hungry).
     #[must_use]
     pub fn read(&self, slice: DevSlice, idx: usize) -> u64 {
+        self.pace();
         let v = self
             .mem
             .word(slice, idx % slice.len())
@@ -247,6 +282,7 @@ impl<'a> GroupCtx<'a> {
 
     /// Uncoalesced single-word store.
     pub fn write(&self, slice: DevSlice, idx: usize, val: u64) {
+        self.pace();
         self.mem
             .word(slice, idx % slice.len())
             .store(val, Ordering::Relaxed);
@@ -258,6 +294,7 @@ impl<'a> GroupCtx<'a> {
     /// these accesses are prefetch-friendly.
     #[must_use]
     pub fn read_stream(&self, slice: DevSlice, idx: usize) -> u64 {
+        self.pace();
         let v = self.mem.word(slice, idx).load(Ordering::Relaxed);
         self.counters.add_stream_bytes(8);
         v
@@ -265,6 +302,7 @@ impl<'a> GroupCtx<'a> {
 
     /// Fully coalesced streaming store (bulk outputs: query results).
     pub fn write_stream(&self, slice: DevSlice, idx: usize, val: u64) {
+        self.pace();
         self.mem.word(slice, idx).store(val, Ordering::Relaxed);
         self.counters.add_stream_bytes(8);
     }
@@ -282,6 +320,7 @@ impl<'a> GroupCtx<'a> {
     /// so the line is L2-resident and the RMW executes near the cache —
     /// no extra DRAM transaction.
     pub fn cas(&self, slice: DevSlice, idx: usize, current: u64, new: u64) -> Result<(), u64> {
+        self.pace();
         let r = self.mem.word(slice, idx % slice.len()).compare_exchange(
             current,
             new,
@@ -297,6 +336,7 @@ impl<'a> GroupCtx<'a> {
     /// baseline's eviction step): the line is not L2-resident, so the RMW
     /// pays a full sector fetch plus the cold-atomic round-trip.
     pub fn exchange(&self, slice: DevSlice, idx: usize, new: u64) -> u64 {
+        self.pace();
         let old = self
             .mem
             .word(slice, idx % slice.len())
@@ -310,6 +350,7 @@ impl<'a> GroupCtx<'a> {
     /// 64-bit `atomicAdd` returning the previous value (multisplit
     /// counters, warp-aggregated compaction).
     pub fn atomic_add(&self, slice: DevSlice, idx: usize, delta: u64) -> u64 {
+        self.pace();
         let old = self
             .mem
             .word(slice, idx % slice.len())
@@ -322,6 +363,7 @@ impl<'a> GroupCtx<'a> {
     /// 64-bit `atomicOr` returning the previous value (ticket-board bit
     /// claims in the Stadium-hash baseline).
     pub fn atomic_or(&self, slice: DevSlice, idx: usize, bits: u64) -> u64 {
+        self.pace();
         let old = self
             .mem
             .word(slice, idx % slice.len())
@@ -337,6 +379,7 @@ impl<'a> GroupCtx<'a> {
     /// multisplit, whose permutation is computed host-side but whose
     /// traffic must still be charged).
     pub fn bill_transactions(&self, n: u64) {
+        self.pace();
         self.counters.add_transactions(n);
         self.counters.add_steps(1);
     }
@@ -349,6 +392,7 @@ impl<'a> GroupCtx<'a> {
 
     /// 64-bit `atomicMax` (used by some baselines' stash bookkeeping).
     pub fn atomic_max(&self, slice: DevSlice, idx: usize, val: u64) -> u64 {
+        self.pace();
         let old = self
             .mem
             .word(slice, idx % slice.len())

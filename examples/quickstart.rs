@@ -8,10 +8,10 @@ use std::sync::Arc;
 use warpdrive::{Config, GpuHashMap};
 
 fn main() {
-    // A simulated Tesla P100 with a small memory pool (1 MiB of words is
-    // plenty for this demo; Device::new(id, DeviceSpec::p100()) would
-    // allocate the full 16 GB).
-    let dev = Arc::new(Device::with_words(0, 1 << 17));
+    // A simulated Tesla P100 with a small memory pool (2 MiB of words:
+    // table + staging for the bulk queries below; Device::new(id,
+    // DeviceSpec::p100()) would allocate the full 16 GB).
+    let dev = Arc::new(Device::with_words(0, 1 << 18));
 
     // A table of 65,536 slots with the paper's default configuration:
     // coalesced group size |g| = 4, hybrid probing, AOS layout.

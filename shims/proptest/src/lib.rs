@@ -1,0 +1,522 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crate registry, so this local path
+//! dependency reimplements the slice of proptest the workspace uses:
+//! the `proptest!` macro (with `#![proptest_config(...)]`, `name in
+//! strategy` and `name: Type` parameters), `prop_assert!`-family macros,
+//! integer-range / tuple / `any::<T>()` strategies,
+//! `collection::{vec, hash_set}` and `sample::select`.
+//!
+//! Differences from real proptest, by design:
+//! * **No shrinking.** A failing case reports its generated inputs and
+//!   the seed that produced them instead of a minimised counterexample.
+//! * **Deterministic seeding.** Case `i` of every test derives from a
+//!   fixed base seed (override with `PROPTEST_SEED`), so CI failures
+//!   replay exactly.
+//! * **Env-tunable case count.** `PROPTEST_CASES` overrides the case
+//!   count of every suite, including explicit
+//!   `ProptestConfig::with_cases(n)` — small defaults for CI, large for
+//!   nightly sweeps.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+
+pub mod collection;
+pub mod sample;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+/// A value generator. Unlike real proptest there is no value tree or
+/// shrinking — a strategy just produces a value from the RNG.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    /// Generates an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// The canonical strategy for `T` — uniform over the whole value space.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Integers sampled uniformly from `start..end`.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss,
+                    clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss,
+                    clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!` — try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Suite configuration (subset of real proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+/// Reads a `u64`-valued environment variable.
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: env_u64("PROPTEST_CASES").map_or(64, |n| n.max(1) as u32),
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property. The `PROPTEST_CASES`
+    /// environment variable overrides the explicit count so one knob
+    /// scales every suite (small for CI, large for nightly).
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: env_u64("PROPTEST_CASES").map_or(cases, |n| n.max(1) as u32),
+        }
+    }
+}
+
+/// Drives one property: `body` generates inputs from the per-case RNG
+/// and returns the case outcome plus a rendered view of the inputs.
+///
+/// # Panics
+/// Panics (failing the `#[test]`) when a case fails, printing the inputs
+/// and the `PROPTEST_SEED` value that reproduces the run.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, body: F)
+where
+    F: Fn(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let base_seed = env_u64("PROPTEST_SEED").unwrap_or(0xd1ce_5eed_0000_0000);
+    let mut rejected = 0u32;
+    let mut case = 0u32;
+    let max_rejects = config.cases.saturating_mul(16).max(1024);
+    while case < config.cases {
+        // decorrelate per-case streams; keep derivation simple and stable
+        let mut rng = TestRng::new(
+            base_seed ^ (u64::from(case + rejected).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        let (result, inputs) = body(&mut rng);
+        match result {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < max_rejects,
+                    "{test_name}: too many rejected cases ({rejected}); \
+                     loosen the prop_assume! conditions"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property failed at case {case}/{}\n  {msg}\n  \
+                     inputs: {inputs}\n  replay with PROPTEST_SEED={base_seed}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Mirrors real proptest's surface for the
+/// patterns used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn prop(x in 0u32..100, flag: bool) { prop_assert!(x < 100 || flag); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal: expands each `fn` item inside `proptest! { ... }`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(($cfg) ($name) ($($params)*) () $body);
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Internal: munches the parameter list, accumulating `(name, strategy)`
+/// pairs, then emits the runner call.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // name in strategy, ...
+    (($cfg:expr) ($fname:ident) ($var:ident in $strat:expr, $($rest:tt)*) ($($acc:tt)*) $body:block) => {
+        $crate::__proptest_case!(($cfg) ($fname) ($($rest)*) ($($acc)* ($var, $strat)) $body)
+    };
+    (($cfg:expr) ($fname:ident) ($var:ident in $strat:expr) ($($acc:tt)*) $body:block) => {
+        $crate::__proptest_case!(($cfg) ($fname) () ($($acc)* ($var, $strat)) $body)
+    };
+    // name: Type, ...
+    (($cfg:expr) ($fname:ident) ($var:ident : $ty:ty, $($rest:tt)*) ($($acc:tt)*) $body:block) => {
+        $crate::__proptest_case!(($cfg) ($fname) ($($rest)*) ($($acc)* ($var, $crate::any::<$ty>())) $body)
+    };
+    (($cfg:expr) ($fname:ident) ($var:ident : $ty:ty) ($($acc:tt)*) $body:block) => {
+        $crate::__proptest_case!(($cfg) ($fname) () ($($acc)* ($var, $crate::any::<$ty>())) $body)
+    };
+    // parameter list exhausted: emit the case driver
+    (($cfg:expr) ($fname:ident) () ($(($var:ident, $strat:expr))*) $body:block) => {{
+        let __config: $crate::ProptestConfig = $cfg;
+        $crate::run_cases(&__config, stringify!($fname), |__rng| {
+            $(let $var = $crate::Strategy::generate(&($strat), __rng);)*
+            let __inputs = {
+                let mut __s = ::std::string::String::new();
+                $(
+                    __s.push_str(concat!(stringify!($var), " = "));
+                    __s.push_str(&format!("{:?}, ", &$var));
+                )*
+                let _ = &mut __s;
+                __s
+            };
+            let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                (move || {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+            (__outcome, __inputs)
+        });
+    }};
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{}\n  both: {:?}",
+            format!($($fmt)*), __l
+        );
+    }};
+}
+
+/// Rejects the current case (without failing) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in 0u64..1) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert_eq!(y, 0);
+        }
+
+        #[test]
+        fn bare_type_params_work(k: u32, flag: bool) {
+            // trivially true; exercises the `name: Type` munching arm
+            prop_assert!(u64::from(k) <= u64::from(u32::MAX));
+            prop_assert!(flag || !flag);
+        }
+
+        #[test]
+        fn tuples_and_collections_compose(
+            pairs in crate::collection::vec((0u32..100, any::<u32>()), 1..50),
+            pick in crate::sample::select(vec![1usize, 2, 4]),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 50);
+            prop_assert!(pairs.iter().all(|&(k, _)| k < 100));
+            prop_assert!([1, 2, 4].contains(&pick));
+        }
+
+        #[test]
+        fn hash_sets_respect_size(s in crate::collection::hash_set(0u32..1000, 2..20)) {
+            prop_assert!(s.len() >= 2 && s.len() < 20);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let caught = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn must_fail(x in 5u32..6) {
+                    prop_assert!(x != 5, "x was {}", x);
+                }
+            }
+            must_fail();
+        });
+        let msg = *caught
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("x was 5"), "got: {msg}");
+        assert!(msg.contains("PROPTEST_SEED="), "got: {msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(1);
+        let s = (0u32..1000, any::<bool>());
+        for _ in 0..50 {
+            assert_eq!(format!("{:?}", s.generate(&mut a)), format!("{:?}", s.generate(&mut b)));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Sampling strategies: `select` from a fixed list.
+
+use crate::{Strategy, TestRng};
+use std::fmt::Debug;
+
+/// Strategy picking uniformly from a fixed option list.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Picks one of the given options per case.
+///
+/// # Panics
+/// Panics if `options` is empty.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].clone()
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace vendors the *tiny* slice of `rand`'s API it actually calls
+//! (`StdRng::seed_from_u64` + `Rng::gen`/`gen_range`) as a local path
+//! dependency. The generator is SplitMix64 — statistically fine for
+//! seeding tabulation tables and test inputs, and fully deterministic,
+//! which the deterministic-schedule harness relies on. It is **not** the
+//! real `rand` and makes no cryptographic claims.
+
+#![forbid(unsafe_code)]
+
+/// Values that can be produced from the raw 64-bit generator output.
+pub trait Fill: Sized {
+    /// Derives a value from one 64-bit draw.
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! impl_fill_int {
+    ($($t:ty),*) => {$(
+        impl Fill for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_u64(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+
+impl_fill_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Fill for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Fill for f64 {
+    fn from_u64(raw: u64) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1)
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Fill for f32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// The subset of `rand::Rng` this workspace uses.
+pub trait Rng {
+    /// Raw 64-bit output of the underlying generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Generates a value of any [`Fill`] type.
+    fn gen<T: Fill>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Uniform draw from `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        T: Copy + PartialOrd + RangeSample,
+    {
+        assert!(range.start < range.end, "gen_range on empty range");
+        T::sample(self.next_u64(), range.start, range.end)
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait RangeSample: Sized {
+    /// Maps one raw 64-bit draw uniformly into `[lo, hi)`.
+    fn sample(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample(raw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let off = (u128::from(raw) % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The subset of `rand::SeedableRng` this workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    /// Deterministic stand-in for `rand::rngs::StdRng` (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// `rand::prelude` stand-in.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let s: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_covers_types() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u32 = rng.gen();
+        let _: bool = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

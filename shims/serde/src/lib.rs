@@ -1,0 +1,134 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crate registry, so this local path
+//! dependency supplies just enough of serde's trait skeleton for the
+//! workspace to typecheck: `Serialize`/`Deserialize` for primitives, the
+//! `Serializer`/`Deserializer` trait shapes used by manual
+//! `#[serde(with = "...")]` helpers, `de::Error::custom`, and (behind the
+//! `derive` feature) no-op derive macros. No serializer *implementation*
+//! exists in the tree, so none of this ever executes — it only has to
+//! compile. Restore the upstream crates before adding real
+//! (de)serialization.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization counterpart of [`Deserialize`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data-format backend. Only the primitive sinks the workspace's manual
+/// impls call are present.
+pub trait Serializer: Sized {
+    /// Value returned on success.
+    type Ok;
+    /// Error type of the format.
+    type Error: ser::Error;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Deserialization counterpart of [`Serialize`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data-format frontend. The shim replaces serde's visitor machinery
+/// with direct primitive sources — sufficient for the manual impls in
+/// this workspace, which only pull single integers.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: de::Error;
+
+    /// Produces a `bool`.
+    fn deserialize_shim_bool(self) -> Result<bool, Self::Error>;
+    /// Produces a `u32`.
+    fn deserialize_shim_u32(self) -> Result<u32, Self::Error>;
+    /// Produces a `u64`.
+    fn deserialize_shim_u64(self) -> Result<u64, Self::Error>;
+    /// Produces an `i64`.
+    fn deserialize_shim_i64(self) -> Result<i64, Self::Error>;
+    /// Produces an `f64`.
+    fn deserialize_shim_f64(self) -> Result<f64, Self::Error>;
+}
+
+macro_rules! impl_primitives {
+    ($($t:ty => $ser:ident / $de:ident / $conv:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            #[allow(clippy::cast_lossless, clippy::cast_possible_wrap)]
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self as $conv)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                Ok(deserializer.$de()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_primitives!(
+    u8 => serialize_u64 / deserialize_shim_u64 / u64,
+    u16 => serialize_u64 / deserialize_shim_u64 / u64,
+    u32 => serialize_u32 / deserialize_shim_u32 / u32,
+    u64 => serialize_u64 / deserialize_shim_u64 / u64,
+    usize => serialize_u64 / deserialize_shim_u64 / u64,
+    i32 => serialize_i64 / deserialize_shim_i64 / i64,
+    i64 => serialize_i64 / deserialize_shim_i64 / i64,
+    f64 => serialize_f64 / deserialize_shim_f64 / f64,
+);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_shim_bool()
+    }
+}
+
+/// Serialization-side error plumbing.
+pub mod ser {
+    use super::Display;
+
+    /// Errors a [`super::Serializer`] can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error plumbing.
+pub mod de {
+    use super::Display;
+
+    /// Errors a [`super::Deserializer`] can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde
+//! stand-in. Nothing in this workspace ever serializes a value (there is
+//! no serde_json or equivalent in the tree) — the derives exist so the
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` annotations on
+//! config/stats/topology types keep compiling without a registry. They
+//! expand to nothing, so the annotated types do **not** implement the
+//! traits; any future code that needs real serialization must restore the
+//! upstream crates.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,169 @@
+//! Linearizability checking of recorded operation histories under
+//! deterministic stepwise schedules.
+//!
+//! Each case attaches a [`warpdrive::HistoryRecorder`] to a map, drives
+//! concurrent batches under a seeded schedule, and feeds the recorded
+//! history to the Wing–Gong checker. Two obligations:
+//!
+//! 1. **Soundness of the implementation** — every shipped map variant
+//!    yields linearizable histories under every swept seed, group size
+//!    and layout.
+//! 2. **Power of the checker** — the deliberately broken probing variant
+//!    (`Config::broken_cas_recheck`, which skips the Fig. 3 reload after
+//!    a failed claim CAS) is flagged non-linearizable within the seed
+//!    budget (`WD_MUTATION_SEEDS`, default = `WD_SWEEP_SEEDS`).
+//!
+//! Failure messages always carry the seed: replay with
+//! `WD_SCHED_MODE=seeded WD_SCHED_SEED=<seed>`.
+
+use gpu_sim::{Device, GroupSize, Schedule};
+use interconnect::Topology;
+use std::sync::Arc;
+use warpdrive::{
+    check_linearizable, check_linearizable_multi, Config, DistributedHashMap, GpuHashMap,
+    GpuMultiMap, HistoryRecorder, Layout,
+};
+use wd_apps::{mutation_seeds, sweep_seeds};
+
+/// Contended workload: 16 pairs over 4 keys (4-way same-key races), a
+/// mixed-hit retrieve, an erase wave, then a re-check retrieve.
+fn drive(map: &mut GpuHashMap) {
+    let pairs: Vec<(u32, u32)> = (0..16u32).map(|i| (i % 4 + 1, i * 7)).collect();
+    map.insert_pairs(&pairs).unwrap();
+    let (_, _) = map.retrieve(&[1, 2, 3, 4, 5, 6]);
+    map.erase(&[2, 4, 6]);
+    let (_, _) = map.retrieve(&[1, 2, 3, 4]);
+    map.insert_pairs(&[(2, 999), (4, 1000)]).unwrap();
+    let (_, _) = map.retrieve(&[2, 4]);
+}
+
+#[test]
+fn map_histories_are_linearizable_across_the_sweep() {
+    let seeds = sweep_seeds();
+    for layout in [Layout::Aos, Layout::Soa] {
+        for g in GroupSize::ALL {
+            for seed in 0..seeds {
+                let cell = format!("layout {layout:?}, |g|={}, seed {seed}", g.get());
+                let dev = Arc::new(Device::with_words(0, 1 << 12));
+                let cfg = Config::default()
+                    .with_layout(layout)
+                    .with_group_size(g.get())
+                    .with_schedule(Schedule::Seeded(seed));
+                let mut map = GpuHashMap::new(dev, 64, cfg).unwrap();
+                let rec = Arc::new(HistoryRecorder::new());
+                map.set_recorder(Some(Arc::clone(&rec)));
+                drive(&mut map);
+                let history = rec.events();
+                assert!(!history.is_empty(), "{cell}: recorder captured nothing");
+                check_linearizable(&history)
+                    .unwrap_or_else(|v| panic!("{cell}: {v}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn histories_replay_bit_identically() {
+    for seed in 0..sweep_seeds().min(8) {
+        let record = || {
+            let dev = Arc::new(Device::with_words(0, 1 << 12));
+            let cfg = Config::default().with_schedule(Schedule::Seeded(seed));
+            let mut map = GpuHashMap::new(dev, 64, cfg).unwrap();
+            let rec = Arc::new(HistoryRecorder::new());
+            map.set_recorder(Some(Arc::clone(&rec)));
+            drive(&mut map);
+            rec.events()
+        };
+        assert_eq!(
+            record(),
+            record(),
+            "seed {seed}: history (events, order and timestamps) diverged on replay"
+        );
+    }
+}
+
+#[test]
+fn multimap_histories_are_linearizable() {
+    let seeds = sweep_seeds().min(16);
+    let pairs: Vec<(u32, u32)> = (0..16u32).map(|i| (i % 4 + 1, i)).collect();
+    for g in GroupSize::ALL {
+        for seed in 0..seeds {
+            let cell = format!("multimap |g|={}, seed {seed}", g.get());
+            let dev = Arc::new(Device::with_words(0, 1 << 12));
+            let cfg = Config::default()
+                .with_group_size(g.get())
+                .with_schedule(Schedule::Seeded(seed));
+            let mut mm = GpuMultiMap::new(dev, 64, cfg).unwrap();
+            let rec = Arc::new(HistoryRecorder::new());
+            mm.set_recorder(Some(Arc::clone(&rec)));
+            mm.insert_pairs(&pairs).unwrap();
+            let (_, _) = mm.retrieve_all(&[1, 2, 3, 4, 5]);
+            // second wave overlaps existing content
+            mm.insert_pairs(&[(1, 100), (5, 101)]).unwrap();
+            let (_, _) = mm.retrieve_all(&[1, 5]);
+            check_linearizable_multi(&rec.events())
+                .unwrap_or_else(|v| panic!("{cell}: {v}"));
+        }
+    }
+}
+
+#[test]
+fn distributed_histories_are_linearizable() {
+    let seeds = sweep_seeds().min(8);
+    for seed in 0..seeds {
+        let cell = format!("distributed seed {seed}");
+        let devices: Vec<Arc<Device>> = (0..2)
+            .map(|i| Arc::new(Device::with_words(i, 1 << 14)))
+            .collect();
+        let cfg = Config::default().with_schedule(Schedule::Seeded(seed));
+        let mut d = DistributedHashMap::new(devices, 256, cfg, Topology::p100_quad(2)).unwrap();
+        let rec = Arc::new(HistoryRecorder::new());
+        d.set_recorder(Some(Arc::clone(&rec)));
+        let pairs: Vec<(u32, u32)> = (0..32u32).map(|i| (i % 8 + 1, i)).collect();
+        d.insert_from_host(&pairs).unwrap();
+        let (_, _) = d.retrieve_from_host(&(1..=10).collect::<Vec<u32>>());
+        let (_, _) = d.erase_from_host(&[1, 3, 5]);
+        let (_, _) = d.retrieve_from_host(&(1..=6).collect::<Vec<u32>>());
+        check_linearizable(&rec.events()).unwrap_or_else(|v| panic!("{cell}: {v}"));
+    }
+}
+
+/// The mutation test: the broken probing variant must be *caught*. It
+/// skips the window reload after a failed claim CAS, so a key can land
+/// in two slots — the recorded history then contains two `new_slot`
+/// insert responses for one key with no erase between them, which no
+/// linearization legalizes.
+#[test]
+fn broken_cas_recheck_is_flagged_non_linearizable() {
+    let budget = mutation_seeds();
+    // heavy same-key contention maximizes failed-claim CASes
+    let pairs: Vec<(u32, u32)> = (0..8u32).map(|v| (42, v)).collect();
+    let run = |seed: u64, broken: bool| -> Result<(), warpdrive::Violation> {
+        let dev = Arc::new(Device::with_words(0, 1 << 12));
+        let mut cfg = Config::default()
+            .with_group_size(4)
+            .with_schedule(Schedule::Seeded(seed));
+        if broken {
+            cfg = cfg.with_broken_cas_recheck();
+        }
+        let mut map = GpuHashMap::new(dev, 64, cfg).unwrap();
+        let rec = Arc::new(HistoryRecorder::new());
+        map.set_recorder(Some(Arc::clone(&rec)));
+        map.insert_pairs(&pairs).unwrap();
+        let (_, _) = map.retrieve(&[42]);
+        check_linearizable(&rec.events())
+    };
+    let mut caught = None;
+    for seed in 0..budget {
+        // the correct implementation must stay clean on every seed the
+        // mutant is hunted with — no false positives
+        run(seed, false).unwrap_or_else(|v| panic!("false positive at seed {seed}: {v}"));
+        if caught.is_none() && run(seed, true).is_err() {
+            caught = Some(seed);
+        }
+    }
+    let seed = caught.unwrap_or_else(|| {
+        panic!("mutation double survived {budget} seeds — checker has no teeth")
+    });
+    println!("mutation double flagged non-linearizable at seed {seed}");
+}

@@ -1,0 +1,208 @@
+//! Deterministic-schedule sweeps over the map variants.
+//!
+//! Every stepwise schedule the `gpu_sim::sched` module can produce is a
+//! legal interleaving of the corresponding CUDA grid, so under *any*
+//! swept seed the maps must produce model-correct results — and under
+//! the *same* seed they must produce bit-identical results and kernel
+//! counters (the replay guarantee that makes CI failures reproducible).
+//!
+//! Breadth knobs (see README "Testing & determinism"):
+//! * `WD_SWEEP_SEEDS` — seeds per (layout × group size) cell (default 32)
+//! * `WD_SCHED_*` — replay any single schedule across the whole suite
+//!
+//! Every assertion message names the `(layout, |g|, schedule)` cell so a
+//! CI failure can be replayed with `WD_SCHED_MODE=seeded
+//! WD_SCHED_SEED=<seed>`.
+
+use gpu_sim::{AdversarialMode, CounterSnapshot, Device, GroupSize, Schedule};
+use interconnect::Topology;
+use std::collections::HashMap;
+use std::sync::Arc;
+use warpdrive::{Config, DistributedHashMap, GpuHashMap, GpuMultiMap, Layout};
+use wd_apps::sweep_seeds;
+
+/// One deterministic workload: 24 pairs over 8 distinct keys (3-way
+/// same-key contention), retrieved together with 4 absent keys.
+fn pairs() -> Vec<(u32, u32)> {
+    (0..24u32).map(|i| (i % 8 + 1, i * 10)).collect()
+}
+
+fn query_keys() -> Vec<u32> {
+    (1..=12u32).collect() // keys 9..=12 are absent
+}
+
+/// Runs the workload on a fresh map; returns everything determinism must
+/// cover: retrieve results, len, and both kernels' counters.
+fn run_case(
+    layout: Layout,
+    g: GroupSize,
+    schedule: Schedule,
+) -> (Vec<Option<u32>>, u64, CounterSnapshot, CounterSnapshot) {
+    let dev = Arc::new(Device::with_words(0, 1 << 12));
+    let cfg = Config::default()
+        .with_layout(layout)
+        .with_group_size(g.get())
+        .with_schedule(schedule);
+    let map = GpuHashMap::new(dev, 64, cfg).unwrap();
+    let ins = map.insert_pairs(&pairs()).unwrap();
+    let (res, ret_stats) = map.retrieve(&query_keys());
+    (res, map.len(), ins.stats.counters, ret_stats.counters)
+}
+
+fn check_model(res: &[Option<u32>], len: u64, cell: &str) {
+    // last-writer-wins is schedule-dependent, but *some* inserted value
+    // for the key must be stored, and misses must miss
+    let mut by_key: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (k, v) in pairs() {
+        by_key.entry(k).or_default().push(v);
+    }
+    assert_eq!(len, 8, "{cell}: wrong live count");
+    for (i, &k) in query_keys().iter().enumerate() {
+        match by_key.get(&k) {
+            Some(candidates) => {
+                let v = res[i].unwrap_or_else(|| panic!("{cell}: key {k} lost"));
+                assert!(candidates.contains(&v), "{cell}: key {k} holds alien value {v}");
+            }
+            None => assert_eq!(res[i], None, "{cell}: phantom hit for absent key {k}"),
+        }
+    }
+}
+
+#[test]
+fn seeded_schedules_are_model_correct_and_replayable() {
+    let seeds = sweep_seeds();
+    for layout in [Layout::Aos, Layout::Soa] {
+        for g in GroupSize::ALL {
+            for seed in 0..seeds {
+                let schedule = Schedule::Seeded(seed);
+                let cell = format!("layout {layout:?}, |g|={}, {schedule}", g.get());
+                let first = run_case(layout, g, schedule);
+                check_model(&first.0, first.1, &cell);
+                // replay: bit-identical results and counters
+                let second = run_case(layout, g, schedule);
+                assert_eq!(first, second, "{cell}: same seed diverged on replay");
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_schedules_are_model_correct() {
+    for layout in [Layout::Aos, Layout::Soa] {
+        for g in GroupSize::ALL {
+            for schedule in [
+                Schedule::Sequential,
+                Schedule::Adversarial {
+                    mode: AdversarialMode::Reverse,
+                    seed: 0,
+                },
+                Schedule::Adversarial {
+                    mode: AdversarialMode::DelayOne,
+                    seed: 3,
+                },
+                Schedule::Adversarial {
+                    mode: AdversarialMode::RoundRobin { quantum: 1 },
+                    seed: 1,
+                },
+                Schedule::Adversarial {
+                    mode: AdversarialMode::RoundRobin { quantum: 7 },
+                    seed: 2,
+                },
+            ] {
+                let cell = format!("layout {layout:?}, |g|={}, {schedule}", g.get());
+                let run = run_case(layout, g, schedule);
+                check_model(&run.0, run.1, &cell);
+                let replay = run_case(layout, g, schedule);
+                assert_eq!(run, replay, "{cell}: adversarial replay diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn different_seeds_reach_different_interleavings() {
+    // not a correctness property, but the sweep is pointless if every
+    // seed collapses to the same trace: over 16 seeds at |g|=1 the
+    // insert counters (probe work depends on interleaving) must vary
+    let mut distinct = std::collections::HashSet::new();
+    for seed in 0..16u64 {
+        let (_, _, ins, _) = run_case(Layout::Aos, GroupSize::new(1), Schedule::Seeded(seed));
+        distinct.insert((ins.transactions, ins.cas_ops, ins.cas_failed, ins.group_steps));
+    }
+    assert!(
+        distinct.len() > 1,
+        "16 seeds produced identical counter traces — scheduler not interleaving"
+    );
+}
+
+#[test]
+fn multimap_sweep_preserves_multiplicity() {
+    let seeds = sweep_seeds().min(16);
+    let pairs: Vec<(u32, u32)> = (0..24u32).map(|i| (i % 4 + 1, i)).collect();
+    let mut model: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &(k, v) in &pairs {
+        let e = model.entry(k).or_default();
+        e.push(v);
+        e.sort_unstable();
+    }
+    for g in GroupSize::ALL {
+        for seed in 0..seeds {
+            let cell = format!("multimap |g|={}, seed {seed}", g.get());
+            let dev = Arc::new(Device::with_words(0, 1 << 12));
+            let cfg = Config::default()
+                .with_group_size(g.get())
+                .with_schedule(Schedule::Seeded(seed));
+            let mm = GpuMultiMap::new(dev, 64, cfg).unwrap();
+            mm.insert_pairs(&pairs).unwrap();
+            assert_eq!(mm.len(), pairs.len() as u64, "{cell}: lost pairs");
+            let (res, _) = mm.retrieve_all(&[1, 2, 3, 4, 5]);
+            for (i, key) in (1u32..=5).enumerate() {
+                let mut got = res[i].clone();
+                got.sort_unstable();
+                let want = model.get(&key).cloned().unwrap_or_default();
+                assert_eq!(got, want, "{cell}: key {key} multiset wrong");
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_sweep_is_deterministic_and_complete() {
+    let seeds = sweep_seeds().min(8);
+    let pairs: Vec<(u32, u32)> = (0..64u32).map(|i| (i + 1, i * 3)).collect();
+    for seed in 0..seeds {
+        let run = |schedule: Schedule| {
+            let devices: Vec<Arc<Device>> = (0..2)
+                .map(|i| Arc::new(Device::with_words(i, 1 << 14)))
+                .collect();
+            let cfg = Config::default().with_schedule(schedule);
+            let d =
+                DistributedHashMap::new(devices, 256, cfg, Topology::p100_quad(2)).unwrap();
+            let words: Vec<Vec<u64>> = (0..2)
+                .map(|i| {
+                    pairs
+                        .iter()
+                        .skip(i * 32)
+                        .take(32)
+                        .map(|&(k, v)| warpdrive::pack(k, v))
+                        .collect()
+                })
+                .collect();
+            d.insert_device_sided(&words).unwrap();
+            let mut content: Vec<(u32, u32)> = d
+                .maps()
+                .iter()
+                .flat_map(warpdrive::GpuHashMap::snapshot)
+                .collect();
+            content.sort_unstable();
+            (d.len(), content)
+        };
+        let schedule = Schedule::Seeded(seed);
+        let (len, content) = run(schedule);
+        assert_eq!(len, 64, "{schedule}: entries lost in cascade");
+        let mut want: Vec<(u32, u32)> = pairs.clone();
+        want.sort_unstable();
+        assert_eq!(content, want, "{schedule}: content mismatch");
+        assert_eq!((len, content), run(schedule), "{schedule}: replay diverged");
+    }
+}

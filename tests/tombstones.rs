@@ -1,0 +1,142 @@
+//! Property-based coverage of delete/tombstone semantics.
+//!
+//! The two load-bearing invariants (satellite of the concurrency-harness
+//! issue):
+//!
+//! 1. **Tombstone reclamation** — a slot freed by `erase` is reusable by a
+//!    later insert. Re-inserting every erased key claims tombstones (never
+//!    fresh slots), driving the pending-tombstone count back to zero.
+//! 2. **`len()` consistency** — across arbitrarily interleaved insert /
+//!    erase / re-insert batches, `len()` tracks the sequential model
+//!    exactly and `tombstones()` never exceeds the total ever erased.
+//!
+//! Case counts follow `PROPTEST_CASES` (see README "Testing &
+//! determinism").
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use warpdrive::{Config, GpuHashMap, Layout};
+
+fn map_with(layout: Layout, g: u32, capacity: usize) -> GpuHashMap {
+    let dev = Arc::new(gpu_sim::Device::with_words(0, 1 << 15));
+    let cfg = Config::default().with_layout(layout).with_group_size(g);
+    GpuHashMap::new(dev, capacity, cfg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Erase a subset, then re-insert those keys one at a time: every
+    /// re-insert must land on a tombstone (its probe path reaches a
+    /// tombstoned slot no later than any empty one), so the pending
+    /// count returns to zero and no extra slots are consumed.
+    #[test]
+    fn reinserts_reclaim_every_tombstone(
+        keys in proptest::collection::hash_set(1u32..50_000, 4..200),
+        erase_every in 2usize..5,
+        g in proptest::sample::select(vec![1u32, 4, 16, 32]),
+        soa in any::<bool>(),
+    ) {
+        let layout = if soa { Layout::Soa } else { Layout::Aos };
+        let keys: Vec<u32> = keys.into_iter().collect();
+        let mut map = map_with(layout, g, 2048);
+        let pairs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k ^ 0x5a5a)).collect();
+        map.insert_pairs(&pairs).unwrap();
+        let slots_before = map.len();
+
+        let victims: Vec<u32> = keys.iter().step_by(erase_every).copied().collect();
+        let out = map.erase(&victims);
+        prop_assert_eq!(out.erased as usize, victims.len());
+        prop_assert_eq!(map.tombstones() as usize, victims.len());
+
+        // one-at-a-time removes insert-insert races from the picture:
+        // this is purely about slot reuse
+        for &k in &victims {
+            let out = map.insert_pairs(&[(k, k.wrapping_mul(3))]).unwrap();
+            prop_assert_eq!(out.new_slots, 1, "key {} updated instead of claiming", k);
+        }
+        prop_assert_eq!(map.tombstones(), 0, "unreclaimed tombstones remain");
+        prop_assert_eq!(map.len(), slots_before);
+
+        let (res, _) = map.retrieve(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            let want = if victims.contains(k) { k.wrapping_mul(3) } else { k ^ 0x5a5a };
+            prop_assert_eq!(res[i], Some(want), "key {}", k);
+        }
+    }
+
+    /// Arbitrary interleavings of insert / erase batches against a
+    /// sequential model: `len()` agrees after every batch and
+    /// `tombstones()` is bounded by the total ever erased.
+    #[test]
+    fn len_tracks_model_across_interleaved_batches(
+        script in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec(1u32..600, 1..40)),
+            1..20,
+        ),
+        g in proptest::sample::select(vec![1u32, 8, 32]),
+        soa in any::<bool>(),
+    ) {
+        let layout = if soa { Layout::Soa } else { Layout::Aos };
+        let mut map = map_with(layout, g, 4096);
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        let mut total_erased: u64 = 0;
+        for (step, (is_erase, batch)) in script.iter().enumerate() {
+            if *is_erase {
+                // dedupe: concurrent same-key erases both reporting a hit
+                // would double-count against the model
+                let mut victims = batch.clone();
+                victims.sort_unstable();
+                victims.dedup();
+                let out = map.erase(&victims);
+                let hits = victims.iter().filter(|k| model.remove(k).is_some()).count();
+                prop_assert_eq!(out.erased as usize, hits, "step {}", step);
+                total_erased += out.erased;
+            } else {
+                let pairs: Vec<(u32, u32)> =
+                    batch.iter().map(|&k| (k, k.rotate_left(9))).collect();
+                map.insert_pairs(&pairs).unwrap();
+                for &(k, v) in &pairs {
+                    model.insert(k, v);
+                }
+            }
+            prop_assert_eq!(map.len() as usize, model.len(), "step {}", step);
+            prop_assert!(
+                map.tombstones() <= total_erased,
+                "step {}: tombstones {} > ever erased {}",
+                step, map.tombstones(), total_erased
+            );
+        }
+        // final content check
+        let keys: Vec<u32> = (1..600).collect();
+        let (res, _) = map.retrieve(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert_eq!(res[i], model.get(k).copied(), "key {}", k);
+        }
+    }
+
+    /// Erase-all / reinsert-all cycles never leak capacity: the table
+    /// supports unbounded such cycles even though capacity is tight,
+    /// because reclaimed tombstones keep the load factor constant.
+    #[test]
+    fn erase_reinsert_cycles_do_not_leak_capacity(
+        n in 8usize..120,
+        rounds in 2usize..6,
+    ) {
+        let map_capacity = 256;
+        let mut map = map_with(Layout::Aos, 16, map_capacity);
+        let pairs: Vec<(u32, u32)> = (0..n as u32).map(|i| (i + 1, i)).collect();
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        for round in 0..rounds {
+            map.insert_pairs(&pairs).unwrap_or_else(|e| {
+                panic!("round {round}: capacity leaked across cycles: {e}")
+            });
+            prop_assert_eq!(map.len() as usize, n, "round {}", round);
+            let out = map.erase(&keys);
+            prop_assert_eq!(out.erased as usize, n, "round {}", round);
+            prop_assert_eq!(map.len(), 0, "round {}", round);
+        }
+        prop_assert!(map.tombstones() as usize <= n);
+    }
+}
