@@ -78,6 +78,14 @@ impl FolkloreMap {
     }
 
     /// Inserts one pair; duplicate keys update. Lock-free.
+    ///
+    /// # Errors
+    /// `Err(())` when the probe wrapped the whole table without finding a
+    /// slot (table full).
+    // Raw `compare_exchange` is the *point* here: Folklore is the real CPU
+    // baseline measured in wall-clock time, not a simulated kernel, so the
+    // kernel-crate ban on uncounted CAS (clippy.toml) does not apply.
+    #[allow(clippy::disallowed_methods, clippy::result_unit_err)]
     pub fn insert(&self, key: u32, value: u32) -> Result<bool, ()> {
         debug_assert_ne!(key, u32::MAX, "key u32::MAX is reserved");
         let word = pack(key, value);

@@ -184,7 +184,7 @@ mod tests {
         // O(log n) probes per query
         let per_query = qstats.counters.transactions as f64 / keys.len() as f64;
         assert!(
-            per_query >= 8.0 && per_query <= 12.0,
+            (8.0..=12.0).contains(&per_query),
             "binary search depth {per_query}"
         );
     }

@@ -57,6 +57,7 @@ fn main() {
     let strided: Vec<(u32, u32)> = (0..n as u32)
         .map(|i| (i.wrapping_mul(1 << 12).wrapping_add(5), i))
         .collect();
+    #[allow(clippy::type_complexity)] // (label, input, identity-hash?) rows
     let cases: [(&str, &[(u32, u32)], bool); 4] = [
         ("murmur, sequential", &sequential, false),
         ("murmur, strided", &strided, false),

@@ -51,10 +51,10 @@ pub struct Config {
     /// insertion failure ("reconstruction with a distinct hash function",
     /// §II).
     pub seed: u32,
-    /// Capacity in bytes **at modeled scale** for the timing model's
-    /// >2 GB CAS artifact; `None` bills the actual table footprint.
-    /// Harnesses running functionally scaled-down experiments set this to
-    /// the paper-scale footprint.
+    /// Capacity in bytes **at modeled scale** for the timing model's >2 GB
+    /// CAS artifact; `None` bills the actual table footprint. Harnesses
+    /// running functionally scaled-down experiments set this to the
+    /// paper-scale footprint.
     pub modeled_capacity_bytes: Option<u64>,
     /// How this map's kernel launches interleave their groups: the racing
     /// Rayon pool (default) or a deterministic stepwise schedule for
@@ -70,6 +70,38 @@ pub struct Config {
     /// slots; it exists so the linearizability harness can prove it
     /// catches exactly this class of bug. Never enable outside tests.
     pub broken_cas_recheck: bool,
+    /// **Mutation double — test-only.** When `true`, the SOA insert path
+    /// publishes the value word with a *plain store* instead of the
+    /// sentinel-CAS of the publication protocol, losing the
+    /// release/acquire edge that orders it against concurrent updaters.
+    /// The end state often still looks right; `wd-sanitizer`'s racecheck
+    /// exists to catch exactly this. Never enable outside tests.
+    pub broken_publish_plain_store: bool,
+    /// **Mutation double — test-only.** When `true`, table construction
+    /// skips the EMPTY-sentinel fill, leaving every slot word undefined —
+    /// the classic forgotten-`cudaMemset` bug initcheck exists to catch.
+    /// Never enable outside tests.
+    pub broken_skip_fill: bool,
+    /// **Mutation double — test-only.** When `true`, the retrieve kernel
+    /// reads its input query one group past its own, running the last
+    /// group off the end of the input buffer — the off-by-one memcheck
+    /// exists to catch. Never enable outside tests.
+    pub broken_window_overrun: bool,
+    /// **Mutation double — test-only.** When `true`, the AOS insert path
+    /// re-ballots after a failed claim CAS with the failing lane masked
+    /// out of the participation mask — lockstep divergence synccheck
+    /// exists to catch. Never enable outside tests.
+    pub broken_divergent_ballot: bool,
+}
+
+/// The full set of mutation-double switches, bundled so kernel entry
+/// points take one parameter instead of one `bool` per double.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Mutations {
+    pub cas_recheck: bool,
+    pub publish_plain_store: bool,
+    pub window_overrun: bool,
+    pub divergent_ballot: bool,
 }
 
 impl Default for Config {
@@ -85,6 +117,10 @@ impl Default for Config {
             modeled_capacity_bytes: None,
             schedule: Schedule::from_env(),
             broken_cas_recheck: false,
+            broken_publish_plain_store: false,
+            broken_skip_fill: false,
+            broken_window_overrun: false,
+            broken_divergent_ballot: false,
         }
     }
 }
@@ -138,6 +174,48 @@ impl Config {
     pub fn with_broken_cas_recheck(mut self) -> Self {
         self.broken_cas_recheck = true;
         self
+    }
+
+    /// Enables the plain-store publication mutation double (test-only;
+    /// see [`Config::broken_publish_plain_store`]).
+    #[must_use]
+    pub fn with_broken_publish_plain_store(mut self) -> Self {
+        self.broken_publish_plain_store = true;
+        self
+    }
+
+    /// Enables the skipped-fill mutation double (test-only; see
+    /// [`Config::broken_skip_fill`]).
+    #[must_use]
+    pub fn with_broken_skip_fill(mut self) -> Self {
+        self.broken_skip_fill = true;
+        self
+    }
+
+    /// Enables the input-overrun mutation double (test-only; see
+    /// [`Config::broken_window_overrun`]).
+    #[must_use]
+    pub fn with_broken_window_overrun(mut self) -> Self {
+        self.broken_window_overrun = true;
+        self
+    }
+
+    /// Enables the divergent-ballot mutation double (test-only; see
+    /// [`Config::broken_divergent_ballot`]).
+    #[must_use]
+    pub fn with_broken_divergent_ballot(mut self) -> Self {
+        self.broken_divergent_ballot = true;
+        self
+    }
+
+    /// Bundles the mutation-double switches for kernel entry points.
+    pub(crate) fn mutations(&self) -> Mutations {
+        Mutations {
+            cas_recheck: self.broken_cas_recheck,
+            publish_plain_store: self.broken_publish_plain_store,
+            window_overrun: self.broken_window_overrun,
+            divergent_ballot: self.broken_divergent_ballot,
+        }
     }
 }
 

@@ -25,6 +25,7 @@ pub struct EraseOutcome {
     pub erased: u64,
 }
 
+#[allow(clippy::too_many_arguments)] // kernel ABI: device + table + knobs
 pub(crate) fn erase_kernel(
     dev: &Device,
     table: &TableRef,

@@ -418,6 +418,7 @@ impl DistributedHashMap {
     > {
         let m = self.num_gpus();
         let mut recv: Vec<Vec<u64>> = vec![Vec::new(); m];
+        #[allow(clippy::needless_range_loop)] // (i, j) walks the square count matrix
         for i in 0..m {
             for j in 0..m {
                 let off = split.splits[i].offsets[j] as usize;

@@ -23,7 +23,7 @@
 //! linearizability harness can prove it catches the resulting
 //! duplicate-slot anomaly.
 
-use crate::config::Layout;
+use crate::config::{Layout, Mutations};
 use crate::entry::{
     is_empty_slot, is_tombstone, is_vacant, key_of, pack, value_of, EMPTY, RESERVED_KEY,
 };
@@ -60,6 +60,7 @@ enum GroupResult {
 }
 
 /// Launches the insertion kernel for the packed pairs in `input[..n]`.
+#[allow(clippy::too_many_arguments)] // kernel ABI: device + table + knobs
 pub(crate) fn insert_kernel(
     dev: &Device,
     table: &TableRef,
@@ -68,7 +69,7 @@ pub(crate) fn insert_kernel(
     prober: &Prober,
     p_max: u32,
     opts: LaunchOptions,
-    broken_cas_recheck: bool,
+    muts: Mutations,
     recorder: Option<&HistoryRecorder>,
 ) -> InsertOutcome {
     // Bookkeeping lives host-side (captured atomics): the real kernel
@@ -87,8 +88,8 @@ pub(crate) fn insert_kernel(
             let invoked = recorder.map(HistoryRecorder::invoke);
             let word = ctx.read_stream(input, ctx.group_id());
             let r = match table.layout {
-                Layout::Aos => insert_one_aos(ctx, table, prober, p_max, word, broken_cas_recheck),
-                Layout::Soa => insert_one_soa(ctx, table, prober, p_max, word, broken_cas_recheck),
+                Layout::Aos => insert_one_aos(ctx, table, prober, p_max, word, muts),
+                Layout::Soa => insert_one_soa(ctx, table, prober, p_max, word, muts),
             };
             match r {
                 GroupResult::NewSlot { reclaimed: tomb } => {
@@ -137,7 +138,7 @@ fn insert_one_aos(
     prober: &Prober,
     p_max: u32,
     word: u64,
-    broken_cas_recheck: bool,
+    muts: Mutations,
 ) -> GroupResult {
     let key = key_of(word);
     let g = ctx.size().get();
@@ -175,13 +176,22 @@ fn insert_one_aos(
                         reclaimed: is_tombstone(expected),
                     };
                 }
-                if broken_cas_recheck {
+                if muts.cas_recheck {
                     // MUTATION DOUBLE: keep the stale window and move on to
                     // its next vacant slot without re-running the ballots —
                     // misses a racing insert of our own key, so the key can
                     // end up in two slots. See `Config::broken_cas_recheck`.
                     tried |= 1 << r;
                     continue;
+                }
+                if muts.divergent_ballot {
+                    // MUTATION DOUBLE: re-ballot with the CAS-losing lane
+                    // dropped from the participation mask — the "one lane
+                    // exited the loop early" lockstep-divergence bug
+                    // synccheck exists to catch. Functionally inert (the
+                    // result is discarded and the window reloads below).
+                    let active = ctx.full_mask() & !(1 << r);
+                    let _ = ctx.ballot_where(active, |rr| is_vacant(window.lane(rr)));
                 }
                 // lost the race: reload and re-ballot (Fig. 3 lines 19–21)
                 window = ctx.reload_window(data, base);
@@ -207,7 +217,7 @@ fn insert_one_soa(
     prober: &Prober,
     p_max: u32,
     word: u64,
-    broken_cas_recheck: bool,
+    muts: Mutations,
 ) -> GroupResult {
     let key = key_of(word);
     let value = value_of(word);
@@ -225,8 +235,9 @@ fn insert_one_soa(
                 if let Some(r) = GroupCtx::ffs(dup) {
                     let idx = (base + r as usize) % cap;
                     // relaxed value overwrite: last writer wins, but two
-                    // racing updaters may interleave with readers
-                    ctx.write(values, idx, u64::from(value));
+                    // racing updaters may interleave with readers — the
+                    // shared annotation tells racecheck this is by design
+                    ctx.write_shared(values, idx, u64::from(value));
                     return GroupResult::Updated;
                 }
                 let mask = ctx.ballot(|r| is_vacant(window.lane(r))) & !tried;
@@ -236,15 +247,24 @@ fn insert_one_soa(
                 let idx = (base + r as usize) % cap;
                 let expected = window.lane(r);
                 if ctx.cas(keys, idx, expected, u64::from(key)).is_ok() {
-                    // publish the value only if no racing update of this
-                    // key beat us to the word (its response already
-                    // promised the newer value survives)
-                    let _ = ctx.cas(values, idx, EMPTY, u64::from(value));
+                    if muts.publish_plain_store {
+                        // MUTATION DOUBLE: publish with a plain store —
+                        // the lost release edge lets a racing updater's
+                        // shared write interleave unordered, which
+                        // racecheck flags even when the end state looks
+                        // right. See `Config::broken_publish_plain_store`.
+                        ctx.write(values, idx, u64::from(value));
+                    } else {
+                        // publish the value only if no racing update of
+                        // this key beat us to the word (its response
+                        // already promised the newer value survives)
+                        let _ = ctx.cas(values, idx, EMPTY, u64::from(value));
+                    }
                     return GroupResult::NewSlot {
                         reclaimed: is_tombstone(expected),
                     };
                 }
-                if broken_cas_recheck {
+                if muts.cas_recheck {
                     // MUTATION DOUBLE — see the AOS variant above
                     tried |= 1 << r;
                     continue;

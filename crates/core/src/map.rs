@@ -93,7 +93,13 @@ impl GpuHashMap {
             Layout::Soa => 2 * capacity,
         };
         let data = dev.alloc(words)?;
-        dev.mem().fill(data, EMPTY);
+        if cfg.broken_skip_fill {
+            // MUTATION DOUBLE: skip the EMPTY-sentinel fill — the
+            // forgotten-cudaMemset bug wd-sanitizer's initcheck exists to
+            // catch. See `Config::broken_skip_fill`.
+        } else {
+            dev.mem().fill(data, EMPTY);
+        }
         let table = TableRef {
             data,
             capacity,
@@ -215,7 +221,7 @@ impl GpuHashMap {
             &self.prober(),
             self.cfg.p_max,
             self.launch_opts(),
-            self.cfg.broken_cas_recheck,
+            self.cfg.mutations(),
             self.recorder.as_deref(),
         );
         self.occupied.fetch_add(outcome.new_slots, Relaxed);
@@ -242,6 +248,7 @@ impl GpuHashMap {
             &self.prober(),
             self.cfg.p_max,
             self.launch_opts(),
+            self.cfg.mutations(),
             self.recorder.as_deref(),
         )
     }

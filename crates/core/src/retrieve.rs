@@ -12,7 +12,7 @@
 //! low bits are caller payload (the distributed cascade routes origin
 //! indices through them) and are ignored here.
 
-use crate::config::Layout;
+use crate::config::{Layout, Mutations};
 use crate::entry::{is_empty_slot, key_of, value_of, EMPTY};
 use crate::history::{HistoryRecorder, OpKind, OpResponse};
 use crate::insert::{soa_hit, soa_is_empty, soa_key_of};
@@ -22,6 +22,7 @@ use gpu_sim::{DevSlice, Device, GroupCtx, KernelStats, LaunchOptions};
 
 /// Launches the retrieval kernel for the `n` query words in `input`,
 /// writing one result word per query to `out`.
+#[allow(clippy::too_many_arguments)] // kernel ABI: device + table + knobs
 pub(crate) fn retrieve_kernel(
     dev: &Device,
     table: &TableRef,
@@ -31,6 +32,7 @@ pub(crate) fn retrieve_kernel(
     prober: &Prober,
     p_max: u32,
     opts: LaunchOptions,
+    muts: Mutations,
     recorder: Option<&HistoryRecorder>,
 ) -> KernelStats {
     dev.launch(
@@ -40,7 +42,15 @@ pub(crate) fn retrieve_kernel(
         opts,
         |ctx: &GroupCtx| {
             let invoked = recorder.map(HistoryRecorder::invoke);
-            let query = ctx.read_stream(input, ctx.group_id());
+            // MUTATION DOUBLE (`broken_window_overrun`): read the query
+            // one group past our own — the last group runs off the end of
+            // the input buffer, which memcheck reports and contains.
+            let qidx = if muts.window_overrun {
+                ctx.group_id() + 1
+            } else {
+                ctx.group_id()
+            };
+            let query = ctx.read_stream(input, qidx);
             let key = key_of(query);
             let result = match table.layout {
                 Layout::Aos => retrieve_one_aos(ctx, table, prober, p_max, key),
@@ -106,9 +116,10 @@ fn retrieve_one_soa(
             let hit = ctx.ballot(|r| soa_key_of(window.lane(r)) == Some(key));
             if let Some(r) = GroupCtx::ffs(hit) {
                 // the Fig. 1 SOA cost: a second, uncoalesced access to
-                // fetch the value word
+                // fetch the value word — annotated shared: it races with
+                // last-writer-wins updates by design
                 let idx = (base + r as usize) % cap;
-                return soa_hit(key, ctx.read(values, idx));
+                return soa_hit(key, ctx.read_shared(values, idx));
             }
             if ctx.any(|r| soa_is_empty(window.lane(r))) {
                 return EMPTY;

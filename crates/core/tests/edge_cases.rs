@@ -44,6 +44,7 @@ fn extreme_key_and_value_bits_round_trip() {
 
 #[test]
 #[should_panic(expected = "reserved")]
+#[cfg_attr(not(debug_assertions), ignore = "the guard is a debug_assert")]
 fn reserved_key_panics_in_debug() {
     let map = GpuHashMap::new(device(1 << 12), 64, Config::default()).unwrap();
     let _ = map.insert_pairs(&[(u32::MAX, 1)]);
@@ -51,8 +52,10 @@ fn reserved_key_panics_in_debug() {
 
 #[test]
 fn tiny_p_max_fails_fast_and_recovers() {
-    let mut cfg = Config::default();
-    cfg.p_max = 1; // one span only: 32 slots reachable per key
+    let cfg = Config {
+        p_max: 1, // one span only: 32 slots reachable per key
+        ..Config::default()
+    };
     let map = GpuHashMap::new(device(1 << 13), 96, cfg).unwrap();
     // overfill one span's worth of keys: some must fail
     let pairs: Vec<(u32, u32)> = (0..96u32).map(|i| (i + 1, i)).collect();

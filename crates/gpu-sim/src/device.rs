@@ -2,6 +2,7 @@
 
 use crate::counters::{CounterSnapshot, KernelCounters};
 use crate::mem::{DevSlice, DeviceMemory, OutOfMemory};
+use crate::sanitizer::{LaunchSanitizer, Policy, Report, SanitizerSet};
 use crate::sched::{self, Schedule};
 use crate::simt::{GroupCtx, GroupSize};
 use crate::spec::DeviceSpec;
@@ -25,6 +26,12 @@ pub struct LaunchOptions {
     /// one of the deterministic stepwise schedules (see
     /// [`crate::sched`]).
     pub schedule: Schedule,
+    /// `wd-sanitizer` detectors for this launch, unioned with whatever is
+    /// attached to the device (via `WD_SANITIZE` or
+    /// [`Device::sanitized`]). When this launch is the first to request
+    /// sanitizing, shadow state attaches lazily with all existing memory
+    /// assumed initialised.
+    pub sanitize: SanitizerSet,
 }
 
 impl LaunchOptions {
@@ -46,6 +53,14 @@ impl LaunchOptions {
     #[must_use]
     pub fn with_schedule(mut self, schedule: Schedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Selects `wd-sanitizer` detectors for this launch (see the field
+    /// docs on [`LaunchOptions::sanitize`]).
+    #[must_use]
+    pub fn sanitize(mut self, set: SanitizerSet) -> Self {
+        self.sanitize = set;
         self
     }
 
@@ -116,6 +131,7 @@ impl Device {
             mem: DeviceMemory::new(words),
             timing: TimingModel::new(spec),
         }
+        .with_env_sanitizer()
     }
 
     /// Creates a small test device with `words` words of memory.
@@ -126,6 +142,54 @@ impl Device {
             mem: DeviceMemory::new(words),
             timing: TimingModel::new(DeviceSpec::test_small((words as u64) * 8)),
         }
+        .with_env_sanitizer()
+    }
+
+    /// Attaches the `WD_SANITIZE` detector set (fail-fast), if any. Runs
+    /// at construction, before any memory is written, so initcheck tracks
+    /// the full lifetime of every word.
+    fn with_env_sanitizer(self) -> Self {
+        let set = SanitizerSet::from_env();
+        if !set.is_empty() {
+            self.mem.attach_sanitizer(set, Policy::Panic, false);
+        }
+        self
+    }
+
+    /// Attaches `set` with the fail-fast [`Policy::Panic`]: any finding
+    /// aborts at the end of the offending launch. First attachment wins —
+    /// under `WD_SANITIZE` the environment's set is already in place.
+    #[must_use]
+    pub fn sanitized(self, set: SanitizerSet) -> Self {
+        self.mem.attach_sanitizer(set, Policy::Panic, false);
+        self
+    }
+
+    /// Attaches `set` with [`Policy::Collect`]: findings accumulate and
+    /// are drained with [`Device::take_sanitizer_reports`] — what tests
+    /// asserting on specific reports use.
+    #[must_use]
+    pub fn sanitized_collecting(self, set: SanitizerSet) -> Self {
+        self.mem.attach_sanitizer(set, Policy::Collect, false);
+        self
+    }
+
+    /// Clones the sanitizer findings collected so far (empty when no
+    /// sanitizer is attached).
+    #[must_use]
+    pub fn sanitizer_reports(&self) -> Vec<Report> {
+        self.mem
+            .sanitizer()
+            .map(crate::sanitizer::DeviceSanitizer::clone_reports)
+            .unwrap_or_default()
+    }
+
+    /// Drains the sanitizer findings collected so far.
+    pub fn take_sanitizer_reports(&self) -> Vec<Report> {
+        self.mem
+            .sanitizer()
+            .map(crate::sanitizer::DeviceSanitizer::take_reports)
+            .unwrap_or_default()
     }
 
     /// The device's memory (host-side, uncounted access).
@@ -183,10 +247,28 @@ impl Device {
         F: Fn(&GroupCtx) + Sync,
     {
         let counters = KernelCounters::new();
-        match opts.effective_schedule() {
+        let schedule = opts.effective_schedule();
+        // Launch-effective detector set: whatever is attached to the
+        // device, plus this launch's request. A launch-only request
+        // attaches lazily with pre-existing memory assumed initialised
+        // (there is no history for it), mirroring attaching
+        // compute-sanitizer to a running process.
+        let dev_set = self
+            .mem
+            .sanitizer()
+            .map_or(SanitizerSet::NONE, |s| s.set());
+        let eff = dev_set.union(opts.sanitize);
+        let san = if eff.is_empty() {
+            None
+        } else {
+            let ds = self.mem.attach_sanitizer(eff, Policy::Panic, true);
+            Some(LaunchSanitizer::new(ds, eff, name, schedule))
+        };
+        let san = san.as_ref();
+        match schedule {
             Schedule::Sequential => {
                 for gid in 0..num_groups {
-                    let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size);
+                    let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size, san);
                     kernel(&ctx);
                     counters.add_group();
                 }
@@ -200,7 +282,7 @@ impl Device {
                     .into_par_iter()
                     .with_min_len(CHUNK)
                     .for_each(|gid| {
-                        let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size);
+                        let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size, san);
                         kernel(&ctx);
                         counters.add_group();
                     });
@@ -208,11 +290,14 @@ impl Device {
             stepwise => {
                 sched::run_stepwise(stepwise, num_groups, |gid, step| {
                     let ctx =
-                        GroupCtx::new_stepped(&self.mem, &counters, gid, group_size, step);
+                        GroupCtx::new_stepped(&self.mem, &counters, gid, group_size, step, san);
                     kernel(&ctx);
                     counters.add_group();
                 });
             }
+        }
+        if let Some(san) = san {
+            san.finish();
         }
         let snapshot = counters.snapshot();
         let working_set = opts.modeled_working_set.unwrap_or(0);
@@ -233,6 +318,7 @@ impl Device {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sanitizer::Detector;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
@@ -272,6 +358,7 @@ mod tests {
     fn concurrent_groups_share_memory_atomically() {
         let dev = Device::with_words(0, 64);
         let counter = dev.alloc(1).unwrap();
+        dev.mem().fill(counter, 0);
         dev.launch(
             "inc",
             10_000,
@@ -288,6 +375,7 @@ mod tests {
     fn stats_expose_rates_and_merge() {
         let dev = Device::with_words(0, 1024);
         let buf = dev.alloc(512).unwrap();
+        dev.mem().fill(buf, 0);
         let s1 = dev.launch(
             "a",
             128,
@@ -304,9 +392,105 @@ mod tests {
     }
 
     #[test]
+    fn launch_level_sanitize_flags_uninit_read() {
+        // lazy launch-level attachment (or the env-attached set when the
+        // suite runs under WD_SANITIZE) must flag a read of a word that
+        // was never written after the attach point
+        let dev = Device::with_words(0, 64);
+        let buf = dev.alloc(4).unwrap();
+        // a second allocation is written after attach, so it is valid
+        // even under lazy assume_valid attachment
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch(
+                "first",
+                1,
+                GroupSize::new(1),
+                LaunchOptions::default()
+                    .sequential()
+                    .sanitize(SanitizerSet::INIT),
+                |_| {},
+            );
+            let fresh = dev.alloc(4).unwrap();
+            dev.launch(
+                "uninit_read",
+                1,
+                GroupSize::new(1),
+                LaunchOptions::default()
+                    .sequential()
+                    .sanitize(SanitizerSet::INIT),
+                |ctx| {
+                    let _ = ctx.read(fresh, 0);
+                },
+            );
+        }));
+        match caught {
+            // Panic policy (env or lazy attach): the launch aborted
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_default();
+                assert!(msg.contains("initcheck"), "unexpected panic: {msg}");
+            }
+            Ok(()) => panic!("uninitialised read went undetected"),
+        }
+        let _ = buf;
+    }
+
+    #[test]
+    fn collecting_sanitizer_reports_instead_of_panicking() {
+        let dev = Device::with_words(0, 64).sanitized_collecting(SanitizerSet::ALL);
+        let buf = dev.alloc(4).unwrap();
+        let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch(
+                "uninit_read",
+                1,
+                GroupSize::new(1),
+                LaunchOptions::default().sequential(),
+                |ctx| {
+                    let _ = ctx.read(buf, 0);
+                },
+            );
+        }));
+        // an Err means the env's Panic attachment won (WD_SANITIZE was
+        // set) — that equally proves the read was flagged
+        if ran.is_ok() {
+            // Collect policy took effect (first attachment was ours)
+            let reports = dev.take_sanitizer_reports();
+            assert!(
+                reports
+                    .iter()
+                    .any(|r| r.detector == Detector::Init && r.kernel == "uninit_read"),
+                "expected an initcheck report, got {reports:?}"
+            );
+            assert!(dev.sanitizer_reports().is_empty(), "take must drain");
+        }
+    }
+
+    #[test]
+    fn unsanitized_launch_reports_nothing() {
+        // no WD_SANITIZE guard needed: this asserts only that *no report
+        // sink* exists when nothing was attached by this test itself
+        let dev = Device::with_words(0, 64);
+        let buf = dev.alloc(4).unwrap();
+        dev.mem().fill(buf, 7);
+        dev.launch(
+            "clean",
+            4,
+            GroupSize::new(1),
+            LaunchOptions::default().sequential(),
+            |ctx| {
+                let _ = ctx.read(buf, ctx.group_id());
+            },
+        );
+        assert!(dev.sanitizer_reports().is_empty());
+    }
+
+    #[test]
     fn working_set_option_changes_cas_bound_time() {
         let dev = Device::with_words(0, 1024);
         let slot = dev.alloc(1).unwrap();
+        dev.mem().fill(slot, 0);
         let run = |ws: u64| {
             dev.launch(
                 "cas",

@@ -33,6 +33,7 @@ pub mod clock;
 pub mod counters;
 pub mod device;
 pub mod mem;
+pub mod sanitizer;
 pub mod sched;
 pub mod simt;
 pub mod spec;
@@ -42,6 +43,7 @@ pub use clock::ResourceTimeline;
 pub use counters::{CounterSnapshot, KernelCounters};
 pub use device::{Device, KernelStats, LaunchOptions};
 pub use mem::{DevSlice, DeviceMemory, OutOfMemory, ScratchGuard};
+pub use sanitizer::{Detector, Report, SanitizerSet};
 pub use sched::{AdversarialMode, Schedule, StepSched};
 pub use simt::{GroupCtx, GroupSize};
 pub use spec::DeviceSpec;

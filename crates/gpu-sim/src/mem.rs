@@ -16,8 +16,10 @@
 //! performs transaction accounting); the raw accessors here are for
 //! host-side setup and verification and are *not* counted.
 
+use crate::sanitizer::{memcheck, DeviceSanitizer, Policy, SanitizerSet};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Error returned when a device allocation exceeds the remaining VRAM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +105,10 @@ struct AllocState {
 pub struct DeviceMemory {
     words: Box<[AtomicU64]>,
     state: Mutex<AllocState>,
+    /// `wd-sanitizer` shadow state, attached at most once (first
+    /// attachment wins). `None` — the default — keeps every access path
+    /// free of sanitizer work beyond one predictable branch.
+    sanitizer: OnceLock<DeviceSanitizer>,
 }
 
 impl DeviceMemory {
@@ -118,7 +124,34 @@ impl DeviceMemory {
                 scratch_live: Vec::new(),
                 scratch_floor: words,
             }),
+            sanitizer: OnceLock::new(),
         }
+    }
+
+    /// Attaches `wd-sanitizer` shadow state (idempotent: the first
+    /// attachment wins and later calls return it unchanged).
+    /// `assume_valid` marks all existing memory as initialised — used for
+    /// lazy per-launch attachment so words written before the sanitizer
+    /// existed don't produce initcheck false positives.
+    pub(crate) fn attach_sanitizer(
+        &self,
+        set: SanitizerSet,
+        policy: Policy,
+        assume_valid: bool,
+    ) -> &DeviceSanitizer {
+        self.sanitizer
+            .get_or_init(|| DeviceSanitizer::new(set, policy, self.words.len(), assume_valid))
+    }
+
+    /// The attached sanitizer, if any.
+    pub(crate) fn sanitizer(&self) -> Option<&DeviceSanitizer> {
+        self.sanitizer.get()
+    }
+
+    /// The initcheck valid-bit shadow, when initcheck is attached.
+    #[inline]
+    fn valid_bits(&self) -> Option<&crate::sanitizer::initcheck::ValidBits> {
+        self.sanitizer.get().and_then(DeviceSanitizer::valid)
     }
 
     /// Total pool size in words.
@@ -150,6 +183,11 @@ impl DeviceMemory {
         match end {
             Some(end) => {
                 s.next_free = end;
+                // freshly allocated words are *undefined* (cudaMalloc
+                // returns garbage; the pool's zero bytes don't count)
+                if let Some(v) = self.valid_bits() {
+                    v.clear_range(offset, len);
+                }
                 Ok(DevSlice { offset, len })
             }
             None => Err(OutOfMemory {
@@ -179,6 +217,9 @@ impl DeviceMemory {
         let slice = DevSlice { offset, len };
         s.scratch_live.push(slice);
         s.scratch_floor = offset;
+        if let Some(v) = self.valid_bits() {
+            v.clear_range(offset, len);
+        }
         Ok(ScratchGuard { mem: self, slice })
     }
 
@@ -196,15 +237,47 @@ impl DeviceMemory {
             .map(|l| l.offset)
             .min()
             .unwrap_or(self.words.len());
+        // released scratch is undefined again: a stale read through a
+        // dangling DevSlice into recycled scratch is flagged by initcheck
+        if let Some(v) = self.valid_bits() {
+            v.clear_range(slice.offset, slice.len);
+        }
     }
 
     /// Resets both allocators, invalidating all outstanding slices
     /// (contents are *not* cleared; callers fill what they allocate).
+    ///
+    /// # Panics
+    /// Panics when scratch allocations are outstanding: resetting under a
+    /// live [`ScratchGuard`] would let kernels keep writing through a
+    /// slice the allocator has reclaimed, and the guard's eventual drop
+    /// would corrupt the fresh allocator state. Drop every guard first.
     pub fn reset(&self) {
         let mut s = self.state.lock();
+        assert!(
+            s.scratch_live.is_empty(),
+            "DeviceMemory::reset() with {} outstanding scratch allocation(s) — \
+             drop every ScratchGuard before resetting (wd-sanitizer memcheck)",
+            s.scratch_live.len()
+        );
         s.next_free = 0;
-        s.scratch_live.clear();
         s.scratch_floor = self.words.len();
+    }
+
+    /// Memcheck leak report: scratch allocations still registered (their
+    /// [`ScratchGuard`] was leaked with `mem::forget`), when the `mem`
+    /// detector is attached. Printed to stderr when the memory drops.
+    #[must_use]
+    pub fn leak_report(&self) -> Option<String> {
+        let san = self.sanitizer.get()?;
+        if !san.set().mem() {
+            return None;
+        }
+        let s = self.state.lock();
+        if s.scratch_live.is_empty() {
+            return None;
+        }
+        Some(memcheck::leak_message(&s.scratch_live))
     }
 
     /// Direct word access (host-side / uncounted).
@@ -228,6 +301,9 @@ impl DeviceMemory {
         for (i, &w) in data.iter().enumerate() {
             self.words[slice.offset + i].store(w, Ordering::Relaxed);
         }
+        if let Some(v) = self.valid_bits() {
+            v.set_range(slice.offset, slice.len);
+        }
     }
 
     /// Device → host copy (uncounted).
@@ -250,12 +326,29 @@ impl DeviceMemory {
             let w = self.words[src.offset + i].load(Ordering::Relaxed);
             self.words[dst.offset + i].store(w, Ordering::Relaxed);
         }
+        if let Some(v) = self.valid_bits() {
+            v.copy_range(src.offset, dst.offset, src.len);
+        }
     }
 
     /// Fills a slice with a constant word (e.g. the EMPTY sentinel).
     pub fn fill(&self, slice: DevSlice, value: u64) {
         for i in 0..slice.len {
             self.words[slice.offset + i].store(value, Ordering::Relaxed);
+        }
+        if let Some(v) = self.valid_bits() {
+            v.set_range(slice.offset, slice.len);
+        }
+    }
+}
+
+impl Drop for DeviceMemory {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return; // don't pile a leak report onto an unwinding failure
+        }
+        if let Some(msg) = self.leak_report() {
+            eprintln!("{msg}");
         }
     }
 }
@@ -391,6 +484,64 @@ mod tests {
         let mem = DeviceMemory::new(8);
         let s = mem.alloc(8).unwrap();
         let _ = s.sub(4, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding scratch")]
+    fn reset_with_live_scratch_guard_panics() {
+        let mem = DeviceMemory::new(64);
+        let _guard = mem.alloc_scratch(8).unwrap();
+        mem.reset(); // latent use-after-reset hazard, now a hard error
+    }
+
+    #[test]
+    fn reset_after_guards_drop_is_fine() {
+        let mem = DeviceMemory::new(64);
+        {
+            let _guard = mem.alloc_scratch(8).unwrap();
+        }
+        mem.reset();
+        assert_eq!(mem.available_words(), 64);
+    }
+
+    #[test]
+    fn forgotten_scratch_guard_produces_leak_report() {
+        use crate::sanitizer::{Policy, SanitizerSet};
+        let mem = DeviceMemory::new(64);
+        mem.attach_sanitizer(SanitizerSet::MEM, Policy::Collect, false);
+        assert!(mem.leak_report().is_none());
+        let guard = mem.alloc_scratch(8).unwrap();
+        std::mem::forget(guard); // the leak memcheck exists to catch
+        let report = mem.leak_report().expect("leak must be reported");
+        assert!(report.contains("1 leaked scratch"));
+        assert!(report.contains("len=8"));
+    }
+
+    #[test]
+    fn leak_report_needs_mem_detector() {
+        use crate::sanitizer::{Policy, SanitizerSet};
+        let mem = DeviceMemory::new(64);
+        mem.attach_sanitizer(SanitizerSet::RACE, Policy::Collect, false);
+        std::mem::forget(mem.alloc_scratch(8).unwrap());
+        assert!(mem.leak_report().is_none());
+    }
+
+    #[test]
+    fn released_scratch_words_become_undefined_again() {
+        use crate::sanitizer::{Policy, SanitizerSet};
+        let mem = DeviceMemory::new(64);
+        let san = mem.attach_sanitizer(SanitizerSet::INIT, Policy::Collect, false);
+        let valid = san.valid().unwrap();
+        let offset = {
+            let g = mem.alloc_scratch(4).unwrap();
+            mem.h2d(g.slice(), &[1, 2, 3, 4]);
+            assert!(valid.is_valid(g.slice().offset));
+            g.slice().offset
+        };
+        assert!(
+            !valid.is_valid(offset),
+            "recycled scratch must read as undefined"
+        );
     }
 
     #[test]

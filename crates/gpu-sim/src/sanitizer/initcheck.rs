@@ -1,0 +1,127 @@
+//! Valid-bit shadow memory for uninitialised-read detection (initcheck).
+//!
+//! One bit per device word, packed 64-per-`AtomicU64`. Bits are set by
+//! every defining operation — `h2d`, `fill`, `d2d` (copying the source's
+//! validity), kernel stores and atomic RMWs — and cleared whenever the
+//! word is (re)allocated: `alloc`, `alloc_scratch`, and scratch release
+//! (so a stale read through a dangling `DevSlice` into recycled scratch
+//! is flagged as reading an undefined word).
+//!
+//! A device's pool is zero-*initialised* by the OS but that zero is not a
+//! *defined value* in the CUDA model this simulates — `cudaMalloc`
+//! returns garbage. A table constructor that forgets its EMPTY-sentinel
+//! fill therefore reads "never-written" words even though they happen to
+//! be zero; that is exactly the bug class this detector exists for.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Packed per-word valid bits.
+pub(crate) struct ValidBits {
+    bits: Box<[AtomicU64]>,
+}
+
+impl ValidBits {
+    /// Shadow for `words` device words; `all_valid` marks everything
+    /// defined up front (used when attaching lazily to a device that has
+    /// already been written — avoids false positives at the cost of
+    /// missing earlier undefined reads).
+    pub(crate) fn new(words: usize, all_valid: bool) -> Self {
+        let n = words.div_ceil(64);
+        let init = if all_valid { u64::MAX } else { 0 };
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(init));
+        Self {
+            bits: v.into_boxed_slice(),
+        }
+    }
+
+    /// Whether absolute word `idx` has ever been written.
+    #[inline]
+    pub(crate) fn is_valid(&self, idx: usize) -> bool {
+        self.bits[idx / 64].load(Ordering::Relaxed) & (1 << (idx % 64)) != 0
+    }
+
+    /// Marks absolute word `idx` defined.
+    #[inline]
+    pub(crate) fn set(&self, idx: usize) {
+        self.bits[idx / 64].fetch_or(1 << (idx % 64), Ordering::Relaxed);
+    }
+
+    /// Marks `[offset, offset+len)` defined (bulk h2d / fill).
+    pub(crate) fn set_range(&self, offset: usize, len: usize) {
+        for idx in offset..offset + len {
+            self.set(idx);
+        }
+    }
+
+    /// Marks `[offset, offset+len)` undefined (fresh allocation).
+    pub(crate) fn clear_range(&self, offset: usize, len: usize) {
+        for idx in offset..offset + len {
+            self.bits[idx / 64].fetch_and(!(1 << (idx % 64)), Ordering::Relaxed);
+        }
+    }
+
+    /// Copies validity of `[src, src+len)` onto `[dst, dst+len)` (d2d: a
+    /// copy of an undefined word is still undefined).
+    pub(crate) fn copy_range(&self, src: usize, dst: usize, len: usize) {
+        for i in 0..len {
+            if self.is_valid(src + i) {
+                self.set(dst + i);
+            } else {
+                self.clear_range(dst + i, 1);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ValidBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ValidBits({} words)", self.bits.len() * 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_shadow_is_all_undefined() {
+        let v = ValidBits::new(130, false);
+        assert!(!v.is_valid(0));
+        assert!(!v.is_valid(129));
+    }
+
+    #[test]
+    fn assume_valid_marks_everything() {
+        let v = ValidBits::new(100, true);
+        assert!(v.is_valid(0));
+        assert!(v.is_valid(99));
+    }
+
+    #[test]
+    fn set_and_clear_ranges() {
+        let v = ValidBits::new(256, false);
+        v.set_range(60, 10); // crosses the 64-bit boundary
+        assert!(!v.is_valid(59));
+        assert!(v.is_valid(60));
+        assert!(v.is_valid(69));
+        assert!(!v.is_valid(70));
+        v.clear_range(64, 3);
+        assert!(v.is_valid(63));
+        assert!(!v.is_valid(64));
+        assert!(!v.is_valid(66));
+        assert!(v.is_valid(67));
+    }
+
+    #[test]
+    fn copy_range_propagates_undefinedness() {
+        let v = ValidBits::new(64, false);
+        v.set_range(0, 2); // words 0,1 defined; 2,3 not
+        v.set_range(10, 4); // destination previously defined
+        v.copy_range(0, 10, 4);
+        assert!(v.is_valid(10));
+        assert!(v.is_valid(11));
+        assert!(!v.is_valid(12), "copying an undefined word taints the dst");
+        assert!(!v.is_valid(13));
+    }
+}

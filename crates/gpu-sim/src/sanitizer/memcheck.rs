@@ -1,0 +1,69 @@
+//! Bounds and lifetime checking for device memory (memcheck).
+//!
+//! The table-probing accessors wrap indices modulo the slice length by
+//! construction (circular probing), so the only counted operations that
+//! can escape a slice are the *streaming* accessors
+//! ([`crate::GroupCtx::read_stream`] / `write_stream`), which index
+//! one-word-per-group buffers directly. Out-of-bounds streaming accesses
+//! are reported and **contained**: the store is skipped and the load
+//! returns 0 — matching `compute-sanitizer`'s report-and-continue mode,
+//! and letting the launch finish so every finding of the launch is
+//! visible at once.
+//!
+//! Lifetime checks live with the allocators in [`crate::mem`]:
+//!
+//! * `DeviceMemory::reset()` panics when scratch allocations are
+//!   outstanding (use-after-reset through a live [`crate::ScratchGuard`]
+//!   was a latent hazard — the guard's later drop would also corrupt the
+//!   fresh allocator state);
+//! * dropping the device memory with scratch allocations still registered
+//!   (a `ScratchGuard` was `mem::forget`-ten) produces a leak report;
+//! * released scratch has its valid bits cleared, so a *stale read*
+//!   through a dangling `DevSlice` into recycled scratch is flagged by
+//!   initcheck as reading an undefined word.
+
+use crate::mem::DevSlice;
+
+/// Report text for an out-of-bounds streaming access.
+pub(crate) fn oob_message(op: &str, slice: DevSlice, idx: usize) -> String {
+    format!(
+        "{op} out of bounds: idx={idx} beyond slice of len {} (offset={}); \
+         access contained (reads return 0, writes are dropped)",
+        slice.len, slice.offset
+    )
+}
+
+/// Report text for scratch allocations leaked past device-memory drop.
+pub(crate) fn leak_message(leaked: &[DevSlice]) -> String {
+    let mut msg = format!(
+        "wd-sanitizer [memcheck]: device memory dropped with {} leaked scratch \
+         allocation(s) (ScratchGuard never dropped):",
+        leaked.len()
+    );
+    for s in leaked {
+        msg.push_str(&format!(" [offset={} len={}]", s.offset, s.len));
+    }
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oob_message_names_op_and_bounds() {
+        let s = DevSlice { offset: 96, len: 8 };
+        let m = oob_message("read_stream", s, 8);
+        assert!(m.contains("read_stream"));
+        assert!(m.contains("idx=8"));
+        assert!(m.contains("len 8"));
+        assert!(m.contains("contained"));
+    }
+
+    #[test]
+    fn leak_message_lists_regions() {
+        let m = leak_message(&[DevSlice { offset: 40, len: 2 }]);
+        assert!(m.contains("1 leaked scratch"));
+        assert!(m.contains("offset=40"));
+    }
+}

@@ -1,0 +1,434 @@
+//! Happens-before race detection between SIMT groups (racecheck).
+//!
+//! A FastTrack-style detector specialized to the simulator's access
+//! model. Each *group* (not thread — a coalesced group is the unit of
+//! scheduling) carries a sparse vector clock; each device word that has
+//! been accessed during the launch carries a shadow record of its last
+//! write, its recent readers, and a *sync* vector clock.
+//!
+//! Happens-before edges come from two sources:
+//!
+//! * **program order** within one group (its own clock ticks at every
+//!   access and at every collective — ballots synchronize the lanes of a
+//!   group, which is the epoch-advance the paper's CG semantics imply);
+//! * **release/acquire through atomics**: every CAS / atomicAdd / Or /
+//!   Max / exchange on a word *releases* the group's clock into the
+//!   word's sync clock and *acquires* the sync clock into the group —
+//!   exactly the edge the claim-CAS/publish protocol relies on.
+//!
+//! Accesses are classified by intent ([`AccessKind`]), mirroring how the
+//! kernels are written:
+//!
+//! * `RelaxedRead` — coalesced window loads. Probing reads are *designed*
+//!   to race with CAS claims and shared stores (stale windows are
+//!   re-balloted), so they conflict only with plain writes.
+//! * `PlainRead` / `PlainWrite` — ordinary loads/stores with no protocol
+//!   annotation. Plain writes conflict with every unordered access;
+//!   that's what catches a publish store downgraded from CAS to a plain
+//!   store.
+//! * `SharedRead` / `SharedWrite` — *annotated* intentionally-relaxed
+//!   accesses (the SOA value-word update path): last-writer-wins by
+//!   design, so they conflict only with unordered *plain* accesses.
+//! * `Atomic` — never races (hardware serializes RMWs) but creates sync
+//!   edges.
+//!
+//! The conflict matrix deliberately does **not** flag plain reads racing
+//! atomics: the ticket-board and cuckoo baselines read words that other
+//! groups concurrently RMW, which is well-defined on hardware.
+//!
+//! State is per-launch (the CUDA default-stream analogy): launch
+//! boundaries are global barriers, so cross-launch accesses never
+//! conflict and the shadow map is dropped when the launch returns.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// How many lock shards the per-word shadow map is split over.
+const SHARDS: usize = 64;
+
+/// Per-word reader records kept before the list is recycled.
+const MAX_READS: usize = 32;
+
+/// Distinct groups tracked in one word's sync (release) clock before it
+/// *saturates*. Unbounded sync clocks make a single hot atomic counter
+/// quadratic (every RMW joins a clock holding every prior accessor);
+/// real detectors bound shadow precision the same way. Past the cap, new
+/// groups' releases through that word are dropped — a word with this
+/// many distinct synchronizing groups is a contended statistics counter,
+/// not a publication protocol, so the precision loss is confined to
+/// shapes the kernels don't use.
+const SYNC_CAP: usize = 64;
+
+/// Classification of one device-memory access (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AccessKind {
+    /// Coalesced window load — tolerates racing CAS/shared stores.
+    RelaxedRead,
+    /// Unannotated single-word load.
+    PlainRead,
+    /// Annotated intentionally-relaxed load.
+    SharedRead,
+    /// Unannotated single-word store.
+    PlainWrite,
+    /// Annotated intentionally-relaxed store (last-writer-wins).
+    SharedWrite,
+    /// Atomic read-modify-write (CAS, add, or, max, exchange).
+    Atomic,
+}
+
+impl AccessKind {
+    /// Whether the access only reads.
+    pub(crate) fn is_read(self) -> bool {
+        matches!(
+            self,
+            AccessKind::RelaxedRead | AccessKind::PlainRead | AccessKind::SharedRead
+        )
+    }
+
+    /// Human-readable label for reports.
+    pub(crate) fn describe(self) -> &'static str {
+        match self {
+            AccessKind::RelaxedRead => "relaxed window read",
+            AccessKind::PlainRead => "plain read",
+            AccessKind::SharedRead => "shared (annotated relaxed) read",
+            AccessKind::PlainWrite => "plain write",
+            AccessKind::SharedWrite => "shared (annotated relaxed) write",
+            AccessKind::Atomic => "atomic RMW",
+        }
+    }
+}
+
+/// An access epoch: group id + that group's clock at access time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Prior {
+    /// Group that performed the prior access.
+    pub gid: u32,
+    /// The group's clock value at that access.
+    pub clk: u32,
+    /// What the access was.
+    pub kind: AccessKind,
+}
+
+/// Sparse per-group vector clock.
+#[derive(Debug)]
+pub(crate) struct GroupClock {
+    gid: u32,
+    clk: u32,
+    /// `vc[g]` = highest clock of group `g` this group has acquired.
+    vc: HashMap<u32, u32>,
+    /// Sync-clock version last acquired per word — re-acquiring an
+    /// unchanged clock is a no-op, so it is skipped (the hot-counter
+    /// fast path).
+    acquired: HashMap<usize, u32>,
+}
+
+impl GroupClock {
+    pub(crate) fn new(gid: u32) -> Self {
+        Self {
+            gid,
+            clk: 1,
+            vc: HashMap::new(),
+            acquired: HashMap::new(),
+        }
+    }
+
+    /// Ticks the group's own clock (each access / collective is an epoch).
+    pub(crate) fn advance(&mut self) {
+        self.clk += 1;
+    }
+
+    /// Whether `prior` happened-before this group's current epoch.
+    fn saw(&self, prior: &Prior) -> bool {
+        prior.gid == self.gid || self.vc.get(&prior.gid).copied().unwrap_or(0) >= prior.clk
+    }
+}
+
+/// Shadow record of one device word.
+#[derive(Debug, Default)]
+struct WordState {
+    last_write: Option<Prior>,
+    reads: Vec<Prior>,
+    /// Release clock: join of every releasing (atomic) accessor's VC
+    /// (bounded by [`SYNC_CAP`] distinct groups).
+    sync: HashMap<u32, u32>,
+    /// Bumped whenever `sync` changes, so acquirers can skip no-op joins.
+    sync_version: u32,
+    /// A word reports at most one race (dedup).
+    reported: bool,
+}
+
+/// Per-launch race-detection state, sharded for pool-mode parallelism.
+pub(crate) struct RaceState {
+    shards: Vec<Mutex<HashMap<usize, WordState>>>,
+}
+
+impl RaceState {
+    pub(crate) fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Records one access and returns the conflicting prior access, if
+    /// any (first conflict per word only).
+    pub(crate) fn on_access(
+        &self,
+        word: usize,
+        clock: &mut GroupClock,
+        kind: AccessKind,
+    ) -> Option<Prior> {
+        let mut shard = self.shards[word % SHARDS].lock();
+        let st = shard.entry(word).or_default();
+
+        // -- conflict detection (the matrix from the module docs) --------
+        let conflicts_with_write = |w: AccessKind| match kind {
+            AccessKind::RelaxedRead | AccessKind::SharedRead | AccessKind::Atomic => {
+                w == AccessKind::PlainWrite
+            }
+            AccessKind::PlainRead => {
+                matches!(w, AccessKind::PlainWrite | AccessKind::SharedWrite)
+            }
+            AccessKind::PlainWrite => true, // any unordered write conflicts
+            AccessKind::SharedWrite => w == AccessKind::PlainWrite,
+        };
+        let mut conflict = st
+            .last_write
+            .filter(|w| conflicts_with_write(w.kind) && !clock.saw(w));
+        if conflict.is_none() && !kind.is_read() {
+            // writes also conflict with unordered prior reads
+            let read_conflicts = |r: AccessKind| match kind {
+                AccessKind::PlainWrite => true,
+                AccessKind::SharedWrite => r == AccessKind::PlainRead,
+                _ => false, // Atomic never conflicts with reads
+            };
+            conflict = st
+                .reads
+                .iter()
+                .find(|r| read_conflicts(r.kind) && !clock.saw(r))
+                .copied();
+        }
+        let fire = conflict.filter(|_| !st.reported);
+        if fire.is_some() {
+            st.reported = true;
+        }
+
+        // -- sync edges: atomics release + acquire ------------------------
+        if kind == AccessKind::Atomic {
+            // acquire: join the word's release clock into the group
+            // (skipped when it has not changed since our last acquire)
+            if clock.acquired.get(&word).copied() != Some(st.sync_version) {
+                for (&g, &c) in &st.sync {
+                    if g != clock.gid {
+                        let e = clock.vc.entry(g).or_insert(0);
+                        *e = (*e).max(c);
+                    }
+                }
+            }
+            // release: join the group's VC (and own epoch) into the word.
+            // A saturated clock not already tracking this group cannot
+            // change, so the whole release is skipped (see SYNC_CAP).
+            if st.sync.len() < SYNC_CAP || st.sync.contains_key(&clock.gid) {
+                let mut changed = false;
+                for (&g, &c) in clock.vc.iter().chain([(&clock.gid, &clock.clk)]) {
+                    if let Some(e) = st.sync.get_mut(&g) {
+                        if *e < c {
+                            *e = c;
+                            changed = true;
+                        }
+                    } else if st.sync.len() < SYNC_CAP {
+                        st.sync.insert(g, c);
+                        changed = true;
+                    }
+                }
+                if changed {
+                    st.sync_version = st.sync_version.wrapping_add(1);
+                }
+            }
+            clock.acquired.insert(word, st.sync_version);
+        }
+
+        // -- record the access -------------------------------------------
+        let epoch = Prior {
+            gid: clock.gid,
+            clk: clock.clk,
+            kind,
+        };
+        if kind.is_read() {
+            if let Some(r) = st.reads.iter_mut().find(|r| r.gid == clock.gid) {
+                // latest epoch per group is exact for the HB test; keep the
+                // "strongest" kind so a plain read isn't masked by a later
+                // relaxed one
+                r.clk = r.clk.max(clock.clk);
+                if kind == AccessKind::PlainRead {
+                    r.kind = AccessKind::PlainRead;
+                }
+            } else {
+                if st.reads.len() >= MAX_READS {
+                    st.reads.clear(); // recycle (bounded memory beats recall)
+                }
+                st.reads.push(epoch);
+            }
+        } else {
+            st.last_write = Some(epoch);
+            if kind == AccessKind::PlainWrite {
+                // a plain write supersedes (and was checked against) every
+                // recorded read
+                st.reads.clear();
+            }
+        }
+        clock.advance();
+        fire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock(gid: u32) -> GroupClock {
+        GroupClock::new(gid)
+    }
+
+    #[test]
+    fn plain_write_write_race_detected() {
+        let rs = RaceState::new();
+        let mut a = clock(0);
+        let mut b = clock(1);
+        assert!(rs.on_access(7, &mut a, AccessKind::PlainWrite).is_none());
+        let c = rs.on_access(7, &mut b, AccessKind::PlainWrite);
+        assert_eq!(c.unwrap().gid, 0);
+    }
+
+    #[test]
+    fn plain_read_vs_plain_write_race_detected() {
+        let rs = RaceState::new();
+        let mut a = clock(0);
+        let mut b = clock(1);
+        assert!(rs.on_access(3, &mut a, AccessKind::PlainRead).is_none());
+        let c = rs.on_access(3, &mut b, AccessKind::PlainWrite);
+        assert_eq!(c.unwrap().kind, AccessKind::PlainRead);
+    }
+
+    #[test]
+    fn atomics_never_race_each_other() {
+        let rs = RaceState::new();
+        let mut a = clock(0);
+        let mut b = clock(1);
+        for _ in 0..4 {
+            assert!(rs.on_access(0, &mut a, AccessKind::Atomic).is_none());
+            assert!(rs.on_access(0, &mut b, AccessKind::Atomic).is_none());
+        }
+    }
+
+    #[test]
+    fn relaxed_window_reads_tolerate_cas_and_shared_stores() {
+        let rs = RaceState::new();
+        let mut claimer = clock(0);
+        let mut prober = clock(1);
+        assert!(rs.on_access(5, &mut claimer, AccessKind::Atomic).is_none());
+        assert!(rs
+            .on_access(5, &mut prober, AccessKind::RelaxedRead)
+            .is_none());
+        assert!(rs
+            .on_access(5, &mut claimer, AccessKind::SharedWrite)
+            .is_none());
+        assert!(rs
+            .on_access(5, &mut prober, AccessKind::RelaxedRead)
+            .is_none());
+    }
+
+    #[test]
+    fn release_acquire_through_atomic_orders_plain_accesses() {
+        // group 0: plain-write w, then release via atomic on s.
+        // group 1: acquire via atomic on s, then plain-write w → ordered.
+        let rs = RaceState::new();
+        let (w, s) = (10, 11);
+        let mut a = clock(0);
+        let mut b = clock(1);
+        assert!(rs.on_access(w, &mut a, AccessKind::PlainWrite).is_none());
+        assert!(rs.on_access(s, &mut a, AccessKind::Atomic).is_none());
+        assert!(rs.on_access(s, &mut b, AccessKind::Atomic).is_none());
+        assert!(
+            rs.on_access(w, &mut b, AccessKind::PlainWrite).is_none(),
+            "acquire edge must order the second plain write after the first"
+        );
+    }
+
+    #[test]
+    fn unsynchronized_plain_publish_vs_shared_update_races() {
+        // The broken_publish_plain_store shape: claimer plain-stores the
+        // value word; a racing updater shared-writes it. The updater only
+        // saw the *key* word (relaxed), so there is no HB edge.
+        let rs = RaceState::new();
+        let mut claimer = clock(0);
+        let mut updater = clock(1);
+        assert!(rs
+            .on_access(20, &mut claimer, AccessKind::PlainWrite)
+            .is_none());
+        let c = rs.on_access(20, &mut updater, AccessKind::SharedWrite);
+        assert_eq!(c.unwrap().kind, AccessKind::PlainWrite);
+    }
+
+    #[test]
+    fn plain_read_does_not_race_atomics() {
+        // ticket-board shape: groups read a word others concurrently RMW
+        let rs = RaceState::new();
+        let mut reader = clock(0);
+        let mut rmw = clock(1);
+        assert!(rs.on_access(2, &mut rmw, AccessKind::Atomic).is_none());
+        assert!(rs.on_access(2, &mut reader, AccessKind::PlainRead).is_none());
+        assert!(rs.on_access(2, &mut rmw, AccessKind::Atomic).is_none());
+    }
+
+    #[test]
+    fn each_word_reports_once() {
+        let rs = RaceState::new();
+        let mut a = clock(0);
+        let mut b = clock(1);
+        let mut c = clock(2);
+        assert!(rs.on_access(9, &mut a, AccessKind::PlainWrite).is_none());
+        assert!(rs.on_access(9, &mut b, AccessKind::PlainWrite).is_some());
+        assert!(rs.on_access(9, &mut c, AccessKind::PlainWrite).is_none());
+    }
+
+    #[test]
+    fn release_acquire_is_transitive_across_words() {
+        // A → B through word 2, B → C through word 3: C inherits A's edge.
+        let rs = RaceState::new();
+        let mut a = clock(0);
+        let mut b = clock(1);
+        let mut c = clock(2);
+        assert!(rs.on_access(1, &mut a, AccessKind::PlainWrite).is_none());
+        assert!(rs.on_access(2, &mut a, AccessKind::Atomic).is_none());
+        assert!(rs.on_access(2, &mut b, AccessKind::Atomic).is_none());
+        assert!(rs.on_access(3, &mut b, AccessKind::Atomic).is_none());
+        assert!(rs.on_access(3, &mut c, AccessKind::Atomic).is_none());
+        assert!(
+            rs.on_access(1, &mut c, AccessKind::PlainWrite).is_none(),
+            "A's plain write must be ordered before C's via the atomic chain"
+        );
+    }
+
+    #[test]
+    fn sync_clock_saturates_without_quadratic_blowup() {
+        // the hot-counter shape: many groups RMW one word; sync state and
+        // per-group VCs must stay bounded by SYNC_CAP, with no reports
+        let rs = RaceState::new();
+        for g in 0..(SYNC_CAP as u32 * 4) {
+            let mut c = clock(g);
+            for _ in 0..4 {
+                assert!(rs.on_access(0, &mut c, AccessKind::Atomic).is_none());
+            }
+            assert!(c.vc.len() <= SYNC_CAP, "group VC exceeded the sync cap");
+        }
+    }
+
+    #[test]
+    fn program_order_within_one_group_never_races() {
+        let rs = RaceState::new();
+        let mut a = clock(0);
+        assert!(rs.on_access(1, &mut a, AccessKind::PlainWrite).is_none());
+        assert!(rs.on_access(1, &mut a, AccessKind::PlainRead).is_none());
+        assert!(rs.on_access(1, &mut a, AccessKind::PlainWrite).is_none());
+    }
+}

@@ -1,0 +1,63 @@
+//! Divergent-collective detection (synccheck).
+//!
+//! A coalesced group is lock-step by definition: every lane must reach
+//! every group op (ballot / any / leader election). Real kernels break
+//! this when one lane exits a loop early and the rest re-ballot without
+//! it — on Volta+ hardware that is a deadlock or an undefined-mask bug;
+//! `compute-sanitizer --tool synccheck` flags it as "divergent thread(s)
+//! in warp".
+//!
+//! The simulator executes a group as one unit of work, so true lockstep
+//! divergence cannot *happen* — but it can be *expressed*: the masked
+//! collectives ([`crate::GroupCtx::ballot_where`] /
+//! [`crate::GroupCtx::any_where`]) take the participation mask the kernel
+//! believes is active. Synccheck compares that mask against the full
+//! group mask and flags any collective reached with missing (or phantom)
+//! lanes, labelled by the group's running collective-site counter so the
+//! report pinpoints *which* ballot diverged.
+
+/// Checks the participation mask of collective site `site`; returns the
+/// report text when lanes are missing from (or outside of) the group.
+pub(crate) fn divergence(site: u32, active: u32, full: u32) -> Option<String> {
+    if active == full {
+        return None;
+    }
+    let missing = full & !active;
+    let phantom = active & !full;
+    let mut msg = format!(
+        "divergent collective at site {site}: participation mask {active:#06x} \
+         != full group mask {full:#06x}"
+    );
+    if missing != 0 {
+        msg.push_str(&format!(" (lanes missing: {missing:#06x}"));
+        msg.push(')');
+    }
+    if phantom != 0 {
+        msg.push_str(&format!(" (lanes beyond the group: {phantom:#06x})"));
+    }
+    Some(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mask_is_convergent() {
+        assert!(divergence(0, 0b1111, 0b1111).is_none());
+        assert!(divergence(3, u32::MAX, u32::MAX).is_none());
+    }
+
+    #[test]
+    fn missing_lane_is_flagged_with_site() {
+        let m = divergence(7, 0b1110, 0b1111).unwrap();
+        assert!(m.contains("site 7"));
+        assert!(m.contains("missing"));
+    }
+
+    #[test]
+    fn phantom_lane_is_flagged() {
+        let m = divergence(0, 0b1_1111, 0b1111).unwrap();
+        assert!(m.contains("beyond the group"));
+    }
+}

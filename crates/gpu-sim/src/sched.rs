@@ -82,6 +82,33 @@ impl Schedule {
         matches!(self, Schedule::Seeded(_) | Schedule::Adversarial { .. })
     }
 
+    /// The `WD_SCHED_*` environment settings that replay this schedule
+    /// (printed in sanitizer reports). [`Schedule::Pool`] is inherently
+    /// nondeterministic, so the hint says how to pin it instead.
+    #[must_use]
+    pub fn replay_hint(self) -> String {
+        match self {
+            Schedule::Pool => {
+                "nondeterministic pool; pin with WD_SCHED_MODE=seeded WD_SCHED_SEED=<n>".to_owned()
+            }
+            Schedule::Sequential => "WD_SCHED_MODE=seq".to_owned(),
+            Schedule::Seeded(seed) => {
+                format!("WD_SCHED_MODE=seeded WD_SCHED_SEED={seed}")
+            }
+            Schedule::Adversarial { mode, seed } => match mode {
+                AdversarialMode::DelayOne => {
+                    format!("WD_SCHED_MODE=delay WD_SCHED_SEED={seed}")
+                }
+                AdversarialMode::Reverse => {
+                    format!("WD_SCHED_MODE=reverse WD_SCHED_SEED={seed}")
+                }
+                AdversarialMode::RoundRobin { quantum } => format!(
+                    "WD_SCHED_MODE=rr WD_SCHED_SEED={seed} WD_SCHED_QUANTUM={quantum}"
+                ),
+            },
+        }
+    }
+
     /// Builds a schedule from `WD_SCHED_MODE` / `WD_SCHED_SEED` /
     /// `WD_SCHED_QUANTUM`, for replaying a failing interleaving printed
     /// by a test. Modes: `pool` (default), `sequential`, `seeded`,
@@ -247,7 +274,7 @@ impl StepSched {
             next_unstarted: wave.min(num_groups),
             num_groups,
             policy,
-            rng: seed ^ 0x57a7_e5c4_ed01_e5u64.rotate_left(17),
+            rng: seed ^ 0x0057_a7e5_c4ed_01e5_u64.rotate_left(17),
             steps_in_turn: 0,
         };
         if !state.runnable.is_empty() {
@@ -472,7 +499,7 @@ mod tests {
         for (pos, &g) in order.iter().enumerate() {
             if g >= wave {
                 assert!(
-                    pos >= g - wave + 1,
+                    pos > g - wave,
                     "group {g} ran at position {pos}, before the wave could admit it"
                 );
             }

@@ -13,7 +13,10 @@
 
 use crate::counters::KernelCounters;
 use crate::mem::{DevSlice, DeviceMemory};
+use crate::sanitizer::racecheck::{AccessKind, GroupClock};
+use crate::sanitizer::LaunchSanitizer;
 use crate::sched::StepSched;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::Ordering;
 
 /// A validated coalesced-group size: one of `{1, 2, 4, 8, 16, 32}`.
@@ -122,6 +125,14 @@ pub struct GroupCtx<'a> {
     /// the pool/sequential paths, so the per-operation pacing check is a
     /// single predictable branch.
     sched: Option<&'a StepSched>,
+    /// `wd-sanitizer` context of the launch. `None` — the default — keeps
+    /// every memory op at one predictable branch of sanitizer overhead:
+    /// no locks, no allocation, counters untouched.
+    san: Option<&'a LaunchSanitizer<'a>>,
+    /// Racecheck vector clock of this group (iff racecheck is active).
+    clock: Option<RefCell<GroupClock>>,
+    /// Running collective-site counter (synccheck report labels).
+    sites: Cell<u32>,
 }
 
 impl<'a> GroupCtx<'a> {
@@ -130,6 +141,7 @@ impl<'a> GroupCtx<'a> {
         counters: &'a KernelCounters,
         group_id: usize,
         size: GroupSize,
+        san: Option<&'a LaunchSanitizer<'a>>,
     ) -> Self {
         Self {
             mem,
@@ -137,6 +149,9 @@ impl<'a> GroupCtx<'a> {
             group_id,
             size,
             sched: None,
+            san,
+            clock: san.and_then(|s| s.group_clock(group_id)),
+            sites: Cell::new(0),
         }
     }
 
@@ -146,6 +161,7 @@ impl<'a> GroupCtx<'a> {
         group_id: usize,
         size: GroupSize,
         sched: &'a StepSched,
+        san: Option<&'a LaunchSanitizer<'a>>,
     ) -> Self {
         Self {
             mem,
@@ -153,7 +169,46 @@ impl<'a> GroupCtx<'a> {
             group_id,
             size,
             sched: Some(sched),
+            san,
+            clock: san.and_then(|s| s.group_clock(group_id)),
+            sites: Cell::new(0),
         }
+    }
+
+    /// Sanitizer read hook (`idx` already resolved in-bounds).
+    #[inline]
+    fn san_read(&self, slice: DevSlice, idx: usize, kind: AccessKind, lane: Option<u32>) {
+        if let Some(s) = self.san {
+            s.on_read(slice, idx, kind, self.group_id, lane, self.clock.as_ref());
+        }
+    }
+
+    /// Sanitizer write hook (`idx` already resolved in-bounds).
+    #[inline]
+    fn san_write(&self, slice: DevSlice, idx: usize, kind: AccessKind) {
+        if let Some(s) = self.san {
+            s.on_write(slice, idx, kind, self.group_id, None, self.clock.as_ref());
+        }
+    }
+
+    /// Sanitizer atomic-RMW hook (`idx` already resolved in-bounds).
+    #[inline]
+    fn san_atomic(&self, slice: DevSlice, idx: usize) {
+        if let Some(s) = self.san {
+            s.on_atomic(slice, idx, self.group_id, self.clock.as_ref());
+        }
+    }
+
+    /// Epoch advance + site bump at every collective; returns the site id
+    /// of this collective for synccheck labels.
+    #[inline]
+    fn san_collective(&self) -> u32 {
+        let site = self.sites.get();
+        if let Some(s) = self.san {
+            self.sites.set(site + 1);
+            s.on_collective(self.clock.as_ref());
+        }
+        site
     }
 
     /// Preemption point: under a stepwise schedule, possibly hands
@@ -190,6 +245,7 @@ impl<'a> GroupCtx<'a> {
     #[inline]
     #[must_use]
     pub fn ballot(&self, mut pred: impl FnMut(u32) -> bool) -> u32 {
+        self.san_collective();
         let mut mask = 0u32;
         for rank in 0..self.size.get() {
             if pred(rank) {
@@ -209,8 +265,51 @@ impl<'a> GroupCtx<'a> {
     /// `g.all(pred)`: true if the predicate holds on every lane.
     #[inline]
     #[must_use]
-    pub fn all(&self, mut pred: impl FnMut(u32) -> bool) -> bool {
-        (0..self.size.get()).all(|r| pred(r))
+    pub fn all(&self, pred: impl FnMut(u32) -> bool) -> bool {
+        self.san_collective();
+        (0..self.size.get()).all(pred)
+    }
+
+    /// The participation mask with every lane of the group active.
+    #[inline]
+    #[must_use]
+    pub fn full_mask(&self) -> u32 {
+        u32::MAX >> (32 - self.size.get())
+    }
+
+    /// `g.ballot(pred)` restricted to the lanes of `active` — the masked
+    /// collective a kernel reaches when *it believes* some lanes have
+    /// exited. Under synccheck, a mask that differs from
+    /// [`GroupCtx::full_mask`] is reported as a divergent collective
+    /// (`compute-sanitizer --tool synccheck`'s "divergent thread(s) in
+    /// warp"); lanes outside `active` do not evaluate the predicate.
+    #[must_use]
+    pub fn ballot_where(&self, active: u32, mut pred: impl FnMut(u32) -> bool) -> u32 {
+        let site = self.sites.get();
+        if let Some(s) = self.san {
+            self.sites.set(site + 1);
+            s.on_masked_collective(
+                self.group_id,
+                site,
+                active,
+                self.full_mask(),
+                self.clock.as_ref(),
+            );
+        }
+        let mut mask = 0u32;
+        for rank in 0..self.size.get() {
+            if active & (1 << rank) != 0 && pred(rank) {
+                mask |= 1 << rank;
+            }
+        }
+        mask
+    }
+
+    /// `g.any(pred)` restricted to the lanes of `active` (see
+    /// [`GroupCtx::ballot_where`]).
+    #[must_use]
+    pub fn any_where(&self, active: u32, pred: impl FnMut(u32) -> bool) -> bool {
+        self.ballot_where(active, pred) != 0
     }
 
     /// `__ffs(mask) - 1`: the lowest-ranked active lane — the *leader* in
@@ -245,6 +344,10 @@ impl<'a> GroupCtx<'a> {
         for (r, val) in vals.iter_mut().enumerate().take(g) {
             let idx = (start + r) % len;
             *val = self.mem.word(slice, idx).load(Ordering::Relaxed);
+            // window loads are *relaxed by design*: probing tolerates
+            // racing CAS claims and annotated shared stores (stale data is
+            // re-balloted), so racecheck only flags plain writes
+            self.san_read(slice, idx, AccessKind::RelaxedRead, Some(r as u32));
         }
         self.counters
             .add_transactions(window_transactions(slice, start, g));
@@ -271,10 +374,9 @@ impl<'a> GroupCtx<'a> {
     #[must_use]
     pub fn read(&self, slice: DevSlice, idx: usize) -> u64 {
         self.pace();
-        let v = self
-            .mem
-            .word(slice, idx % slice.len())
-            .load(Ordering::Relaxed);
+        let idx = idx % slice.len();
+        let v = self.mem.word(slice, idx).load(Ordering::Relaxed);
+        self.san_read(slice, idx, AccessKind::PlainRead, None);
         self.counters.add_transactions(1);
         self.counters.add_steps(1);
         v
@@ -283,9 +385,38 @@ impl<'a> GroupCtx<'a> {
     /// Uncoalesced single-word store.
     pub fn write(&self, slice: DevSlice, idx: usize, val: u64) {
         self.pace();
-        self.mem
-            .word(slice, idx % slice.len())
-            .store(val, Ordering::Relaxed);
+        let idx = idx % slice.len();
+        self.san_write(slice, idx, AccessKind::PlainWrite);
+        self.mem.word(slice, idx).store(val, Ordering::Relaxed);
+        self.counters.add_transactions(1);
+    }
+
+    /// Uncoalesced single-word load *annotated as intentionally relaxed*:
+    /// the protocol tolerates racing [`GroupCtx::write_shared`] stores of
+    /// the same word (e.g. reading an SOA value word that concurrent
+    /// updaters overwrite last-writer-wins). Counted exactly like
+    /// [`GroupCtx::read`]; only racecheck treats it differently.
+    #[must_use]
+    pub fn read_shared(&self, slice: DevSlice, idx: usize) -> u64 {
+        self.pace();
+        let idx = idx % slice.len();
+        let v = self.mem.word(slice, idx).load(Ordering::Relaxed);
+        self.san_read(slice, idx, AccessKind::SharedRead, None);
+        self.counters.add_transactions(1);
+        self.counters.add_steps(1);
+        v
+    }
+
+    /// Uncoalesced single-word store *annotated as intentionally relaxed*
+    /// (last-writer-wins by protocol design, e.g. the SOA value-word
+    /// update path). Counted exactly like [`GroupCtx::write`]; racecheck
+    /// flags it only against unordered *plain* accesses — an unannotated
+    /// plain store racing this one is still a finding.
+    pub fn write_shared(&self, slice: DevSlice, idx: usize, val: u64) {
+        self.pace();
+        let idx = idx % slice.len();
+        self.san_write(slice, idx, AccessKind::SharedWrite);
+        self.mem.word(slice, idx).store(val, Ordering::Relaxed);
         self.counters.add_transactions(1);
     }
 
@@ -295,16 +426,31 @@ impl<'a> GroupCtx<'a> {
     #[must_use]
     pub fn read_stream(&self, slice: DevSlice, idx: usize) -> u64 {
         self.pace();
-        let v = self.mem.word(slice, idx).load(Ordering::Relaxed);
         self.counters.add_stream_bytes(8);
+        if let Some(s) = self.san {
+            // streaming accesses index directly (no wrap) — the one place
+            // a counted op can run off a slice. Memcheck reports and
+            // *contains* the access: the load is skipped, returning 0.
+            if !s.stream_in_bounds("read_stream", slice, idx, self.group_id) && s.contains_oob() {
+                return 0;
+            }
+        }
+        let v = self.mem.word(slice, idx).load(Ordering::Relaxed);
+        self.san_read(slice, idx, AccessKind::PlainRead, None);
         v
     }
 
     /// Fully coalesced streaming store (bulk outputs: query results).
     pub fn write_stream(&self, slice: DevSlice, idx: usize, val: u64) {
         self.pace();
-        self.mem.word(slice, idx).store(val, Ordering::Relaxed);
         self.counters.add_stream_bytes(8);
+        if let Some(s) = self.san {
+            if !s.stream_in_bounds("write_stream", slice, idx, self.group_id) && s.contains_oob() {
+                return;
+            }
+        }
+        self.san_write(slice, idx, AccessKind::PlainWrite);
+        self.mem.word(slice, idx).store(val, Ordering::Relaxed);
     }
 
     /// 64-bit `atomicCAS` on a table slot (line 13 of Fig. 3).
@@ -321,7 +467,9 @@ impl<'a> GroupCtx<'a> {
     /// no extra DRAM transaction.
     pub fn cas(&self, slice: DevSlice, idx: usize, current: u64, new: u64) -> Result<(), u64> {
         self.pace();
-        let r = self.mem.word(slice, idx % slice.len()).compare_exchange(
+        let idx = idx % slice.len();
+        self.san_atomic(slice, idx);
+        let r = self.mem.word(slice, idx).compare_exchange(
             current,
             new,
             Ordering::Relaxed,
@@ -329,7 +477,7 @@ impl<'a> GroupCtx<'a> {
         );
         self.counters.add_cas(r.is_ok());
         self.counters.add_steps(1);
-        r.map(|_| ()).map_err(|actual| actual)
+        r.map(|_| ())
     }
 
     /// 64-bit `atomicExch` to a *cold* random address (the cuckoo
@@ -337,10 +485,9 @@ impl<'a> GroupCtx<'a> {
     /// pays a full sector fetch plus the cold-atomic round-trip.
     pub fn exchange(&self, slice: DevSlice, idx: usize, new: u64) -> u64 {
         self.pace();
-        let old = self
-            .mem
-            .word(slice, idx % slice.len())
-            .swap(new, Ordering::Relaxed);
+        let idx = idx % slice.len();
+        self.san_atomic(slice, idx);
+        let old = self.mem.word(slice, idx).swap(new, Ordering::Relaxed);
         self.counters.add_cold_atomic();
         self.counters.add_transactions(1); // sector fetch
         self.counters.add_steps(1);
@@ -351,10 +498,9 @@ impl<'a> GroupCtx<'a> {
     /// counters, warp-aggregated compaction).
     pub fn atomic_add(&self, slice: DevSlice, idx: usize, delta: u64) -> u64 {
         self.pace();
-        let old = self
-            .mem
-            .word(slice, idx % slice.len())
-            .fetch_add(delta, Ordering::Relaxed);
+        let idx = idx % slice.len();
+        self.san_atomic(slice, idx);
+        let old = self.mem.word(slice, idx).fetch_add(delta, Ordering::Relaxed);
         self.counters.add_atomic();
         self.counters.add_steps(1);
         old
@@ -364,10 +510,9 @@ impl<'a> GroupCtx<'a> {
     /// claims in the Stadium-hash baseline).
     pub fn atomic_or(&self, slice: DevSlice, idx: usize, bits: u64) -> u64 {
         self.pace();
-        let old = self
-            .mem
-            .word(slice, idx % slice.len())
-            .fetch_or(bits, Ordering::Relaxed);
+        let idx = idx % slice.len();
+        self.san_atomic(slice, idx);
+        let old = self.mem.word(slice, idx).fetch_or(bits, Ordering::Relaxed);
         self.counters.add_atomic();
         self.counters.add_steps(1);
         old
@@ -393,10 +538,9 @@ impl<'a> GroupCtx<'a> {
     /// 64-bit `atomicMax` (used by some baselines' stash bookkeeping).
     pub fn atomic_max(&self, slice: DevSlice, idx: usize, val: u64) -> u64 {
         self.pace();
-        let old = self
-            .mem
-            .word(slice, idx % slice.len())
-            .fetch_max(val, Ordering::Relaxed);
+        let idx = idx % slice.len();
+        self.san_atomic(slice, idx);
+        let old = self.mem.word(slice, idx).fetch_max(val, Ordering::Relaxed);
         self.counters.add_atomic();
         self.counters.add_steps(1);
         old
@@ -429,7 +573,45 @@ mod tests {
     use crate::mem::DeviceMemory;
 
     fn ctx<'a>(mem: &'a DeviceMemory, counters: &'a KernelCounters, g: u32) -> GroupCtx<'a> {
-        GroupCtx::new(mem, counters, 0, GroupSize::new(g))
+        GroupCtx::new(mem, counters, 0, GroupSize::new(g), None)
+    }
+
+    #[test]
+    fn full_mask_matches_group_size() {
+        let mem = DeviceMemory::new(8);
+        let c = KernelCounters::new();
+        assert_eq!(ctx(&mem, &c, 1).full_mask(), 0b1);
+        assert_eq!(ctx(&mem, &c, 4).full_mask(), 0b1111);
+        assert_eq!(ctx(&mem, &c, 32).full_mask(), u32::MAX);
+    }
+
+    #[test]
+    fn masked_collectives_skip_inactive_lanes() {
+        let mem = DeviceMemory::new(8);
+        let c = KernelCounters::new();
+        let g = ctx(&mem, &c, 4);
+        // lane 2 inactive: its predicate must not run and cannot vote
+        let mask = g.ballot_where(0b1011, |r| {
+            assert_ne!(r, 2);
+            r != 0
+        });
+        assert_eq!(mask, 0b1010);
+        assert!(g.any_where(0b0001, |r| r == 0));
+        assert!(!g.any_where(0b1110, |r| r == 0));
+    }
+
+    #[test]
+    fn shared_accessors_bill_like_plain_ones() {
+        let mem = DeviceMemory::new(8);
+        let c = KernelCounters::new();
+        let s = mem.alloc(4).unwrap();
+        mem.fill(s, 7);
+        let g = ctx(&mem, &c, 1);
+        g.write_shared(s, 1, 9);
+        assert_eq!(g.read_shared(s, 1), 9);
+        let snap = c.snapshot();
+        assert_eq!(snap.transactions, 2);
+        assert_eq!(snap.group_steps, 1); // read pays the round-trip, write doesn't
     }
 
     #[test]

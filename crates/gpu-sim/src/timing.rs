@@ -204,8 +204,10 @@ mod tests {
     #[test]
     fn binding_term_names_dominant_resource() {
         let m = TimingModel::new(DeviceSpec::p100());
-        let mut s = CounterSnapshot::default();
-        s.stream_bytes = 1 << 40;
+        let s = CounterSnapshot {
+            stream_bytes: 1 << 40,
+            ..Default::default()
+        };
         let b = m.kernel_time(s, GroupSize::new(4), 1024, 0);
         assert_eq!(b.binding_term(), "stream");
     }

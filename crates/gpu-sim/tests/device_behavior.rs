@@ -12,6 +12,8 @@ fn allocations_are_sector_aligned() {
     let b = dev.alloc(8).unwrap();
     let _c = dev.alloc(5).unwrap();
     let d = dev.alloc(8).unwrap();
+    dev.mem().fill(b, 0);
+    dev.mem().fill(d, 0);
     // verify via transaction counting: an 8-word window on an aligned
     // slice starting at index 0 touches exactly 2 sectors
     for slice in [b, d] {
@@ -47,6 +49,7 @@ fn zero_group_launch_is_a_noop() {
 fn sequential_and_parallel_launches_agree_on_counters() {
     let dev = Device::with_words(0, 4096);
     let buf = dev.alloc(2048).unwrap();
+    dev.mem().fill(buf, 0);
     let run = |sequential: bool| {
         let opts = if sequential {
             LaunchOptions::default().sequential()
@@ -149,6 +152,7 @@ proptest! {
     ) {
         let dev = Device::with_words(0, 1024);
         let slice = dev.alloc(512).unwrap(); // aligned offset
+        dev.mem().fill(slice, 0);
         let stats = dev.launch(
             "w",
             1,

@@ -48,6 +48,7 @@ impl Topology {
     pub fn p100_quad(m: usize) -> Self {
         assert!((1..=4).contains(&m), "the Fig. 6 node has 1..=4 GPUs");
         let mut nvlink = vec![vec![0.0; m]; m];
+        #[allow(clippy::needless_range_loop)] // symmetric (i, j) matrix fill
         for i in 0..m {
             for j in 0..m {
                 if i == j {

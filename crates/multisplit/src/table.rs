@@ -138,6 +138,7 @@ mod tests {
     fn byte_matrix_zeroes_diagonal() {
         let t = fig4_table();
         let b = t.byte_matrix(8);
+        #[allow(clippy::needless_range_loop)] // (i, j) walks the square matrix
         for i in 0..4 {
             assert_eq!(b[i][i], 0);
             for j in 0..4 {
@@ -159,6 +160,7 @@ mod tests {
             }
         }
         let recv = t.recv_offsets();
+        #[allow(clippy::needless_range_loop)] // column-major walk of a square matrix
         for j in 0..t.m {
             for i in 1..t.m {
                 assert_eq!(recv[i][j], recv[i - 1][j] + t.counts[i - 1][j]);

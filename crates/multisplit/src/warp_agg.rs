@@ -76,6 +76,7 @@ mod tests {
         let input = dev.alloc(n).unwrap();
         let output = dev.alloc(n).unwrap();
         let counter = dev.alloc(1).unwrap();
+        dev.mem().fill(counter, 0);
         (dev, input, output, counter)
     }
 

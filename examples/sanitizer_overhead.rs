@@ -1,0 +1,82 @@
+//! Measures the host-side cost of wd-sanitizer: one bulk insert +
+//! retrieve workload, timed with the sanitizer off, with each detector
+//! armed alone, and with all four armed.
+//!
+//! Two different costs are in play and this example demonstrates both:
+//!
+//! * **Simulated cost: zero.** The sanitizer's shadow-state bookkeeping
+//!   is not a counted device operation, so the billed counters (and hence
+//!   every modeled time and rate) are bit-identical on and off — asserted
+//!   below.
+//! * **Host cost: real.** Maintaining valid bits, vector clocks, and
+//!   bounds checks takes wall-clock time on the machine running the
+//!   simulation. That is the overhead worth knowing before arming
+//!   `WD_SANITIZE` on a long sweep, and what the table reports.
+//!
+//! Run with: `cargo run -p wd-apps --release --example sanitizer_overhead`
+//! (leave `WD_SANITIZE` unset — the environment attachment would win the
+//! device's one-shot sanitizer slot and flatten the comparison).
+
+use gpu_sim::{CounterSnapshot, Device, SanitizerSet};
+use std::sync::Arc;
+use std::time::Instant;
+use warpdrive::{Config, GpuHashMap};
+
+const N: usize = 100_000;
+const CAPACITY: usize = 1 << 17; // load factor ≈ 0.76
+
+/// Runs the workload on a fresh device, returning wall time and the
+/// billed counters of the retrieve launch (for the invariance assert).
+fn run(set: SanitizerSet) -> (f64, CounterSnapshot) {
+    let mut dev = Device::with_words(0, CAPACITY + 4 * N + 1024);
+    if !set.is_empty() {
+        dev = dev.sanitized_collecting(set);
+    }
+    let map = GpuHashMap::new(Arc::new(dev), CAPACITY, Config::default()).expect("map");
+    let pairs: Vec<(u32, u32)> = (0..N as u32).map(|i| (i * 7 + 1, i)).collect();
+    let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+    let t0 = Instant::now();
+    map.insert_pairs(&pairs).expect("insert");
+    let (hits, stats) = map.retrieve(&keys);
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(hits.iter().all(Option::is_some), "all keys must be found");
+    (dt, stats.counters)
+}
+
+fn main() {
+    if std::env::var_os("WD_SANITIZE").is_some() {
+        eprintln!("warning: WD_SANITIZE is set; the baseline row will be sanitized too");
+    }
+    let cases: [(&str, SanitizerSet); 6] = [
+        ("off", SanitizerSet::NONE),
+        ("memcheck", SanitizerSet::MEM),
+        ("initcheck", SanitizerSet::INIT),
+        ("synccheck", SanitizerSet::SYNC),
+        ("racecheck", SanitizerSet::RACE),
+        ("all four", SanitizerSet::ALL),
+    ];
+    // warm-up: fault in the allocator and thread pool before timing
+    let (_, baseline_counters) = run(SanitizerSet::NONE);
+
+    println!("{N} inserts + {N} retrieves, capacity {CAPACITY} (best of 3)\n");
+    println!("| detectors | wall time | overhead |");
+    println!("|---|---|---|");
+    let mut base = f64::NAN;
+    for (label, set) in cases {
+        let dt = (0..3)
+            .map(|_| {
+                let (dt, counters) = run(set);
+                assert_eq!(
+                    counters, baseline_counters,
+                    "{label}: sanitizer changed billed op counts"
+                );
+                dt
+            })
+            .fold(f64::INFINITY, f64::min);
+        if set.is_empty() {
+            base = dt;
+        }
+        println!("| {label} | {:.1} ms | {:.2}x |", dt * 1e3, dt / base);
+    }
+    println!("\nbilled counters identical across every row (asserted).");
+}

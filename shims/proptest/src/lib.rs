@@ -466,7 +466,7 @@ mod tests {
         fn bare_type_params_work(k: u32, flag: bool) {
             // trivially true; exercises the `name: Type` munching arm
             prop_assert!(u64::from(k) <= u64::from(u32::MAX));
-            prop_assert!(flag || !flag);
+            prop_assert!(u8::from(flag) <= 1);
         }
 
         #[test]
@@ -492,6 +492,9 @@ mod tests {
     }
 
     #[test]
+    // the expanded inner `#[test] fn must_fail` is called directly below,
+    // never collected by the harness — the lint's concern doesn't apply
+    #[allow(unnameable_test_items)]
     fn failing_property_panics_with_inputs() {
         let caught = std::panic::catch_unwind(|| {
             proptest! {

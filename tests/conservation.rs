@@ -9,9 +9,9 @@
 //! 2. **Partition-table transposition** — the m×m all-to-all table
 //!    conserves totals: row sums become column sums, `total()` is
 //!    invariant, and send/recv offset matrices describe the same volume.
-//! 3. **End-to-end `DistributedHashMap`** — after multisplit + all-to-all
-//!    + insert, the union of per-GPU table snapshots is exactly the input
-//!    key multiset; erasing a subset leaves exactly the remainder.
+//! 3. **End-to-end `DistributedHashMap`** — after multisplit, all-to-all,
+//!    and insert, the union of per-GPU table snapshots is exactly the
+//!    input key multiset; erasing a subset leaves exactly the remainder.
 
 use interconnect::Topology;
 use multisplit::{device_multisplit, PartitionTable};
@@ -94,6 +94,7 @@ proptest! {
         // byte matrix is the off-diagonal element matrix scaled (the
         // diagonal stays local and never crosses a link)
         let bytes = table.byte_matrix(8);
+        #[allow(clippy::needless_range_loop)] // (i, j) walks the square matrix
         for i in 0..m {
             for j in 0..m {
                 let want = if i == j { 0 } else { table.counts[i][j] * 8 };
