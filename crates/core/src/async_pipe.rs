@@ -98,6 +98,14 @@ fn stages_of(report: &CascadeReport, scale: f64) -> Vec<Stage> {
                 push(resource::VRAM, t);
             }
             CascadeStage::D2H => push(resource::PCIE_DOWN, t),
+            // Backoff waits stem from retried transfers and launches; the
+            // cascade is blocked on the fabric while they drain, so they
+            // occupy the NVLink timeline. Healthy cascades never contain
+            // this stage, leaving the pipeline plan untouched. After a
+            // quarantine the subsequent cascades' reports already reflect
+            // the degraded node (fewer GPUs, re-spread batches), so the
+            // scheduler re-plans around the lost resource for free.
+            CascadeStage::Backoff => push(resource::NVLINK, t),
         }
     }
     out

@@ -1,6 +1,6 @@
 //! Hash-map configuration.
 
-use gpu_sim::{GroupSize, Schedule};
+use gpu_sim::{FaultPlan, GroupSize, RetryPolicy, Schedule};
 use serde::{Deserialize, Serialize};
 
 /// Table memory layout (paper Fig. 1; ablation A1).
@@ -63,6 +63,22 @@ pub struct Config {
     /// [`gpu_sim::Schedule::from_env`]), so any test can be replayed
     /// under a recorded schedule without code changes.
     pub schedule: Schedule,
+    /// Deterministic fault-injection plan for the multi-GPU cascades:
+    /// link degradation, transfer drops, transient launch failures,
+    /// stragglers and killed devices. `Config::default()` honors the
+    /// `WD_FAULT` / `WD_FAULT_SEED` environment variables (see
+    /// [`gpu_sim::FaultPlan::from_env`]), so any suite can run under
+    /// chaos without code changes; the default plan is disarmed and the
+    /// fault-off path bills byte-identical counters to pre-chaos
+    /// behaviour. Override per map with
+    /// [`crate::DistributedHashMap::set_fault_plan`].
+    pub fault: FaultPlan,
+    /// Retry/backoff/timeout budgets governing how cascades respond to
+    /// injected faults: idempotent retries with exponential backoff up
+    /// to `max_attempts` per site within a per-operation time budget,
+    /// after which the offending GPU is quarantined and its partition
+    /// re-split across the survivors.
+    pub retry: RetryPolicy,
     /// **Mutation double — test-only.** When `true`, insertion skips the
     /// Fig. 3 window-reload/re-ballot after a failed claim CAS and retries
     /// the next vacant slot of the *stale* window instead. This is a
@@ -92,6 +108,19 @@ pub struct Config {
     /// out of the participation mask — lockstep divergence synccheck
     /// exists to catch. Never enable outside tests.
     pub broken_divergent_ballot: bool,
+    /// **Mutation double — test-only.** When `true`, a transiently
+    /// failed insert launch is *also* applied to its failover targets
+    /// while the primary GPU is still being retried — premature failover
+    /// without the idempotence guard, leaving the same key live on two
+    /// GPUs. The chaos suite's multiset-conservation and linearizability
+    /// checks exist to catch exactly this. Never enable outside tests.
+    pub broken_double_apply_on_retry: bool,
+    /// **Mutation double — test-only.** When `true`, quarantining a GPU
+    /// skips the re-split of its partition across the survivors, silently
+    /// dropping the quarantined shard's keys. The chaos suite's
+    /// degraded-mode round-trip exists to catch exactly this. Never
+    /// enable outside tests.
+    pub broken_forget_quarantined_partition: bool,
 }
 
 /// The full set of mutation-double switches, bundled so kernel entry
@@ -116,11 +145,15 @@ impl Default for Config {
             seed: 0,
             modeled_capacity_bytes: None,
             schedule: Schedule::from_env(),
+            fault: FaultPlan::from_env(),
+            retry: RetryPolicy::default(),
             broken_cas_recheck: false,
             broken_publish_plain_store: false,
             broken_skip_fill: false,
             broken_window_overrun: false,
             broken_divergent_ballot: false,
+            broken_double_apply_on_retry: false,
+            broken_forget_quarantined_partition: false,
         }
     }
 }
@@ -168,6 +201,20 @@ impl Config {
         self
     }
 
+    /// Sets the fault-injection plan (see [`Config::fault`]).
+    #[must_use]
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Sets the retry/backoff policy (see [`Config::retry`]).
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Enables the broken-probing mutation double (test-only; see the
     /// field docs on [`Config::broken_cas_recheck`]).
     #[must_use]
@@ -205,6 +252,22 @@ impl Config {
     #[must_use]
     pub fn with_broken_divergent_ballot(mut self) -> Self {
         self.broken_divergent_ballot = true;
+        self
+    }
+
+    /// Enables the premature-failover mutation double (test-only; see
+    /// [`Config::broken_double_apply_on_retry`]).
+    #[must_use]
+    pub fn with_broken_double_apply_on_retry(mut self) -> Self {
+        self.broken_double_apply_on_retry = true;
+        self
+    }
+
+    /// Enables the dropped-shard mutation double (test-only; see
+    /// [`Config::broken_forget_quarantined_partition`]).
+    #[must_use]
+    pub fn with_broken_forget_quarantined_partition(mut self) -> Self {
+        self.broken_forget_quarantined_partition = true;
         self
     }
 

@@ -13,17 +13,40 @@
 //! (there is only one address space underneath), but it is *billed*
 //! through the [`interconnect`] all-to-all model of the Fig. 6 NVLink
 //! fabric.
+//!
+//! ## Fault injection and graceful degradation
+//!
+//! Every cascade consults the map's [`gpu_sim::FaultPlan`] (from
+//! [`Config::fault`], overridable via
+//! [`DistributedHashMap::set_fault_plan`]): kernel launches may fail
+//! transiently, transfers may drop, links may be degraded and devices may
+//! straggle or die. Failures are retried idempotently with the
+//! exponential backoff of [`gpu_sim::RetryPolicy`]; a GPU that exhausts
+//! its budget is **quarantined** — its partition is re-split across the
+//! survivors (see [`crate::chaos::Router`]) and the cascade restarts,
+//! re-applying its batch. Re-application is safe because phases that
+//! mutate table state come last and single-map inserts are idempotent
+//! (duplicate keys update in place). With a disarmed plan every code
+//! path, billed counter and reported time is byte-identical to the
+//! pre-chaos implementation.
 
+use crate::chaos::{launch_site, straggled, ChaosState, Router};
 use crate::config::Config;
 use crate::entry::{key_of, pack, value_of, EMPTY};
-use crate::errors::{BuildError, InsertError};
+use crate::errors::{BuildError, InsertError, RetrieveError};
+use crate::history::{OpKind, OpResponse};
 use crate::map::GpuHashMap;
-use crate::stats::{CascadeReport, CascadeStage};
-use gpu_sim::{Device, GroupSize, LaunchOptions};
+use crate::stats::{CascadeReport, CascadeStage, DegradedStats};
+use gpu_sim::{Device, FaultPlan, GroupSize, LaunchOptions, RetryPolicy};
 use hashes::PartitionFn;
-use interconnect::{alltoall_time, Topology};
+use interconnect::{alltoall_time_faulted, Topology, TransferError};
 use multisplit::{device_multisplit, PartitionTable, SplitResult};
+use parking_lot::RwLock;
 use std::sync::Arc;
+
+/// Per-GPU retrieval results (in the original per-GPU order) plus the
+/// cascade's timing report.
+type PerGpuRetrieve = (Vec<Vec<Option<u32>>>, CascadeReport);
 
 /// A hash map distributed over the GPUs of one node.
 #[derive(Debug)]
@@ -32,6 +55,9 @@ pub struct DistributedHashMap {
     maps: Vec<GpuHashMap>,
     topo: Topology,
     part: PartitionFn,
+    fallback: PartitionFn,
+    cfg: Config,
+    chaos: RwLock<ChaosState>,
 }
 
 /// Per-GPU data prepared for a cascade (device-resident words).
@@ -44,6 +70,58 @@ struct SplitPhase<'g> {
     table: PartitionTable,
     /// Phase time (max over GPUs).
     time: f64,
+}
+
+/// Why a cascade round stopped early.
+enum Abort {
+    /// `device` exhausted its retry budget: quarantine it and restart.
+    Lost(usize),
+    /// Unrecoverable (probing exhaustion, scratch OOM): propagate.
+    Fatal(InsertError),
+}
+
+/// Per-round fault accounting, merged into [`DegradedStats`] at round end.
+#[derive(Default)]
+struct ChaosTally {
+    launch_retries: u64,
+    transfer_retries: u64,
+    backoff: f64,
+}
+
+/// Books the attempts of a budget-exhausted transfer into the tally: the
+/// failing edge made `attempts - 1` retries with backoff before each, and
+/// that work happened even though the phase then aborted.
+fn tally_exhausted_transfer(tally: &mut ChaosTally, policy: &RetryPolicy, e: TransferError) {
+    let r = e.attempts.saturating_sub(1);
+    tally.transfer_retries += u64::from(r);
+    for a in 1..=r {
+        tally.backoff += policy.backoff_before(a);
+    }
+}
+
+/// Rolls the transient launch-failure dice for one kernel site, billing
+/// exponential backoff between retried failures into `tally`. `Err` once
+/// the retry budget is exhausted.
+fn gate_launch(
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    device: usize,
+    site: u64,
+    tally: &mut ChaosTally,
+) -> Result<(), usize> {
+    let mut attempt = 0u32;
+    let mut spent = 0.0f64;
+    while plan.launch_fails(device, site, attempt) {
+        attempt += 1;
+        if !policy.may_retry(attempt, spent) {
+            tally.backoff += spent;
+            return Err(device);
+        }
+        spent += policy.backoff_before(attempt);
+        tally.launch_retries += 1;
+    }
+    tally.backoff += spent;
+    Ok(())
 }
 
 impl DistributedHashMap {
@@ -72,11 +150,16 @@ impl DistributedHashMap {
             .map(|d| GpuHashMap::new(Arc::clone(d), capacity_per_gpu, cfg))
             .collect::<Result<Vec<_>, _>>()?;
         let part = PartitionFn::new(devices.len() as u32, cfg.seed ^ 0x9e37_79b9);
+        let fallback = PartitionFn::new(devices.len() as u32, cfg.seed ^ 0x51f7_ba11);
+        let chaos = RwLock::new(ChaosState::new(cfg.fault));
         Ok(Self {
             devices,
             maps,
             topo,
             part,
+            fallback,
+            cfg,
+            chaos,
         })
     }
 
@@ -86,7 +169,10 @@ impl DistributedHashMap {
         self.devices.len()
     }
 
-    /// The per-GPU maps (read access for stats/verification).
+    /// The per-GPU maps (read access for stats/verification). Note that a
+    /// quarantined GPU's map retains a stale pre-migration copy of its
+    /// entries; use [`DistributedHashMap::live_snapshot`] for the
+    /// authoritative contents.
     #[must_use]
     pub fn maps(&self) -> &[GpuHashMap] {
         &self.maps
@@ -98,10 +184,20 @@ impl DistributedHashMap {
         &self.topo
     }
 
-    /// The partition function `p(k)` routing keys to GPUs.
+    /// The partition function `p(k)` routing keys to GPUs (healthy-path
+    /// routing; see [`DistributedHashMap::router`] for the fault-aware
+    /// view).
     #[must_use]
     pub fn partition(&self) -> &PartitionFn {
         &self.part
+    }
+
+    /// The fault-aware router under the current quarantine mask. With no
+    /// quarantined GPU this routes identically to
+    /// [`DistributedHashMap::partition`].
+    #[must_use]
+    pub fn router(&self) -> Router {
+        self.router_for(self.chaos.read().mask)
     }
 
     /// Attaches (or detaches) one shared history recorder to every local
@@ -115,23 +211,251 @@ impl DistributedHashMap {
         }
     }
 
-    /// Total live entries over all GPUs.
+    /// Total live entries over all non-quarantined GPUs.
     #[must_use]
     pub fn len(&self) -> u64 {
-        self.maps.iter().map(GpuHashMap::len).sum()
+        let mask = self.chaos.read().mask;
+        self.maps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) == 0)
+            .map(|(_, m)| m.len())
+            .sum()
     }
 
-    /// Whether no GPU holds any entry.
+    /// Whether no live GPU holds any entry.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Aggregate load factor.
+    /// Aggregate load factor over the live GPUs.
     #[must_use]
     pub fn load_factor(&self) -> f64 {
-        let cap: usize = self.maps.iter().map(GpuHashMap::capacity).sum();
+        let mask = self.chaos.read().mask;
+        let cap: usize = self
+            .maps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) == 0)
+            .map(|(_, m)| m.capacity())
+            .sum();
         self.len() as f64 / cap as f64
+    }
+
+    // ---- chaos control ----------------------------------------------------
+
+    /// Replaces the active fault plan at runtime (e.g. to kill a GPU
+    /// mid-run). Quarantine state and degraded-mode stats persist across
+    /// plan changes.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.chaos.write().plan = plan;
+    }
+
+    /// The active fault plan.
+    #[must_use]
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.chaos.read().plan
+    }
+
+    /// The retry/backoff policy governing fault recovery.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.cfg.retry
+    }
+
+    /// Indices of quarantined GPUs, ascending.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<usize> {
+        let mask = self.chaos.read().mask;
+        (0..self.num_gpus()).filter(|&g| mask & (1 << g) != 0).collect()
+    }
+
+    /// Degraded-mode counters accumulated so far (all-zero on healthy
+    /// runs).
+    #[must_use]
+    pub fn degraded_stats(&self) -> DegradedStats {
+        self.chaos.read().stats
+    }
+
+    /// Host-side snapshot of every live (non-quarantined) GPU's entries.
+    #[must_use]
+    pub fn live_snapshot(&self) -> Vec<(u32, u32)> {
+        let mask = self.chaos.read().mask;
+        self.maps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) == 0)
+            .flat_map(|(_, m)| m.snapshot())
+            .collect()
+    }
+
+    /// Replay string reproducing this map's fault decisions and kernel
+    /// schedule: `WD_FAULT=… WD_FAULT_SEED=…` composed with the
+    /// `WD_SCHED_*` hints. Print it with every chaos failure.
+    #[must_use]
+    pub fn replay_hint(&self) -> String {
+        self.chaos.read().plan.replay_hint_with(self.cfg.schedule)
+    }
+
+    pub(crate) fn chaos_snapshot(&self) -> (FaultPlan, u32) {
+        let st = self.chaos.read();
+        (st.plan, st.mask)
+    }
+
+    /// Books `retries`/`backoff` from a host-link transfer into the
+    /// degraded-mode counters (no-op when both are zero).
+    pub(crate) fn note_transfer_chaos(&self, retries: u32, backoff: f64) {
+        self.note_chaos(&ChaosTally {
+            launch_retries: 0,
+            transfer_retries: u64::from(retries),
+            backoff,
+        });
+    }
+
+    /// Quarantines the device a failed transfer condemns (see
+    /// [`Self::blame`]).
+    pub(crate) fn quarantine_blamed(
+        &self,
+        plan: &FaultPlan,
+        e: TransferError,
+    ) -> Result<(), InsertError> {
+        self.quarantine(Self::blame(plan, e))
+    }
+
+    fn router_for(&self, mask: u32) -> Router {
+        Router::new(self.part, self.fallback, mask)
+    }
+
+    fn note_chaos(&self, t: &ChaosTally) {
+        if t.launch_retries == 0 && t.transfer_retries == 0 && t.backoff == 0.0 {
+            return;
+        }
+        let mut st = self.chaos.write();
+        st.stats.launch_retries += t.launch_retries;
+        st.stats.transfer_retries += t.transfer_retries;
+        st.stats.backoff_time += t.backoff;
+    }
+
+    /// Which device a failed transfer condemns: the source if the plan
+    /// has killed it, otherwise the destination (a host-link failure has
+    /// `src == dst`, so the distinction only matters for NVLink edges).
+    fn blame(plan: &FaultPlan, e: TransferError) -> usize {
+        if plan.device_lost(e.src) {
+            e.src
+        } else {
+            e.dst
+        }
+    }
+
+    /// Quarantines GPU `j`: marks it dead and re-splits its partition
+    /// across the survivors via the fallback hash (graceful degradation).
+    /// With the `broken_forget_quarantined_partition` mutation double the
+    /// re-split is skipped, losing the shard — the chaos suite proves it
+    /// catches that.
+    ///
+    /// # Errors
+    /// [`InsertError::DeviceLost`] if no survivor remains, and migration
+    /// insert failures (e.g. probing exhaustion on an overloaded
+    /// survivor).
+    fn quarantine(&self, j: usize) -> Result<(), InsertError> {
+        {
+            let mut st = self.chaos.write();
+            if st.mask & (1 << j) != 0 {
+                return Ok(());
+            }
+            let any_survivor = (0..self.num_gpus())
+                .any(|g| g != j && st.mask & (1 << g) == 0);
+            if !any_survivor {
+                return Err(InsertError::DeviceLost { device: j });
+            }
+            st.mask |= 1 << j;
+            st.stats.quarantined += 1;
+            st.stats.repartitions += 1;
+        }
+        if self.cfg.broken_forget_quarantined_partition {
+            // BROKEN (mutation double): the quarantined shard is dropped.
+            return Ok(());
+        }
+        let pairs = self.maps[j].snapshot();
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        // The migration re-inserts are logically *moves*: record a
+        // synthetic erase per key first so a shared history stays
+        // linearizable (erase → re-insert, totally ordered on the
+        // recorder's clock).
+        if let Some(rec) = self.maps[j].recorder() {
+            for &(k, _) in &pairs {
+                let t = rec.invoke();
+                rec.complete(k, OpKind::Erase, OpResponse::Erased { hit: true }, t);
+            }
+        }
+        let router = self.router();
+        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.num_gpus()];
+        for (k, v) in pairs {
+            buckets[router.route(k) as usize].push((k, v));
+        }
+        let mut migrated = 0u64;
+        for (t, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            self.maps[t].insert_pairs(bucket)?;
+            migrated += bucket.len() as u64;
+        }
+        self.chaos.write().stats.migrated_keys += migrated;
+        Ok(())
+    }
+
+    /// Re-spreads words assigned to quarantined GPUs round-robin over the
+    /// live ones (a dead GPU cannot host its cascade input).
+    fn respread_words(&self, per_gpu: &[Vec<u64>], mask: u32) -> Vec<Vec<u64>> {
+        let m = self.num_gpus();
+        let live: Vec<usize> = (0..m).filter(|&g| mask & (1 << g) == 0).collect();
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); m];
+        let mut rr = 0usize;
+        for (i, words) in per_gpu.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                out[i].extend_from_slice(words);
+            } else {
+                for &w in words {
+                    out[live[rr % live.len()]].push(w);
+                    rr += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// [`Self::respread_words`] for retrieval keys, tracking each
+    /// effective slot's `(origin GPU, origin index)` so results return in
+    /// the caller's order.
+    #[allow(clippy::type_complexity)]
+    fn respread_keys(
+        &self,
+        per_gpu_keys: &[Vec<u32>],
+        mask: u32,
+    ) -> (Vec<Vec<u32>>, Vec<Vec<(usize, usize)>>) {
+        let m = self.num_gpus();
+        let live: Vec<usize> = (0..m).filter(|&g| mask & (1 << g) == 0).collect();
+        let mut eff: Vec<Vec<u32>> = vec![Vec::new(); m];
+        let mut origin: Vec<Vec<(usize, usize)>> = vec![Vec::new(); m];
+        let mut rr = 0usize;
+        for (i, keys) in per_gpu_keys.iter().enumerate() {
+            for (idx, &k) in keys.iter().enumerate() {
+                let g = if mask & (1 << i) == 0 {
+                    i
+                } else {
+                    let g = live[rr % live.len()];
+                    rr += 1;
+                    g
+                };
+                eff[g].push(k);
+                origin[g].push((i, idx));
+            }
+        }
+        (eff, origin)
     }
 
     // ---- cascades ---------------------------------------------------------
@@ -140,8 +464,15 @@ impl DistributedHashMap {
     /// already resident on GPU `i` (the paper's in-toolchain case where
     /// PCIe is bypassed). Returns the per-phase timing report.
     ///
+    /// Under an armed fault plan the cascade retries transient failures
+    /// with backoff, quarantines GPUs that exhaust their budget (their
+    /// input re-spreads over the survivors) and restarts; wasted attempts
+    /// stay billed in the report, with backoff in its own
+    /// [`CascadeStage::Backoff`] stage.
+    ///
     /// # Errors
-    /// Aggregated probing exhaustion across GPUs; scratch OOM.
+    /// Aggregated probing exhaustion across GPUs; scratch OOM;
+    /// [`InsertError::DeviceLost`] once no survivor remains.
     pub fn insert_device_sided(
         &self,
         per_gpu_words: &[Vec<u64>],
@@ -149,10 +480,58 @@ impl DistributedHashMap {
         assert_eq!(per_gpu_words.len(), self.num_gpus(), "one batch per GPU");
         let n_total: u64 = per_gpu_words.iter().map(|v| v.len() as u64).sum();
         let mut report = CascadeReport::new(n_total);
+        let policy = self.cfg.retry;
+        for _round in 0..=self.num_gpus() {
+            let (plan, mask) = self.chaos_snapshot();
+            let respread;
+            let words: &[Vec<u64>] = if mask == 0 {
+                per_gpu_words
+            } else {
+                respread = self.respread_words(per_gpu_words, mask);
+                &respread
+            };
+            let router = self.router_for(mask);
+            match self.insert_cascade_once(words, &router, &plan, &policy, &mut report) {
+                Ok(()) => return Ok(report),
+                Err(Abort::Lost(j)) => self.quarantine(j)?,
+                Err(Abort::Fatal(e)) => return Err(e),
+            }
+        }
+        unreachable!("every failed round quarantines one GPU; at most m rounds")
+    }
 
-        // Phase 1+2: multisplit and transposition
+    /// One insertion round under a fixed router/plan snapshot.
+    fn insert_cascade_once(
+        &self,
+        per_gpu_words: &[Vec<u64>],
+        router: &Router,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        report: &mut CascadeReport,
+    ) -> Result<(), Abort> {
         let oh = self.devices[0].spec().launch_overhead;
-        let split = self.multisplit_phase(per_gpu_words)?;
+        let mut tally = ChaosTally::default();
+        let res = self.insert_round(per_gpu_words, router, plan, policy, report, oh, &mut tally);
+        if tally.backoff > 0.0 {
+            report.push(CascadeStage::Backoff, tally.backoff, 0);
+        }
+        self.note_chaos(&tally);
+        res
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_round(
+        &self,
+        per_gpu_words: &[Vec<u64>],
+        router: &Router,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        report: &mut CascadeReport,
+        oh: f64,
+        tally: &mut ChaosTally,
+    ) -> Result<(), Abort> {
+        // Phase 1+2: multisplit and transposition
+        let split = self.multisplit_phase(per_gpu_words, router, plan, policy, tally)?;
         // each GPU runs m sequential compaction passes → m launches
         report.push_with_overhead(
             CascadeStage::Multisplit,
@@ -160,7 +539,14 @@ impl DistributedHashMap {
             0,
             oh * self.num_gpus() as f64,
         );
-        let (recv, recv_guards, transpose) = self.transpose_phase(&split)?;
+        let transpose = alltoall_time_faulted(&self.topo, &split.table.byte_matrix(8), plan, policy)
+            .map_err(|e| {
+                tally_exhausted_transfer(tally, policy, e);
+                Abort::Lost(Self::blame(plan, e))
+            })?;
+        tally.transfer_retries += u64::from(transpose.retries);
+        tally.backoff += transpose.backoff;
+        let (recv, recv_guards) = self.transpose_move(&split).map_err(Abort::Fatal)?;
         report.push(CascadeStage::Transpose, transpose.time, transpose.bytes);
 
         // Phase 3: local insertion (global barrier → max over GPUs)
@@ -170,32 +556,147 @@ impl DistributedHashMap {
             if words.is_empty() {
                 continue;
             }
+            // transient launch-failure gate (inlined so the
+            // premature-failover mutation double can hook the retry path)
+            let mut attempt = 0u32;
+            let mut spent = 0.0f64;
+            while plan.launch_fails(j, launch_site::INSERT, attempt) {
+                attempt += 1;
+                if !policy.may_retry(attempt, spent) {
+                    tally.backoff += spent;
+                    return Err(Abort::Lost(j));
+                }
+                spent += policy.backoff_before(attempt);
+                tally.launch_retries += 1;
+                if self.cfg.broken_double_apply_on_retry && attempt == 1 {
+                    // BROKEN (mutation double): premature failover without
+                    // the idempotence guard — the sub-batch is applied to
+                    // its failover targets although the primary is still
+                    // being retried (and will succeed), duplicating keys.
+                    self.double_apply(words, j, router);
+                }
+            }
+            tally.backoff += spent;
             let buf = recv_guards[j].slice().sub(0, words.len());
             match self.maps[j].insert_device(buf, words.len()) {
-                Ok(outcome) => worst = worst.max(outcome.stats.sim_time),
+                Ok(outcome) => {
+                    worst = worst.max(straggled(plan, j, outcome.stats.sim_time));
+                }
                 Err(InsertError::ProbingExhausted { failed: f }) => failed += f,
-                Err(e) => return Err(e),
+                Err(e) => return Err(Abort::Fatal(e)),
             }
         }
         report.push_with_overhead(CascadeStage::Insert, worst, 0, oh);
         if failed > 0 {
-            return Err(InsertError::ProbingExhausted { failed });
+            return Err(Abort::Fatal(InsertError::ProbingExhausted { failed }));
         }
-        Ok(report)
+        Ok(())
+    }
+
+    /// The premature-failover body of the `broken_double_apply_on_retry`
+    /// mutation double.
+    fn double_apply(&self, words: &[u64], j: usize, router: &Router) {
+        let Some(fb) = router.also_masking(j) else {
+            return;
+        };
+        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.num_gpus()];
+        for &w in words {
+            buckets[fb.route(key_of(w)) as usize].push((key_of(w), value_of(w)));
+        }
+        for (t, bucket) in buckets.iter().enumerate() {
+            if !bucket.is_empty() {
+                let _ = self.maps[t].insert_pairs(bucket);
+            }
+        }
     }
 
     /// Device-sided retrieval cascade. `per_gpu_keys[i]` are the queried
     /// keys resident on GPU `i`; returns per-GPU results *in the original
     /// per-GPU order* plus the timing report.
+    ///
+    /// # Panics
+    /// Panics (with the replay hint) if fault injection exhausts every
+    /// failover avenue; use
+    /// [`DistributedHashMap::try_retrieve_device_sided`] for the typed
+    /// error.
     #[must_use]
     pub fn retrieve_device_sided(
         &self,
         per_gpu_keys: &[Vec<u32>],
     ) -> (Vec<Vec<Option<u32>>>, CascadeReport) {
+        match self.try_retrieve_device_sided(per_gpu_keys) {
+            Ok(out) => out,
+            Err(e) => panic!("retrieve failed: {e}; replay: {}", self.replay_hint()),
+        }
+    }
+
+    /// [`DistributedHashMap::retrieve_device_sided`] with typed fault
+    /// errors. Retrieval is pure, so fault recovery restarts the whole
+    /// cascade after quarantining the culprit; queries addressed to
+    /// quarantined GPUs re-spread over the survivors with their origin
+    /// tracked, so result order is unaffected.
+    ///
+    /// # Errors
+    /// [`RetrieveError`] once every failover avenue is exhausted.
+    pub fn try_retrieve_device_sided(
+        &self,
+        per_gpu_keys: &[Vec<u32>],
+    ) -> Result<PerGpuRetrieve, RetrieveError> {
         assert_eq!(per_gpu_keys.len(), self.num_gpus(), "one batch per GPU");
         let n_total: u64 = per_gpu_keys.iter().map(|v| v.len() as u64).sum();
         let mut report = CascadeReport::new(n_total);
+        let policy = self.cfg.retry;
+        for _round in 0..=self.num_gpus() {
+            let (plan, mask) = self.chaos_snapshot();
+            let (eff, origin) = self.respread_keys(per_gpu_keys, mask);
+            let router = self.router_for(mask);
+            match self.retrieve_cascade_once(&eff, &router, &plan, &policy, &mut report) {
+                Ok(eff_results) => {
+                    let mut out: Vec<Vec<Option<u32>>> =
+                        per_gpu_keys.iter().map(|k| vec![None; k.len()]).collect();
+                    for (g, res) in eff_results.into_iter().enumerate() {
+                        for (idx, r) in res.into_iter().enumerate() {
+                            let (oi, oidx) = origin[g][idx];
+                            out[oi][oidx] = r;
+                        }
+                    }
+                    return Ok((out, report));
+                }
+                Err(Abort::Lost(j)) => self.quarantine(j)?,
+                Err(Abort::Fatal(e)) => return Err(e.into()),
+            }
+        }
+        unreachable!("every failed round quarantines one GPU; at most m rounds")
+    }
 
+    /// One retrieval round; results are in effective (re-spread) order.
+    fn retrieve_cascade_once(
+        &self,
+        per_gpu_keys: &[Vec<u32>],
+        router: &Router,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        report: &mut CascadeReport,
+    ) -> Result<Vec<Vec<Option<u32>>>, Abort> {
+        let mut tally = ChaosTally::default();
+        let res =
+            self.retrieve_round(per_gpu_keys, router, plan, policy, report, &mut tally);
+        if tally.backoff > 0.0 {
+            report.push(CascadeStage::Backoff, tally.backoff, 0);
+        }
+        self.note_chaos(&tally);
+        res
+    }
+
+    fn retrieve_round(
+        &self,
+        per_gpu_keys: &[Vec<u32>],
+        router: &Router,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        report: &mut CascadeReport,
+        tally: &mut ChaosTally,
+    ) -> Result<Vec<Vec<Option<u32>>>, Abort> {
         // query words carry the origin index in the low 32 bits
         let query_words: Vec<Vec<u64>> = per_gpu_keys
             .iter()
@@ -208,18 +709,21 @@ impl DistributedHashMap {
             .collect();
 
         let oh = self.devices[0].spec().launch_overhead;
-        let split = self
-            .multisplit_phase(&query_words)
-            .expect("query multisplit scratch");
+        let split = self.multisplit_phase(&query_words, router, plan, policy, tally)?;
         report.push_with_overhead(
             CascadeStage::Multisplit,
             split.time,
             0,
             oh * self.num_gpus() as f64,
         );
-        let (recv, recv_guards, transpose) = self
-            .transpose_phase(&split)
-            .expect("query transpose scratch");
+        let transpose = alltoall_time_faulted(&self.topo, &split.table.byte_matrix(8), plan, policy)
+            .map_err(|e| {
+                tally_exhausted_transfer(tally, policy, e);
+                Abort::Lost(Self::blame(plan, e))
+            })?;
+        tally.transfer_retries += u64::from(transpose.retries);
+        tally.backoff += transpose.backoff;
+        let (recv, recv_guards) = self.transpose_move(&split).map_err(Abort::Fatal)?;
         report.push(CascadeStage::Transpose, transpose.time, transpose.bytes);
 
         // local queries (positional: results[r] answers recv[j][r])
@@ -230,6 +734,7 @@ impl DistributedHashMap {
                 results.push(Vec::new());
                 continue;
             }
+            gate_launch(plan, policy, j, launch_site::QUERY, tally).map_err(Abort::Lost)?;
             let dev = &self.devices[j];
             let inp = recv_guards[j].slice().sub(0, words.len());
             let out_guard = dev
@@ -237,13 +742,24 @@ impl DistributedHashMap {
                 .expect("query output scratch");
             let out = out_guard.slice();
             let stats = self.maps[j].retrieve_device(inp, out, words.len());
-            worst = worst.max(stats.sim_time);
+            worst = worst.max(straggled(plan, j, stats.sim_time));
             results.push(dev.mem().d2h(out));
         }
         report.push_with_overhead(CascadeStage::Query, worst, 0, oh);
 
         // transpose back: chunk sizes mirror the forward phase
-        let back = alltoall_time(&self.topo, &split.table.transposed().byte_matrix(8));
+        let back = alltoall_time_faulted(
+            &self.topo,
+            &split.table.transposed().byte_matrix(8),
+            plan,
+            policy,
+        )
+        .map_err(|e| {
+            tally_exhausted_transfer(tally, policy, e);
+            Abort::Lost(Self::blame(plan, e))
+        })?;
+        tally.transfer_retries += u64::from(back.retries);
+        tally.backoff += back.backoff;
         report.push(CascadeStage::TransposeBack, back.time, back.bytes);
 
         // scatter into origin order, billed as one irregular-store kernel
@@ -290,61 +806,108 @@ impl DistributedHashMap {
                         ctx.bill_transactions(4);
                     },
                 );
-                scatter_worst = scatter_worst.max(stats.sim_time);
+                scatter_worst = scatter_worst.max(straggled(plan, i, stats.sim_time));
             }
         }
         report.push_with_overhead(CascadeStage::Scatter, scatter_worst, 0, oh);
-        (out, report)
+        Ok(out)
     }
 
     /// Device-sided erase cascade: multisplit → transposition → erase.
     ///
     /// Takes `&mut self` — deletions require the global barrier of §IV-A
     /// on every local map, and exclusive access makes that a compile-time
-    /// fact, exactly as in [`GpuHashMap::erase`].
+    /// fact, exactly as in [`GpuHashMap::erase`]. Erase is naturally
+    /// idempotent (tombstoning a tombstone is a no-op), so fault recovery
+    /// restarts the cascade without double counting.
     ///
     /// Returns the number of keys found and tombstoned, plus the timing
     /// report.
-    pub fn erase_device_sided(
-        &mut self,
-        per_gpu_keys: &[Vec<u32>],
-    ) -> (u64, CascadeReport) {
+    ///
+    /// # Panics
+    /// Panics (with the replay hint) if fault injection exhausts every
+    /// failover avenue.
+    pub fn erase_device_sided(&mut self, per_gpu_keys: &[Vec<u32>]) -> (u64, CascadeReport) {
         assert_eq!(per_gpu_keys.len(), self.num_gpus(), "one batch per GPU");
         let n_total: u64 = per_gpu_keys.iter().map(|v| v.len() as u64).sum();
         let mut report = CascadeReport::new(n_total);
+        let mut erased = 0u64;
+        let policy = self.cfg.retry;
+        for _round in 0..=self.num_gpus() {
+            let (plan, mask) = self.chaos_snapshot();
+            let (eff, _origin) = self.respread_keys(per_gpu_keys, mask);
+            let router = self.router_for(mask);
+            match self.erase_cascade_once(&eff, &router, &plan, &policy, &mut report, &mut erased)
+            {
+                Ok(()) => return (erased, report),
+                Err(Abort::Lost(j)) => {
+                    if let Err(e) = self.quarantine(j) {
+                        panic!("erase failed: {e}; replay: {}", self.replay_hint());
+                    }
+                }
+                Err(Abort::Fatal(e)) => {
+                    panic!("erase failed: {e}; replay: {}", self.replay_hint())
+                }
+            }
+        }
+        unreachable!("every failed round quarantines one GPU; at most m rounds")
+    }
 
+    #[allow(clippy::too_many_arguments)]
+    fn erase_cascade_once(
+        &self,
+        per_gpu_keys: &[Vec<u32>],
+        router: &Router,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        report: &mut CascadeReport,
+        erased: &mut u64,
+    ) -> Result<(), Abort> {
         let query_words: Vec<Vec<u64>> = per_gpu_keys
             .iter()
             .map(|keys| keys.iter().map(|&k| u64::from(k) << 32).collect())
             .collect();
         let oh = self.devices[0].spec().launch_overhead;
-        let split = self
-            .multisplit_phase(&query_words)
-            .expect("erase multisplit scratch");
-        report.push_with_overhead(
-            CascadeStage::Multisplit,
-            split.time,
-            0,
-            oh * self.num_gpus() as f64,
-        );
-        let (recv, recv_guards, transpose) = self
-            .transpose_phase(&split)
-            .expect("erase transpose scratch");
-        report.push(CascadeStage::Transpose, transpose.time, transpose.bytes);
+        let mut tally = ChaosTally::default();
+        let res = (|| {
+            let split = self.multisplit_phase(&query_words, router, plan, policy, &mut tally)?;
+            report.push_with_overhead(
+                CascadeStage::Multisplit,
+                split.time,
+                0,
+                oh * self.num_gpus() as f64,
+            );
+            let transpose =
+                alltoall_time_faulted(&self.topo, &split.table.byte_matrix(8), plan, policy)
+                    .map_err(|e| {
+                        tally_exhausted_transfer(&mut tally, policy, e);
+                        Abort::Lost(Self::blame(plan, e))
+                    })?;
+            tally.transfer_retries += u64::from(transpose.retries);
+            tally.backoff += transpose.backoff;
+            let (recv, recv_guards) = self.transpose_move(&split).map_err(Abort::Fatal)?;
+            report.push(CascadeStage::Transpose, transpose.time, transpose.bytes);
 
-        let mut erased = 0u64;
-        let mut worst = 0.0f64;
-        for (j, words) in recv.iter().enumerate() {
-            if words.is_empty() {
-                continue;
+            let mut worst = 0.0f64;
+            for (j, words) in recv.iter().enumerate() {
+                if words.is_empty() {
+                    continue;
+                }
+                gate_launch(plan, policy, j, launch_site::ERASE, &mut tally)
+                    .map_err(Abort::Lost)?;
+                let buf = recv_guards[j].slice().sub(0, words.len());
+                let out = self.maps[j].erase_device_shared(buf, words.len());
+                *erased += out.erased;
+                worst = worst.max(straggled(plan, j, out.stats.sim_time));
             }
-            let buf = recv_guards[j].slice().sub(0, words.len());
-            let out = self.maps[j].erase_device_shared(buf, words.len());
-            erased += out.erased;
-            worst = worst.max(out.stats.sim_time);
+            report.push_with_overhead(CascadeStage::Query, worst, 0, oh);
+            Ok(())
+        })();
+        if tally.backoff > 0.0 {
+            report.push(CascadeStage::Backoff, tally.backoff, 0);
         }
-        report.push_with_overhead(CascadeStage::Query, worst, 0, oh);
-        (erased, report)
+        self.note_chaos(&tally);
+        res
     }
 
     /// Host-sided erase: keys travel over PCIe, then the device cascade
@@ -368,27 +931,42 @@ impl DistributedHashMap {
 
     // ---- phases -----------------------------------------------------------
 
-    /// Uploads each GPU's words and multisplits them by `p(k)`.
-    fn multisplit_phase(&self, per_gpu_words: &[Vec<u64>]) -> Result<SplitPhase<'_>, InsertError> {
+    /// Uploads each GPU's words and multisplits them by the router's
+    /// fault-aware partition assignment, gating each non-empty GPU's
+    /// launches on the fault plan.
+    fn multisplit_phase(
+        &self,
+        per_gpu_words: &[Vec<u64>],
+        router: &Router,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        tally: &mut ChaosTally,
+    ) -> Result<SplitPhase<'_>, Abort> {
         let m = self.num_gpus();
-        let part = self.part;
         let mut guards = Vec::new();
         let mut splits = Vec::with_capacity(m);
         let mut worst = 0.0f64;
         for (i, words) in per_gpu_words.iter().enumerate() {
             let dev = &self.devices[i];
             let n = words.len();
+            if n > 0 {
+                gate_launch(plan, policy, i, launch_site::MULTISPLIT, tally)
+                    .map_err(Abort::Lost)?;
+            }
             // double buffer (Fig. 4: "out-of-place using one double buffer
             // per GPU") plus the aggregation counter
-            let guard = dev.alloc_scratch(2 * n.max(1) + 1)?;
+            let guard = dev
+                .alloc_scratch(2 * n.max(1) + 1)
+                .map_err(|e| Abort::Fatal(e.into()))?;
             let input = guard.slice().sub(0, n);
             let output = guard.slice().sub(n.max(1), n.max(1));
             let scratch = guard.slice().sub(2 * n.max(1), 1);
             dev.mem().h2d(input, words);
+            let classifier = router.clone();
             let res = device_multisplit(dev, input, output, scratch, m, move |w| {
-                part.part(key_of(w))
+                classifier.route(key_of(w))
             });
-            worst = worst.max(res.stats.sim_time);
+            worst = worst.max(straggled(plan, i, res.stats.sim_time));
             splits.push(res);
             guards.push(guard);
         }
@@ -401,21 +979,14 @@ impl DistributedHashMap {
         })
     }
 
-    /// Moves every off-diagonal partition to its target GPU; returns the
-    /// received words per target (diagonal chunks included, free) and the
-    /// modeled all-to-all time.
+    /// Moves every off-diagonal partition to its target GPU (functional
+    /// movement only — the transfer itself is billed by the caller via
+    /// the all-to-all model, faulted or healthy).
     #[allow(clippy::type_complexity)]
-    fn transpose_phase<'s>(
+    fn transpose_move<'s>(
         &'s self,
         split: &SplitPhase<'_>,
-    ) -> Result<
-        (
-            Vec<Vec<u64>>,
-            Vec<gpu_sim::ScratchGuard<'s>>,
-            interconnect::AllToAllReport,
-        ),
-        InsertError,
-    > {
+    ) -> Result<(Vec<Vec<u64>>, Vec<gpu_sim::ScratchGuard<'s>>), InsertError> {
         let m = self.num_gpus();
         let mut recv: Vec<Vec<u64>> = vec![Vec::new(); m];
         #[allow(clippy::needless_range_loop)] // (i, j) walks the square count matrix
@@ -436,8 +1007,7 @@ impl DistributedHashMap {
                 .h2d(guard.slice().sub(0, words.len()), words);
             guards.push(guard);
         }
-        let rep = alltoall_time(&self.topo, &split.table.byte_matrix(8));
-        Ok((recv, guards, rep))
+        Ok((recv, guards))
     }
 }
 
@@ -602,5 +1172,160 @@ mod erase_tests {
         assert_eq!(d.len(), 500);
         let (res, _) = d.retrieve_from_host(&keys);
         assert!(res.iter().all(Option::is_some));
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use gpu_sim::Device;
+    use std::collections::BTreeMap;
+
+    fn node_with(cfg: Config, m: usize) -> DistributedHashMap {
+        let devices: Vec<Arc<Device>> = (0..m)
+            .map(|i| Arc::new(Device::with_words(i, 1 << 17)))
+            .collect();
+        DistributedHashMap::new(devices, 1 << 13, cfg, Topology::p100_quad(m)).unwrap()
+    }
+
+    fn multiset(pairs: impl IntoIterator<Item = (u32, u32)>) -> BTreeMap<(u32, u32), u32> {
+        let mut m = BTreeMap::new();
+        for p in pairs {
+            *m.entry(p).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn disarmed_cascade_reports_are_bit_identical() {
+        let pairs: Vec<(u32, u32)> = (0..2000u32).map(|i| (i * 7 + 1, i)).collect();
+        let spread: Vec<Vec<u64>> = vec![pairs.iter().map(|&(k, v)| pack(k, v)).collect()];
+        let mk = || {
+            let devices = vec![Arc::new(Device::with_words(0, 1 << 17))];
+            DistributedHashMap::new(devices, 1 << 13, Config::default(), Topology::p100_quad(1))
+                .unwrap()
+        };
+        let a = mk().insert_device_sided(&spread).unwrap();
+        let b = mk().insert_device_sided(&spread).unwrap();
+        assert_eq!(a.stages.len(), b.stages.len());
+        for (x, y) in a.stages.iter().zip(&b.stages) {
+            assert_eq!(x.time.to_bits(), y.time.to_bits(), "{:?}", x.stage);
+        }
+    }
+
+    #[test]
+    fn killed_gpu_is_quarantined_and_keys_survive() {
+        let d = node_with(Config::default(), 4);
+        let pairs: Vec<(u32, u32)> = (0..4000u32).map(|i| (i * 3 + 1, i)).collect();
+        d.insert_from_host(&pairs[..2000]).unwrap();
+        assert!(d.quarantined().is_empty());
+
+        // kill GPU 3 mid-run, then keep operating
+        d.set_fault_plan(FaultPlan::default().with_kill(3));
+        d.insert_from_host(&pairs[2000..]).unwrap();
+        assert_eq!(d.quarantined(), vec![3]);
+        let stats = d.degraded_stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.repartitions, 1);
+        assert!(stats.migrated_keys > 0, "GPU 3 held keys before the kill");
+
+        // every key — including those migrated off GPU 3 — still answers
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let (res, _) = d.retrieve_from_host(&keys);
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(res[i], Some(p.1), "key {} lost after quarantine", p.0);
+        }
+        // conservation: the live multiset is exactly the inserted multiset
+        assert_eq!(multiset(pairs), multiset(d.live_snapshot()));
+        // GPU 3 holds nothing live
+        assert_eq!(d.len(), 4000);
+    }
+
+    #[test]
+    fn transient_launch_failures_retry_and_recover() {
+        // moderate transient failure rate: retries happen, nothing dies
+        let plan = FaultPlan::default().with_seed(11).with_launch_fail(0.3);
+        let d = node_with(Config::default().with_fault(plan), 4);
+        let pairs: Vec<(u32, u32)> = (0..3000u32).map(|i| (i * 5 + 3, i)).collect();
+        let rep = d.insert_from_host(&pairs).unwrap();
+        assert!(d.quarantined().is_empty(), "30% transient should not kill");
+        let stats = d.degraded_stats();
+        assert!(stats.launch_retries > 0, "no retries at 30% failure rate");
+        assert!(stats.backoff_time > 0.0);
+        assert!(rep.time_of(CascadeStage::Backoff) > 0.0);
+        assert_eq!(multiset(pairs), multiset(d.live_snapshot()));
+    }
+
+    #[test]
+    fn transfer_drops_retry_and_are_billed() {
+        let plan = FaultPlan::default().with_seed(7).with_transfer_drop(0.4);
+        let d = node_with(Config::default().with_fault(plan), 4);
+        let pairs: Vec<(u32, u32)> = (0..3000u32).map(|i| (i * 11 + 5, i)).collect();
+        d.insert_from_host(&pairs).unwrap();
+        let stats = d.degraded_stats();
+        assert!(stats.transfer_retries > 0, "no drops at 40% rate");
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let (res, _) = d.retrieve_from_host(&keys);
+        assert!(res.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn last_gpu_loss_is_a_typed_error() {
+        let d = node_with(Config::default(), 2);
+        d.insert_from_host(&[(1, 10), (2, 20)]).unwrap();
+        d.set_fault_plan(FaultPlan::default().with_launch_fail(1.0));
+        // both GPUs fail permanently: first one quarantines, the second
+        // has no survivor left
+        let err = d.insert_from_host(&[(3, 30)]).unwrap_err();
+        assert!(
+            matches!(err, InsertError::DeviceLost { .. }),
+            "unexpected {err:?}"
+        );
+    }
+
+    #[test]
+    fn replay_hint_names_fault_and_schedule() {
+        let d = node_with(
+            Config::default()
+                .with_fault(FaultPlan::default().with_seed(42).with_transfer_drop(0.25)),
+            2,
+        );
+        let hint = d.replay_hint();
+        assert!(hint.contains("WD_FAULT="), "{hint}");
+        assert!(hint.contains("WD_FAULT_SEED=42"), "{hint}");
+        assert!(hint.contains("WD_SCHED"), "{hint}");
+    }
+
+    #[test]
+    fn straggler_slows_the_cascade_without_changing_results() {
+        let pairs: Vec<(u32, u32)> = (0..2000u32).map(|i| (i * 13 + 7, i)).collect();
+        let healthy = node_with(Config::default(), 4);
+        let h_rep = healthy.insert_from_host(&pairs).unwrap();
+        let slow = node_with(
+            Config::default()
+                .with_fault(FaultPlan::default().with_straggler(2, 4.0, 0.0)),
+            4,
+        );
+        let s_rep = slow.insert_from_host(&pairs).unwrap();
+        assert!(
+            s_rep.total_time() > h_rep.total_time(),
+            "straggler should slow the cascade: {} vs {}",
+            s_rep.total_time(),
+            h_rep.total_time()
+        );
+        assert_eq!(multiset(pairs), multiset(slow.live_snapshot()));
+    }
+
+    #[test]
+    fn erase_under_kill_still_tombstones_everything() {
+        let mut d = node_with(Config::default(), 4);
+        let pairs: Vec<(u32, u32)> = (0..1000u32).map(|i| (i * 7 + 2, i)).collect();
+        d.insert_from_host(&pairs).unwrap();
+        d.set_fault_plan(FaultPlan::default().with_kill(1));
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let (erased, _) = d.erase_from_host(&keys);
+        assert_eq!(erased, 1000, "migrated keys must still be erasable");
+        assert!(d.is_empty());
+        assert_eq!(d.quarantined(), vec![1]);
     }
 }

@@ -1,6 +1,7 @@
 //! Error types of the public API.
 
 use gpu_sim::OutOfMemory;
+use interconnect::TransferError;
 
 /// Errors while constructing a hash map.
 #[derive(Debug)]
@@ -49,6 +50,17 @@ pub enum InsertError {
     },
     /// A scratch allocation for the operation failed.
     OutOfMemory(OutOfMemory),
+    /// An interconnect transfer exhausted its retry budget (fault
+    /// injection, see [`gpu_sim::FaultPlan`]). Surfaced only when the
+    /// failing link's endpoints could not be quarantined — with
+    /// survivors available the cascade re-routes instead.
+    Transfer(TransferError),
+    /// A GPU exhausted its kernel-launch retry budget and no survivor
+    /// remained to take over its partition.
+    DeviceLost {
+        /// The lost device's index.
+        device: usize,
+    },
 }
 
 impl std::fmt::Display for InsertError {
@@ -58,11 +70,79 @@ impl std::fmt::Display for InsertError {
                 write!(f, "{failed} pair(s) exhausted the probing scheme")
             }
             InsertError::OutOfMemory(e) => write!(f, "insertion scratch allocation failed: {e}"),
+            InsertError::Transfer(e) => write!(f, "unrecoverable transfer failure: {e}"),
+            InsertError::DeviceLost { device } => {
+                write!(f, "GPU {device} lost: launch retry budget exhausted, no failover target")
+            }
         }
     }
 }
 
-impl std::error::Error for InsertError {}
+impl std::error::Error for InsertError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InsertError::Transfer(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransferError> for InsertError {
+    fn from(e: TransferError) -> Self {
+        InsertError::Transfer(e)
+    }
+}
+
+/// Errors during fault-aware retrieval (see
+/// [`crate::DistributedHashMap::try_retrieve_device_sided`]). Healthy
+/// retrieval is infallible; these arise only under an armed
+/// [`gpu_sim::FaultPlan`] once every failover avenue is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrieveError {
+    /// An interconnect transfer exhausted its retry budget with no
+    /// survivor to quarantine the failing endpoint onto.
+    Transfer(TransferError),
+    /// A GPU exhausted its launch retry budget and no survivor remained.
+    DeviceLost {
+        /// The lost device's index.
+        device: usize,
+    },
+    /// Re-inserting a quarantined GPU's partition into the survivors
+    /// failed (e.g. probing exhaustion on an overloaded survivor).
+    Migration(InsertError),
+}
+
+impl std::fmt::Display for RetrieveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetrieveError::Transfer(e) => write!(f, "unrecoverable transfer failure: {e}"),
+            RetrieveError::DeviceLost { device } => {
+                write!(f, "GPU {device} lost: launch retry budget exhausted, no failover target")
+            }
+            RetrieveError::Migration(e) => write!(f, "partition migration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RetrieveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RetrieveError::Transfer(e) => Some(e),
+            RetrieveError::Migration(e) => Some(e),
+            RetrieveError::DeviceLost { .. } => None,
+        }
+    }
+}
+
+impl From<InsertError> for RetrieveError {
+    fn from(e: InsertError) -> Self {
+        match e {
+            InsertError::Transfer(t) => RetrieveError::Transfer(t),
+            InsertError::DeviceLost { device } => RetrieveError::DeviceLost { device },
+            other => RetrieveError::Migration(other),
+        }
+    }
+}
 
 impl From<OutOfMemory> for InsertError {
     fn from(e: OutOfMemory) -> Self {
@@ -80,6 +160,23 @@ mod tests {
         assert!(e.to_string().contains("positive"));
         let e = InsertError::ProbingExhausted { failed: 3 };
         assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn fault_variants_display_and_convert() {
+        let t = TransferError {
+            src: 1,
+            dst: 2,
+            attempts: 4,
+        };
+        let i: InsertError = t.into();
+        assert!(i.to_string().contains("transfer"));
+        let r: RetrieveError = i.into();
+        assert_eq!(r, RetrieveError::Transfer(t));
+        let r: RetrieveError = InsertError::DeviceLost { device: 3 }.into();
+        assert!(r.to_string().contains("GPU 3"));
+        let r: RetrieveError = InsertError::ProbingExhausted { failed: 2 }.into();
+        assert!(matches!(r, RetrieveError::Migration(_)));
     }
 
     #[test]

@@ -9,9 +9,9 @@
 
 use crate::distributed::DistributedHashMap;
 use crate::entry::pack;
-use crate::errors::InsertError;
+use crate::errors::{InsertError, RetrieveError};
 use crate::stats::{CascadeReport, CascadeStage};
-use interconnect::{d2h_time, h2d_time};
+use interconnect::{d2h_time_faulted, h2d_time_faulted};
 
 /// Splits a slice into `m` near-equal contiguous chunks.
 fn chunks<T: Copy>(items: &[T], m: usize) -> Vec<Vec<T>> {
@@ -21,57 +21,181 @@ fn chunks<T: Copy>(items: &[T], m: usize) -> Vec<Vec<T>> {
     out
 }
 
+/// [`chunks`] restricted to the live GPUs of a quarantine `mask`: dead
+/// GPUs receive empty chunks (they cannot accept PCIe traffic), the
+/// items spread contiguously over the survivors in ascending GPU order
+/// (so flattening still restores the original order). With an empty mask
+/// this *is* [`chunks`] — the healthy path is unchanged.
+fn live_chunks<T: Copy>(items: &[T], m: usize, mask: u32) -> Vec<Vec<T>> {
+    if mask == 0 {
+        return chunks(items, m);
+    }
+    let live: Vec<usize> = (0..m).filter(|&g| mask & (1 << g) == 0).collect();
+    let inner = chunks(items, live.len());
+    let mut out: Vec<Vec<T>> = vec![Vec::new(); m];
+    for (&slot, chunk) in live.iter().zip(inner) {
+        out[slot] = chunk;
+    }
+    out
+}
+
 impl DistributedHashMap {
     /// Host-sided insertion: transfer the packed pairs over PCIe
-    /// (unstructured equal spread), then run the device cascade.
+    /// (unstructured equal spread over the live GPUs), then run the
+    /// device cascade. Dropped PCIe transfers are retried with backoff; a
+    /// host link whose budget is exhausted quarantines its GPU and the
+    /// transfer re-spreads over the survivors.
     ///
     /// # Errors
-    /// Propagates the device cascade's errors.
+    /// Propagates the device cascade's errors; [`InsertError::Transfer`]
+    /// or [`InsertError::DeviceLost`] once no failover remains.
     pub fn insert_from_host(&self, pairs: &[(u32, u32)]) -> Result<CascadeReport, InsertError> {
         let m = self.num_gpus();
-        let per_gpu: Vec<Vec<u64>> = chunks(pairs, m)
-            .into_iter()
-            .map(|c| c.into_iter().map(|(k, v)| pack(k, v)).collect())
-            .collect();
-        let bytes: Vec<u64> = per_gpu.iter().map(|c| c.len() as u64 * 8).collect();
-        let t_h2d = h2d_time(self.topology(), &bytes);
-
+        let policy = self.retry_policy();
         let mut report = CascadeReport::new(pairs.len() as u64);
-        report.push(CascadeStage::H2D, t_h2d, bytes.iter().sum());
-        let device = self.insert_device_sided(&per_gpu)?;
-        report.absorb(&CascadeReport {
-            stages: device.stages,
-            elements: 0, // already counted
-        });
-        Ok(report)
+        for _round in 0..=m {
+            let (plan, mask) = self.chaos_snapshot();
+            let per_gpu: Vec<Vec<u64>> = live_chunks(pairs, m, mask)
+                .into_iter()
+                .map(|c| c.into_iter().map(|(k, v)| pack(k, v)).collect())
+                .collect();
+            let bytes: Vec<u64> = per_gpu.iter().map(|c| c.len() as u64 * 8).collect();
+            match h2d_time_faulted(self.topology(), &bytes, &plan, &policy) {
+                Ok(t) => {
+                    report.push(CascadeStage::H2D, t.time, bytes.iter().sum());
+                    if t.backoff > 0.0 {
+                        report.push(CascadeStage::Backoff, t.backoff, 0);
+                    }
+                    self.note_transfer_chaos(t.retries, t.backoff);
+                    let device = self.insert_device_sided(&per_gpu)?;
+                    report.absorb(&CascadeReport {
+                        stages: device.stages,
+                        elements: 0, // already counted
+                    });
+                    return Ok(report);
+                }
+                Err(e) => {
+                    self.bill_exhausted_transfer(&mut report, &policy, e);
+                    self.quarantine_blamed(&plan, e)?;
+                }
+            }
+        }
+        unreachable!("every failed round quarantines one GPU; at most m rounds")
+    }
+
+    /// Books a budget-exhausted PCIe transfer's retries and backoff into
+    /// the degraded stats and the report (the work happened before the
+    /// link gave up).
+    fn bill_exhausted_transfer(
+        &self,
+        report: &mut CascadeReport,
+        policy: &gpu_sim::RetryPolicy,
+        e: interconnect::TransferError,
+    ) {
+        let r = e.attempts.saturating_sub(1);
+        let b: f64 = (1..=r).map(|a| policy.backoff_before(a)).sum();
+        self.note_transfer_chaos(r, b);
+        if b > 0.0 {
+            report.push(CascadeStage::Backoff, b, 0);
+        }
     }
 
     /// Host-sided retrieval: query words up over PCIe (8 bytes each —
     /// the device cascade routes them with their origin index packed in
     /// the low half), device cascade, packed key-value results down
     /// (8 bytes each). Returns the results in the original key order.
+    ///
+    /// # Panics
+    /// Panics (with the replay hint) if fault injection exhausts every
+    /// failover avenue; use
+    /// [`DistributedHashMap::try_retrieve_from_host`] for the typed
+    /// error.
     #[must_use]
     pub fn retrieve_from_host(&self, keys: &[u32]) -> (Vec<Option<u32>>, CascadeReport) {
+        match self.try_retrieve_from_host(keys) {
+            Ok(out) => out,
+            Err(e) => panic!("retrieve failed: {e}; replay: {}", self.replay_hint()),
+        }
+    }
+
+    /// [`DistributedHashMap::retrieve_from_host`] with typed fault
+    /// errors.
+    ///
+    /// # Errors
+    /// [`RetrieveError`] once every failover avenue is exhausted.
+    pub fn try_retrieve_from_host(
+        &self,
+        keys: &[u32],
+    ) -> Result<(Vec<Option<u32>>, CascadeReport), RetrieveError> {
         let m = self.num_gpus();
-        let per_gpu = chunks(keys, m);
-        let up_bytes: Vec<u64> = per_gpu.iter().map(|c| c.len() as u64 * 8).collect();
-        let t_up = h2d_time(self.topology(), &up_bytes);
-
-        let (per_gpu_results, device) = self.retrieve_device_sided(&per_gpu);
-
-        let down_bytes: Vec<u64> = per_gpu.iter().map(|c| c.len() as u64 * 8).collect();
-        let t_down = d2h_time(self.topology(), &down_bytes);
-
+        let policy = self.retry_policy();
         let mut report = CascadeReport::new(keys.len() as u64);
-        report.push(CascadeStage::H2D, t_up, up_bytes.iter().sum());
+
+        // keys up over PCIe (retrying; a dead host link quarantines)
+        let mut upload = None;
+        for _round in 0..=m {
+            let (plan, mask) = self.chaos_snapshot();
+            let per_gpu = live_chunks(keys, m, mask);
+            let up_bytes: Vec<u64> = per_gpu.iter().map(|c| c.len() as u64 * 8).collect();
+            match h2d_time_faulted(self.topology(), &up_bytes, &plan, &policy) {
+                Ok(t) => {
+                    report.push(CascadeStage::H2D, t.time, up_bytes.iter().sum());
+                    if t.backoff > 0.0 {
+                        report.push(CascadeStage::Backoff, t.backoff, 0);
+                    }
+                    self.note_transfer_chaos(t.retries, t.backoff);
+                    upload = Some(per_gpu);
+                    break;
+                }
+                Err(e) => {
+                    self.bill_exhausted_transfer(&mut report, &policy, e);
+                    self.quarantine_blamed(&plan, e)
+                        .map_err(RetrieveError::from)?;
+                }
+            }
+        }
+        let per_gpu = upload.expect("every failed round quarantines one GPU; at most m rounds");
+
+        let (per_gpu_results, device) = self.try_retrieve_device_sided(&per_gpu)?;
         report.absorb(&CascadeReport {
             stages: device.stages,
             elements: 0,
         });
-        report.push(CascadeStage::D2H, t_down, down_bytes.iter().sum());
 
-        let results = per_gpu_results.into_iter().flatten().collect();
-        (results, report)
+        // results down over PCIe. The cascade may have quarantined GPUs
+        // mid-flight; their answers physically came from survivors, so
+        // the dead links carry no bytes.
+        for _round in 0..=m {
+            let (plan, mask) = self.chaos_snapshot();
+            let down_bytes: Vec<u64> = per_gpu
+                .iter()
+                .enumerate()
+                .map(|(g, c)| {
+                    if mask & (1 << g) == 0 {
+                        c.len() as u64 * 8
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            match d2h_time_faulted(self.topology(), &down_bytes, &plan, &policy) {
+                Ok(t) => {
+                    report.push(CascadeStage::D2H, t.time, down_bytes.iter().sum());
+                    if t.backoff > 0.0 {
+                        report.push(CascadeStage::Backoff, t.backoff, 0);
+                    }
+                    self.note_transfer_chaos(t.retries, t.backoff);
+                    let results = per_gpu_results.into_iter().flatten().collect();
+                    return Ok((results, report));
+                }
+                Err(e) => {
+                    self.bill_exhausted_transfer(&mut report, &policy, e);
+                    self.quarantine_blamed(&plan, e)
+                        .map_err(RetrieveError::from)?;
+                }
+            }
+        }
+        unreachable!("every failed round quarantines one GPU; at most m rounds")
     }
 }
 

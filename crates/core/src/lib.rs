@@ -41,6 +41,7 @@
 
 pub mod adaptive;
 pub mod async_pipe;
+pub mod chaos;
 pub mod config;
 pub mod delete;
 pub mod distributed;
@@ -58,19 +59,32 @@ pub mod sharded;
 pub mod stats;
 
 pub use adaptive::{recommend_group_size, AdaptiveHashMap};
+pub use chaos::Router;
 pub use config::{Config, Layout, ProbingScheme};
 pub use distributed::DistributedHashMap;
 pub use entry::{key_of, pack, value_of, EMPTY, TOMBSTONE};
-pub use errors::{BuildError, InsertError};
+pub use errors::{BuildError, InsertError, RetrieveError};
 pub use history::{HistoryRecorder, OpEvent, OpKind, OpResponse};
 pub use linearize::{check_linearizable, check_linearizable_multi, Violation};
 pub use map::GpuHashMap;
 pub use multimap::GpuMultiMap;
 pub use sharded::ShardedHashMap;
-pub use stats::{CascadeReport, CascadeStage};
+pub use stats::{CascadeReport, CascadeStage, DegradedStats};
 
 /// Re-export of the group-size type used throughout the public API.
 pub use gpu_sim::GroupSize;
+
+/// Re-export of the deterministic fault-injection plan (see
+/// [`Config::fault`] and DESIGN.md §6.3 "Chaos testing").
+pub use gpu_sim::FaultPlan;
+
+/// Re-export of the retry/backoff policy governing fault recovery (see
+/// [`Config::retry`]).
+pub use gpu_sim::RetryPolicy;
+
+/// Re-export of the typed transfer-failure error surfaced by the
+/// fault-aware cascades.
+pub use interconnect::TransferError;
 
 /// Re-export of the kernel-launch schedule selector (see
 /// [`Config::schedule`] and the "Testing & determinism" section of

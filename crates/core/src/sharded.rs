@@ -14,11 +14,12 @@
 //! pass per bulk operation (billed as streaming traffic), so sharding
 //! only pays off once the monolithic table is actually degraded.
 
+use crate::chaos::launch_site;
 use crate::config::Config;
 use crate::errors::{BuildError, InsertError};
 use crate::insert::InsertOutcome;
 use crate::map::GpuHashMap;
-use gpu_sim::{Device, GroupSize, KernelStats, LaunchOptions};
+use gpu_sim::{Device, FaultPlan, GroupSize, KernelStats, LaunchOptions, RetryPolicy};
 use hashes::PartitionFn;
 use std::sync::Arc;
 
@@ -28,6 +29,8 @@ pub struct ShardedHashMap {
     dev: Arc<Device>,
     shards: Vec<GpuHashMap>,
     part: PartitionFn,
+    fault: FaultPlan,
+    retry: RetryPolicy,
 }
 
 impl ShardedHashMap {
@@ -57,7 +60,13 @@ impl ShardedHashMap {
             .map(|_| GpuHashMap::new(Arc::clone(&dev), capacity_per_shard, shard_cfg))
             .collect::<Result<Vec<_>, _>>()?;
         let part = PartitionFn::new(num_shards as u32, cfg.seed ^ 0x5aa4_d217);
-        Ok(Self { dev, shards, part })
+        Ok(Self {
+            dev,
+            shards,
+            part,
+            fault: cfg.fault,
+            retry: cfg.retry,
+        })
     }
 
     /// Number of shards.
@@ -110,16 +119,35 @@ impl ShardedHashMap {
     /// outcome (stats add; the per-shard kernels are billed individually
     /// with their sub-threshold working sets).
     ///
+    /// Under an armed [`Config::fault`] plan each shard's kernel launch
+    /// rolls transient failures at the shard-routing site; retries bill
+    /// exponential backoff into the outcome's `sim_time`. Retrying is
+    /// idempotent — the bucket is only applied once the launch succeeds.
+    ///
     /// # Errors
-    /// Aggregated probing exhaustion; scratch OOM.
+    /// Aggregated probing exhaustion; scratch OOM;
+    /// [`InsertError::DeviceLost`] if a shard exhausts its launch retry
+    /// budget (one device hosts every shard — there is no failover
+    /// target).
     pub fn insert_pairs(&self, pairs: &[(u32, u32)]) -> Result<InsertOutcome, InsertError> {
         let (buckets, route_stats) = self.route(pairs);
         let mut merged: Option<InsertOutcome> = None;
         let mut failed = 0u64;
+        let mut backoff = 0.0f64;
         for (s, bucket) in buckets.iter().enumerate() {
             if bucket.is_empty() {
                 continue;
             }
+            let mut attempt = 0u32;
+            let mut spent = 0.0f64;
+            while self.fault.launch_fails(s, launch_site::SHARD, attempt) {
+                attempt += 1;
+                if !self.retry.may_retry(attempt, spent) {
+                    return Err(InsertError::DeviceLost { device: s });
+                }
+                spent += self.retry.backoff_before(attempt);
+            }
+            backoff += spent;
             match self.shards[s].insert_pairs(bucket) {
                 Ok(o) => {
                     merged = Some(match merged {
@@ -146,6 +174,11 @@ impl ShardedHashMap {
         });
         outcome.stats = outcome.stats.merged(&route_stats);
         outcome.failed = failed;
+        if backoff > 0.0 {
+            // fault-injection waits are real wall time; the fault-off
+            // path never reaches this addition, keeping it bit-identical
+            outcome.stats.sim_time += backoff;
+        }
         if failed > 0 {
             return Err(InsertError::ProbingExhausted { failed });
         }
@@ -262,6 +295,29 @@ mod tests {
             t_shard < t_mono,
             "sharding should dodge CAS degradation: {t_shard:.3e} vs {t_mono:.3e}"
         );
+    }
+
+    #[test]
+    fn transient_shard_launch_failures_retry_idempotently() {
+        let dev = Arc::new(Device::with_words(0, 1 << 16));
+        let cfg = Config::default()
+            .with_fault(FaultPlan::default().with_seed(5).with_launch_fail(0.4));
+        let m = ShardedHashMap::new(dev, 1024, 4, cfg).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..2000u32).map(|i| (i * 9 + 1, i)).collect();
+        let o = m.insert_pairs(&pairs).unwrap();
+        assert_eq!(o.new_slots, 2000, "retries must apply each pair once");
+        assert_eq!(m.len(), 2000);
+        let (res, _) = m.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        assert!(res.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn permanent_shard_failure_is_device_lost() {
+        let dev = Arc::new(Device::with_words(0, 1 << 16));
+        let cfg = Config::default().with_fault(FaultPlan::default().with_launch_fail(1.0));
+        let m = ShardedHashMap::new(dev, 1024, 2, cfg).unwrap();
+        let err = m.insert_pairs(&[(1, 10), (2, 20)]).unwrap_err();
+        assert!(matches!(err, InsertError::DeviceLost { .. }), "{err:?}");
     }
 
     #[test]

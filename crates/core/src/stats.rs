@@ -28,6 +28,11 @@ pub enum CascadeStage {
     Scatter,
     /// Device → host PCIe transfer.
     D2H,
+    /// Exponential-backoff waits accumulated by fault-injection retries
+    /// (see [`gpu_sim::RetryPolicy`]). Absent from healthy cascades —
+    /// the fault-off path never pushes this stage, keeping its reports
+    /// byte-identical to pre-chaos behaviour.
+    Backoff,
 }
 
 /// One timed phase.
@@ -161,9 +166,48 @@ impl CascadeReport {
     }
 }
 
+/// Degraded-mode counters of a [`crate::DistributedHashMap`]: what fault
+/// injection cost and what graceful degradation did about it. All-zero
+/// on healthy runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradedStats {
+    /// Kernel launches that failed transiently and were retried.
+    pub launch_retries: u64,
+    /// Interconnect transfers that were dropped and re-sent.
+    pub transfer_retries: u64,
+    /// Total simulated seconds spent in exponential backoff.
+    pub backoff_time: f64,
+    /// GPUs quarantined after exhausting their retry budget.
+    pub quarantined: u32,
+    /// Keys re-inserted into survivors when their GPU was quarantined.
+    pub migrated_keys: u64,
+    /// Partition re-splits performed (one per quarantine event).
+    pub repartitions: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degraded_stats_default_is_all_zero() {
+        let s = DegradedStats::default();
+        assert_eq!(s.launch_retries, 0);
+        assert_eq!(s.transfer_retries, 0);
+        assert_eq!(s.backoff_time, 0.0);
+        assert_eq!(s.quarantined, 0);
+        assert_eq!(s.migrated_keys, 0);
+        assert_eq!(s.repartitions, 0);
+    }
+
+    #[test]
+    fn backoff_stage_accumulates_like_any_other() {
+        let mut r = CascadeReport::new(10);
+        r.push(CascadeStage::Insert, 1.0, 0);
+        r.push(CascadeStage::Backoff, 0.25, 0);
+        assert!((r.time_of(CascadeStage::Backoff) - 0.25).abs() < 1e-12);
+        assert!((r.total_time() - 1.25).abs() < 1e-12);
+    }
 
     #[test]
     fn totals_and_fractions() {

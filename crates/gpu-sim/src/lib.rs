@@ -32,6 +32,7 @@
 pub mod clock;
 pub mod counters;
 pub mod device;
+pub mod fault;
 pub mod mem;
 pub mod sanitizer;
 pub mod sched;
@@ -42,6 +43,7 @@ pub mod timing;
 pub use clock::ResourceTimeline;
 pub use counters::{CounterSnapshot, KernelCounters};
 pub use device::{Device, KernelStats, LaunchOptions};
+pub use fault::{FaultPlan, RetryPolicy};
 pub use mem::{DevSlice, DeviceMemory, OutOfMemory, ScratchGuard};
 pub use sanitizer::{Detector, Report, SanitizerSet};
 pub use sched::{AdversarialMode, Schedule, StepSched};

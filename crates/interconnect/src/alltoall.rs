@@ -13,7 +13,9 @@
 //! With balanced partitions this yields the paper's measured ≈192 GB/s
 //! accumulated bandwidth on the quad-P100 node.
 
+use crate::fault::{transfer_with_retry, FaultedTransfer, TransferError};
 use crate::topology::Topology;
+use gpu_sim::{fault::site, FaultPlan, RetryPolicy};
 
 /// Outcome of an all-to-all phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +62,59 @@ pub fn alltoall_time(topo: &Topology, sizes: &[Vec<u64>]) -> AllToAllReport {
         }
     }
     AllToAllReport { time: worst, bytes }
+}
+
+/// [`alltoall_time`] under a fault plan: degraded links carry their
+/// trained-down bandwidth, dropped edge transfers retry per `policy`
+/// (wasted attempts bill against the edge; backoff accumulates
+/// separately), and an edge that exhausts its budget fails the phase.
+///
+/// With a disarmed plan the result is bit-identical to
+/// [`alltoall_time`] — the chaos layer's off-mode guarantee.
+///
+/// # Errors
+/// [`TransferError`] naming the first edge (row-major order) whose drop
+/// rolls outlasted the retry budget.
+///
+/// # Panics
+/// Panics if `sizes` is not `m × m` for the topology's `m`.
+pub fn alltoall_time_faulted(
+    topo: &Topology,
+    sizes: &[Vec<u64>],
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<FaultedTransfer, TransferError> {
+    let m = topo.num_gpus;
+    assert_eq!(sizes.len(), m, "size matrix must be m x m");
+    let mut worst: f64 = 0.0;
+    let mut bytes: u64 = 0;
+    let mut retries = 0u32;
+    let mut backoff = 0.0f64;
+    for (i, row) in sizes.iter().enumerate() {
+        assert_eq!(row.len(), m, "size matrix must be m x m");
+        for (j, &s) in row.iter().enumerate() {
+            if i == j || s == 0 {
+                continue;
+            }
+            bytes += s;
+            let t_once = s as f64 / topo.degraded_peer_bandwidth(i, j, plan);
+            let t = transfer_with_retry(
+                plan,
+                policy,
+                (i, j, site::ALLTOALL),
+                t_once,
+                &mut retries,
+                &mut backoff,
+            )?;
+            worst = worst.max(t);
+        }
+    }
+    Ok(FaultedTransfer {
+        time: worst,
+        bytes,
+        retries,
+        backoff,
+    })
 }
 
 #[cfg(test)]
@@ -128,5 +183,62 @@ mod tests {
     fn wrong_matrix_shape_rejected() {
         let topo = Topology::p100_quad(4);
         let _ = alltoall_time(&topo, &vec![vec![0; 4]; 3]);
+    }
+
+    #[test]
+    fn disarmed_faulted_variant_is_bit_identical() {
+        let topo = Topology::p100_quad(4);
+        let mut sizes = balanced(4, 1 << 22);
+        sizes[1][3] = 77_777; // unbalanced corner
+        let healthy = alltoall_time(&topo, &sizes);
+        let faulted = alltoall_time_faulted(
+            &topo,
+            &sizes,
+            &FaultPlan::default(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(healthy.time.to_bits(), faulted.time.to_bits());
+        assert_eq!(healthy.bytes, faulted.bytes);
+        assert_eq!(faulted.retries, 0);
+        assert_eq!(faulted.backoff, 0.0);
+    }
+
+    #[test]
+    fn degraded_link_slows_the_phase() {
+        let topo = Topology::p100_quad(4);
+        let sizes = balanced(4, 1 << 26);
+        let healthy = alltoall_time(&topo, &sizes);
+        let plan = FaultPlan::default().with_seed(5).with_link_degrade(1.0, 4.0);
+        let slow = alltoall_time_faulted(&topo, &sizes, &plan, &RetryPolicy::default()).unwrap();
+        assert!((slow.time / healthy.time - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn killed_gpu_fails_its_edges() {
+        let topo = Topology::p100_quad(4);
+        let plan = FaultPlan::default().with_kill(2);
+        let err =
+            alltoall_time_faulted(&topo, &balanced(4, 1024), &plan, &RetryPolicy::default())
+                .unwrap_err();
+        assert!(err.src == 2 || err.dst == 2, "unexpected edge {err}");
+    }
+
+    #[test]
+    fn drops_retry_and_bill_backoff() {
+        let topo = Topology::p100_quad(4);
+        let sizes = balanced(4, 1 << 22);
+        let policy = RetryPolicy::default().with_max_attempts(64);
+        // 12 edges at 50% drop: essentially certain to see ≥ 1 retry
+        for seed in 0..64 {
+            let plan = FaultPlan::default().with_seed(seed).with_transfer_drop(0.5);
+            let rep = alltoall_time_faulted(&topo, &sizes, &plan, &policy).unwrap();
+            if rep.retries > 0 {
+                assert!(rep.backoff > 0.0);
+                assert!(rep.time >= alltoall_time(&topo, &sizes).time);
+                return;
+            }
+        }
+        panic!("no retries observed across 64 seeds at 50% drop rate");
     }
 }

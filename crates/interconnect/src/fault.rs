@@ -1,0 +1,183 @@
+//! Fault-aware transfer types shared by [`crate::alltoall`] and
+//! [`crate::hostlink`] (the `wd-chaos` layer of the interconnect).
+//!
+//! The healthy estimators (`alltoall_time`, `h2d_time`, …) stay exactly
+//! as they were; the `*_faulted` variants take a [`gpu_sim::FaultPlan`]
+//! and a [`gpu_sim::RetryPolicy`] and model what a production transfer
+//! engine does: retry dropped transfers with exponential backoff, bill
+//! the wasted attempts against the link, and give up with a typed
+//! [`TransferError`] once the retry budget is exhausted. A disarmed plan
+//! makes every `*_faulted` variant bit-identical to its healthy twin —
+//! asserted by `tests/chaos_sweep.rs`.
+
+use gpu_sim::{FaultPlan, RetryPolicy};
+
+/// A transfer that exhausted its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferError {
+    /// Source GPU of the failing edge. For host-link (PCIe) transfers
+    /// `src == dst`: the GPU whose host link failed.
+    pub src: usize,
+    /// Destination GPU of the failing edge.
+    pub dst: usize,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.src == self.dst {
+            write!(
+                f,
+                "host link of GPU {} failed after {} attempt(s)",
+                self.src, self.attempts
+            )
+        } else {
+            write!(
+                f,
+                "transfer {} -> {} failed after {} attempt(s)",
+                self.src, self.dst, self.attempts
+            )
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+/// Outcome of a fault-aware transfer phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultedTransfer {
+    /// Simulated wall time of the phase, including wasted (dropped)
+    /// attempts but excluding backoff — backoff is billed separately as
+    /// the cascade's `Backoff` stage so stage accounting stays additive.
+    pub time: f64,
+    /// Payload bytes moved (successful attempts only).
+    pub bytes: u64,
+    /// Dropped attempts across all links of the phase.
+    pub retries: u32,
+    /// Exponential-backoff time billed across all links, seconds.
+    pub backoff: f64,
+}
+
+/// Runs one link's transfer of duration `t_once` under the plan's drop
+/// rolls: retries per `policy`, accumulating wasted time and backoff.
+/// Returns the link's serial time and updates the phase accumulators.
+///
+/// # Errors
+/// [`TransferError`] when the drop rolls outlast the retry budget.
+pub(crate) fn transfer_with_retry(
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    (src, dst, site): (usize, usize, u64),
+    t_once: f64,
+    retries: &mut u32,
+    backoff: &mut f64,
+) -> Result<f64, TransferError> {
+    let mut elapsed = 0.0;
+    let mut spent_backoff = 0.0;
+    let mut attempt: u32 = 0;
+    loop {
+        if !plan.transfer_drops(src, dst, site, attempt) {
+            return Ok(elapsed + t_once);
+        }
+        // the attempt ran (and dropped): its time is wasted on the link
+        elapsed += t_once;
+        attempt += 1;
+        *retries += 1;
+        if !policy.may_retry(attempt, spent_backoff) {
+            return Err(TransferError {
+                src,
+                dst,
+                attempts: attempt,
+            });
+        }
+        let b = policy.backoff_before(attempt);
+        spent_backoff += b;
+        *backoff += b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_edge() {
+        let e = TransferError {
+            src: 1,
+            dst: 3,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("1 -> 3"));
+        let h = TransferError {
+            src: 2,
+            dst: 2,
+            attempts: 1,
+        };
+        assert!(h.to_string().contains("host link of GPU 2"));
+    }
+
+    #[test]
+    fn clean_link_costs_one_attempt_and_no_backoff() {
+        let plan = FaultPlan::default();
+        let policy = RetryPolicy::default();
+        let (mut r, mut b) = (0, 0.0);
+        let t = transfer_with_retry(
+            &plan,
+            &policy,
+            (0, 1, gpu_sim::fault::site::ALLTOALL),
+            2.5,
+            &mut r,
+            &mut b,
+        )
+        .unwrap();
+        assert_eq!(t.to_bits(), 2.5f64.to_bits());
+        assert_eq!(r, 0);
+        assert_eq!(b, 0.0);
+    }
+
+    #[test]
+    fn killed_destination_exhausts_the_budget() {
+        let plan = FaultPlan::default().with_kill(1);
+        let policy = RetryPolicy::default();
+        let (mut r, mut b) = (0, 0.0);
+        let err = transfer_with_retry(
+            &plan,
+            &policy,
+            (0, 1, gpu_sim::fault::site::ALLTOALL),
+            1.0,
+            &mut r,
+            &mut b,
+        )
+        .unwrap_err();
+        assert_eq!(err.attempts, policy.max_attempts);
+        assert_eq!(r, policy.max_attempts);
+        // backoff before attempts 1..max_attempts-1 was billed
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn dropped_attempts_bill_wasted_time() {
+        // find a seed whose first roll drops but a later one succeeds
+        let policy = RetryPolicy::default().with_max_attempts(16);
+        for seed in 0..256u64 {
+            let plan = FaultPlan::default().with_seed(seed).with_transfer_drop(0.5);
+            let (mut r, mut b) = (0, 0.0);
+            if let Ok(t) = transfer_with_retry(
+                &plan,
+                &policy,
+                (2, 3, gpu_sim::fault::site::ALLTOALL),
+                1.0,
+                &mut r,
+                &mut b,
+            ) {
+                if r > 0 {
+                    assert!((t - f64::from(r + 1)).abs() < 1e-12, "seed {seed}: {t}");
+                    assert!(b > 0.0);
+                    return;
+                }
+            }
+        }
+        panic!("no seed produced a drop-then-success sequence");
+    }
+}

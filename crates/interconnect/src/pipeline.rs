@@ -40,12 +40,16 @@ pub struct PipelineReport {
 
 impl PipelineReport {
     /// Fraction of the makespan during which `resource` was busy.
+    /// Out-of-range indices report 0.0 — callers iterate fixed resource
+    /// tables over reports from pipelines of any width (a quarantined
+    /// node may re-plan with fewer resources), and "never busy" is the
+    /// honest answer for a resource the run did not have.
     #[must_use]
     pub fn utilization(&self, resource: usize) -> f64 {
         if self.makespan == 0.0 {
             0.0
         } else {
-            self.busy[resource] / self.makespan
+            self.busy.get(resource).map_or(0.0, |b| b / self.makespan)
         }
     }
 }
@@ -256,6 +260,20 @@ mod tests {
         let rep = sim.run(&[], 2);
         assert_eq!(rep.makespan, 0.0);
         assert_eq!(rep.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_utilization_is_zero_not_panic() {
+        let sim = PipelineSim::new(2);
+        let batches = vec![vec![Stage {
+            resource: 0,
+            duration: 1.0,
+        }]];
+        let rep = sim.run(&batches, 1);
+        assert!(rep.utilization(0) > 0.0);
+        assert_eq!(rep.utilization(1), 0.0); // in range, never busy
+        assert_eq!(rep.utilization(2), 0.0); // out of range: no panic
+        assert_eq!(rep.utilization(usize::MAX), 0.0);
     }
 
     #[test]

@@ -98,6 +98,24 @@ impl Topology {
         self.nvlink[i][j]
     }
 
+    /// Effective bandwidth of the direct path i→j under `plan`'s
+    /// persistent link degradation (trained-down links divide their rate
+    /// by the plan's degrade factor; a disarmed plan is the identity).
+    ///
+    /// # Panics
+    /// Panics if `i == j` or out of range.
+    #[must_use]
+    pub fn degraded_peer_bandwidth(&self, i: usize, j: usize, plan: &gpu_sim::FaultPlan) -> f64 {
+        self.peer_bandwidth(i, j) / plan.link_factor(i, j)
+    }
+
+    /// Effective bandwidth of PCIe switch `s` under `plan`'s persistent
+    /// link degradation.
+    #[must_use]
+    pub fn degraded_switch_bandwidth(&self, s: usize, plan: &gpu_sim::FaultPlan) -> f64 {
+        self.switch_bandwidth[s] / plan.switch_factor(s)
+    }
+
     /// Accumulated theoretical host bandwidth across all switches.
     #[must_use]
     pub fn total_host_bandwidth(&self) -> f64 {

@@ -1,0 +1,391 @@
+//! wd-chaos: deterministic fault injection for the multi-GPU cascades,
+//! proven by property sweeps.
+//!
+//! Layers (tentpole of the chaos issue):
+//!
+//! 1. **Conservation under chaos** — proptest over fault plans ×
+//!    schedules × group sizes: whatever the injected faults do (dropped
+//!    transfers, transient launch failures, stragglers, degraded links,
+//!    killed GPUs), a successful insert leaves the exact input multiset
+//!    in the union of the live tables, and every stored key still
+//!    answers.
+//! 2. **Replay** — every chaos failure message carries
+//!    `WD_FAULT=… WD_FAULT_SEED=…` (composable with `WD_SCHED_*`); this
+//!    suite proves a run reconstructed from that printed string is
+//!    bit-identical, stats and stage times included.
+//! 3. **Graceful degradation** — with one of four GPUs killed mid-run,
+//!    the distributed insert+retrieve round trip still returns every
+//!    key (the dead GPU's partition re-splits across the survivors).
+//! 4. **Off mode** — a disarmed plan bills byte-identical counters and
+//!    times: no `Backoff` stage, all-zero degraded stats, bitwise-equal
+//!    reports (mirrors the sanitizer's off-mode guarantee).
+//! 5. **Mutation doubles** — `Config::broken_double_apply_on_retry`
+//!    (retry without the idempotence guard) and
+//!    `Config::broken_forget_quarantined_partition` (repartition loses
+//!    the shard) are provably caught within `WD_MUTATION_SEEDS`, while
+//!    the correct implementation stays clean on every hunted seed.
+
+use gpu_sim::{Device, FaultPlan, Schedule};
+use interconnect::Topology;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use warpdrive::{CascadeStage, Config, DistributedHashMap};
+use wd_apps::mutation_seeds;
+
+fn node(m: usize, cfg: Config) -> DistributedHashMap {
+    let devices: Vec<Arc<Device>> = (0..m)
+        .map(|i| Arc::new(Device::with_words(i, 1 << 16)))
+        .collect();
+    DistributedHashMap::new(devices, 2048, cfg, Topology::p100_quad(m)).unwrap()
+}
+
+fn multiset(pairs: impl IntoIterator<Item = (u32, u32)>) -> BTreeMap<(u32, u32), u32> {
+    let mut m = BTreeMap::new();
+    for p in pairs {
+        *m.entry(p).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Builds an armed fault plan from raw proptest draws: independent
+/// knobs, each possibly off. `knobs` is
+/// `(drop %, launch-fail %, degrade %, degrade factor)`; a straggler
+/// device of 4+ means "no straggler".
+fn fault_plan(seed: u64, knobs: (u32, u32, u32, u32), straggler: (u32, u32)) -> FaultPlan {
+    let (drop, launch, dp, df) = knobs;
+    let (sd, sf) = straggler;
+    let mut plan = FaultPlan::default()
+        .with_seed(seed)
+        .with_transfer_drop(f64::from(drop) / 100.0)
+        .with_launch_fail(f64::from(launch) / 100.0);
+    if dp > 0 {
+        plan = plan.with_link_degrade(f64::from(dp) / 100.0, f64::from(df));
+    }
+    if sd < 4 {
+        plan = plan.with_straggler(sd, f64::from(sf), 1e-5);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the plan injects, recovery preserves the key multiset:
+    /// a successful insert leaves exactly the input in the live tables,
+    /// and retrieval answers every key. Failure messages echo the replay
+    /// string.
+    #[test]
+    fn chaos_conserves_the_key_multiset(
+        fault_seed in 0u64..1024,
+        knobs in (0u32..=35, 0u32..=35, 0u32..=50, 2u32..8),
+        straggler in (0u32..8, 2u32..6),
+        sched_seed in 0u64..64,
+        g_idx in 0usize..6,
+        m in 2usize..5,
+        keys in proptest::collection::hash_set(1u32..1_000_000, 8..200),
+    ) {
+        let plan = fault_plan(fault_seed, knobs, straggler);
+        let cfg = Config::default()
+            .with_fault(plan)
+            .with_schedule(Schedule::Seeded(sched_seed))
+            .with_group_size(gpu_sim::GroupSize::ALL[g_idx].get());
+        let d = node(m, cfg);
+        let replay = d.replay_hint();
+        let pairs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k ^ 0xbeef)).collect();
+        match d.insert_from_host(&pairs) {
+            Err(e) => {
+                // the whole node died — legal under heavy plans, but only
+                // via the typed path, and only with every GPU quarantined
+                // or a transfer hard-failing; replay must reproduce it
+                prop_assert!(
+                    d.quarantined().len() >= m - 1,
+                    "{e} without exhausting failover; replay: {replay}"
+                );
+            }
+            Ok(_) => {
+                prop_assert_eq!(
+                    multiset(pairs.iter().copied()),
+                    multiset(d.live_snapshot()),
+                    "conservation broken; replay: {}",
+                    replay
+                );
+                if let Ok((res, _)) = d.try_retrieve_from_host(
+                    &pairs.iter().map(|p| p.0).collect::<Vec<_>>(),
+                ) {
+                    for (i, p) in pairs.iter().enumerate() {
+                        prop_assert_eq!(
+                            res[i], Some(p.1),
+                            "key {} lost; replay: {}", p.0, replay
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Erase under chaos: tombstoning a subset leaves exactly the
+    /// remainder, faults or not (erase restarts are idempotent).
+    #[test]
+    fn chaos_erase_leaves_the_remainder(
+        fault_seed in 0u64..1024,
+        knobs in (0u32..=35, 0u32..=35, 0u32..=50, 2u32..8),
+        straggler in (0u32..8, 2u32..6),
+        sched_seed in 0u64..32,
+        keys in proptest::collection::hash_set(1u32..500_000, 8..150),
+        erase_every in 2usize..4,
+    ) {
+        let plan = fault_plan(fault_seed, knobs, straggler);
+        let cfg = Config::default()
+            .with_fault(plan)
+            .with_schedule(Schedule::Seeded(sched_seed));
+        let mut d = node(3, cfg);
+        let replay = d.replay_hint();
+        let keys: Vec<u32> = keys.into_iter().collect();
+        let pairs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k)).collect();
+        if d.insert_from_host(&pairs).is_err() {
+            return Ok(()); // node died before the experiment started
+        }
+        let victims: Vec<u32> = keys.iter().step_by(erase_every).copied().collect();
+        let (erased, _) = d.erase_from_host(&victims);
+        prop_assert_eq!(
+            erased as usize, victims.len(),
+            "erase count; replay: {}", replay
+        );
+        let mut stored: Vec<u32> = d.live_snapshot().into_iter().map(|(k, _)| k).collect();
+        stored.sort_unstable();
+        let mut want: Vec<u32> = keys
+            .iter()
+            .filter(|k| !victims.contains(k))
+            .copied()
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(stored, want, "erase broke conservation; replay: {}", replay);
+    }
+}
+
+/// A chaos run reconstructed from the printed replay string is
+/// bit-identical: same degraded stats, same stage times to the last bit.
+#[test]
+fn chaos_runs_replay_bit_for_bit_from_the_printed_hint() {
+    let plan = FaultPlan::default()
+        .with_seed(2026)
+        .with_transfer_drop(0.3)
+        .with_launch_fail(0.25)
+        .with_straggler(1, 3.0, 1e-5);
+    let pairs: Vec<(u32, u32)> = (0..2500u32).map(|i| (i * 7 + 1, i)).collect();
+
+    let run = |plan: FaultPlan| {
+        let d = node(4, Config::default().with_fault(plan));
+        let rep = d.insert_from_host(&pairs).expect("node survives this plan");
+        (rep, d.degraded_stats(), d.quarantined(), d.replay_hint())
+    };
+    let (rep_a, stats_a, q_a, hint) = run(plan);
+
+    // parse the plan back out of the printed hint, exactly as a human
+    // replaying a failure would
+    let spec = hint
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("WD_FAULT="))
+        .expect("hint names WD_FAULT");
+    let seed: u64 = hint
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("WD_FAULT_SEED="))
+        .expect("hint names WD_FAULT_SEED")
+        .parse()
+        .unwrap();
+    assert!(hint.contains("WD_SCHED"), "hint must compose with the scheduler: {hint}");
+    let rebuilt = FaultPlan::from_spec(spec, seed);
+    assert_eq!(rebuilt, plan, "spec `{spec}` did not round-trip");
+
+    let (rep_b, stats_b, q_b, _) = run(rebuilt);
+    assert_eq!(stats_a, stats_b, "degraded stats diverged on replay");
+    assert_eq!(q_a, q_b, "quarantine set diverged on replay");
+    assert_eq!(rep_a.stages.len(), rep_b.stages.len());
+    for (x, y) in rep_a.stages.iter().zip(&rep_b.stages) {
+        assert_eq!(x.stage, y.stage);
+        assert_eq!(
+            x.time.to_bits(),
+            y.time.to_bits(),
+            "{:?} time diverged on replay",
+            x.stage
+        );
+        assert_eq!(x.bytes, y.bytes);
+    }
+}
+
+/// One of four GPUs dies mid-run: the node quarantines it, re-splits its
+/// partition over the three survivors, and the insert+retrieve round
+/// trip still returns every key — the acceptance scenario.
+#[test]
+fn one_dead_gpu_of_four_degrades_gracefully() {
+    let d = node(4, Config::default());
+    let pairs: Vec<(u32, u32)> = (0..4000u32).map(|i| (i * 3 + 1, i)).collect();
+    d.insert_from_host(&pairs[..2000]).unwrap();
+    assert!(d.quarantined().is_empty());
+    assert_eq!(d.degraded_stats(), warpdrive::DegradedStats::default());
+
+    d.set_fault_plan(FaultPlan::default().with_kill(2));
+    d.insert_from_host(&pairs[2000..]).unwrap();
+    assert_eq!(d.quarantined(), vec![2], "GPU 2 must be quarantined");
+    let stats = d.degraded_stats();
+    assert_eq!(stats.quarantined, 1);
+    assert!(stats.migrated_keys > 0, "GPU 2 held a partition before dying");
+
+    let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+    let (res, _) = d.retrieve_from_host(&keys);
+    for (i, p) in pairs.iter().enumerate() {
+        assert_eq!(res[i], Some(p.1), "key {} lost after quarantine", p.0);
+    }
+    assert_eq!(multiset(pairs), multiset(d.live_snapshot()));
+}
+
+/// Off mode: a disarmed plan (even one with a seed set) is
+/// indistinguishable from no plan at all — no `Backoff` stage, all-zero
+/// degraded stats, and bitwise-identical stage times and byte counters.
+#[test]
+fn fault_off_is_byte_identical() {
+    let pairs: Vec<(u32, u32)> = (0..3000u32).map(|i| (i * 13 + 5, i)).collect();
+    let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+    let run = |cfg: Config| {
+        let d = node(4, cfg);
+        let ins = d.insert_from_host(&pairs).unwrap();
+        let (_, ret) = d.retrieve_from_host(&keys);
+        assert_eq!(d.degraded_stats(), warpdrive::DegradedStats::default());
+        assert!(d.quarantined().is_empty());
+        (ins, ret)
+    };
+    // seed alone does not arm the plan
+    let seeded_but_disarmed = FaultPlan::default().with_seed(777);
+    assert!(!seeded_but_disarmed.armed());
+    let (ins_a, ret_a) = run(Config::default());
+    let (ins_b, ret_b) = run(Config::default().with_fault(seeded_but_disarmed));
+    for (a, b) in [(&ins_a, &ins_b), (&ret_a, &ret_b)] {
+        assert_eq!(a.stages.len(), b.stages.len());
+        for (x, y) in a.stages.iter().zip(&b.stages) {
+            assert_eq!(x.stage, y.stage);
+            assert!(
+                x.stage != CascadeStage::Backoff,
+                "fault-off run must never bill a Backoff stage"
+            );
+            assert_eq!(x.time.to_bits(), y.time.to_bits(), "{:?}", x.stage);
+            assert_eq!(x.bytes, y.bytes, "{:?}", x.stage);
+            assert_eq!(x.overhead.to_bits(), y.overhead.to_bits(), "{:?}", x.stage);
+        }
+    }
+}
+
+/// CI chaos-matrix entry point: `Config::default()` arms its plan from
+/// `WD_FAULT` / `WD_FAULT_SEED`, so under the workflow's fault matrix
+/// this runs the full host round trip against whatever the matrix
+/// injected and proves conservation plus recovery. Without `WD_FAULT`
+/// it degenerates to a healthy round trip (and documents that a bare
+/// environment means a disarmed plan).
+#[test]
+fn env_armed_round_trip_conserves() {
+    let d = node(4, Config::default());
+    println!("chaos smoke plan: {}", d.replay_hint());
+    let pairs: Vec<(u32, u32)> = (0..2000u32).map(|i| (i * 11 + 3, i)).collect();
+    match d.insert_from_host(&pairs) {
+        Err(e) => {
+            assert!(
+                d.quarantined().len() >= 3,
+                "{e} without exhausting failover; replay: {}",
+                d.replay_hint()
+            );
+        }
+        Ok(_) => {
+            assert_eq!(
+                multiset(pairs.iter().copied()),
+                multiset(d.live_snapshot()),
+                "conservation broken; replay: {}",
+                d.replay_hint()
+            );
+            let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            if let Ok((res, _)) = d.try_retrieve_from_host(&keys) {
+                for (i, p) in pairs.iter().enumerate() {
+                    assert_eq!(res[i], Some(p.1), "key {}; replay: {}", p.0, d.replay_hint());
+                }
+            }
+        }
+    }
+}
+
+/// Mutation double #1: retry without the idempotence guard. The broken
+/// variant applies the sub-batch to its failover targets while the
+/// primary is still being retried (and succeeds), so a key ends up on
+/// two GPUs — caught by multiset conservation within the seed budget,
+/// while the correct implementation stays clean on every hunted seed.
+#[test]
+fn broken_double_apply_on_retry_is_caught_by_conservation() {
+    let budget = mutation_seeds();
+    let pairs: Vec<(u32, u32)> = (0..1200u32).map(|i| (i * 7 + 1, i)).collect();
+    let want = multiset(pairs.iter().copied());
+    let run = |seed: u64, broken: bool| -> Option<BTreeMap<(u32, u32), u32>> {
+        let plan = FaultPlan::default().with_seed(seed).with_launch_fail(0.3);
+        let mut cfg = Config::default().with_fault(plan);
+        if broken {
+            cfg = cfg.with_broken_double_apply_on_retry();
+        }
+        let d = node(4, cfg);
+        d.insert_from_host(&pairs).ok()?;
+        Some(multiset(d.live_snapshot()))
+    };
+    let mut caught = None;
+    for seed in 0..budget {
+        if let Some(got) = run(seed, false) {
+            assert_eq!(
+                got, want,
+                "false positive: correct code broke conservation at fault seed {seed}"
+            );
+        }
+        if caught.is_none() && run(seed, true).is_some_and(|got| got != want) {
+            caught = Some(seed);
+        }
+    }
+    let seed = caught.unwrap_or_else(|| {
+        panic!("double-apply mutant survived {budget} fault seeds — suite has no teeth")
+    });
+    println!("double-apply mutant caught by conservation at fault seed {seed}");
+}
+
+/// Mutation double #2: the repartition that forgets the quarantined
+/// GPU's shard. Killing one GPU mid-run must migrate its partition; the
+/// broken variant drops it, so previously-inserted keys vanish — caught
+/// by the degraded round trip within the seed budget, while the correct
+/// implementation returns every key on every hunted seed.
+#[test]
+fn broken_forget_quarantined_partition_is_caught_by_round_trip() {
+    let budget = mutation_seeds();
+    let run = |seed: u64, broken: bool| -> usize {
+        let mut cfg = Config::default();
+        if broken {
+            cfg = cfg.with_broken_forget_quarantined_partition();
+        }
+        let d = node(4, cfg);
+        // data varies with the seed so each hunted seed is a fresh case
+        let base = (seed as u32) * 10_007 + 1;
+        let pairs: Vec<(u32, u32)> = (0..800u32).map(|i| (base + i * 5, i)).collect();
+        d.insert_from_host(&pairs).unwrap();
+        d.set_fault_plan(FaultPlan::default().with_kill((seed % 4) as u32));
+        d.insert_from_host(&[(base + 999_983, 42)]).unwrap();
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let (res, _) = d.retrieve_from_host(&keys);
+        res.iter().filter(|r| r.is_none()).count()
+    };
+    let mut caught = None;
+    for seed in 0..budget {
+        let lost_correct = run(seed, false);
+        assert_eq!(
+            lost_correct, 0,
+            "false positive: correct code lost keys at seed {seed}"
+        );
+        if caught.is_none() && run(seed, true) > 0 {
+            caught = Some(seed);
+        }
+    }
+    let seed = caught.unwrap_or_else(|| {
+        panic!("forget-partition mutant survived {budget} seeds — suite has no teeth")
+    });
+    println!("forget-partition mutant caught by degraded round trip at seed {seed}");
+}

@@ -128,6 +128,85 @@ fn distributed_histories_are_linearizable() {
     }
 }
 
+/// Fault-injection mode: transient launch failures and dropped
+/// transfers force the distributed cascades to retry and restart, and a
+/// quarantine mid-run migrates a whole partition — yet the recorded
+/// history must stay linearizable on every swept seed. In particular,
+/// retried inserts apply exactly once (restarted rounds re-apply
+/// idempotently, recorded as in-place updates), and quarantine migration
+/// books its moves as legal erase→insert sequences.
+#[test]
+fn distributed_histories_stay_linearizable_under_faults() {
+    let seeds = sweep_seeds().min(12);
+    for seed in 0..seeds {
+        let plan = gpu_sim::FaultPlan::default()
+            .with_seed(seed)
+            .with_launch_fail(0.3)
+            .with_transfer_drop(0.2);
+        let devices: Vec<Arc<Device>> = (0..3)
+            .map(|i| Arc::new(Device::with_words(i, 1 << 14)))
+            .collect();
+        let cfg = Config::default()
+            .with_schedule(Schedule::Seeded(seed))
+            .with_fault(plan);
+        let mut d = DistributedHashMap::new(devices, 256, cfg, Topology::p100_quad(3)).unwrap();
+        let cell = format!("faulted distributed seed {seed}; replay: {}", d.replay_hint());
+        let rec = Arc::new(HistoryRecorder::new());
+        d.set_recorder(Some(Arc::clone(&rec)));
+        let pairs: Vec<(u32, u32)> = (0..48u32).map(|i| (i % 12 + 1, i)).collect();
+        if d.insert_from_host(&pairs).is_err() {
+            continue; // the whole node died under this plan — nothing to check
+        }
+        if let Ok((_, _)) = d.try_retrieve_from_host(&(1..=14).collect::<Vec<u32>>()) {
+            let (_, _) = d.erase_from_host(&[1, 3, 5]);
+            let _ = d.try_retrieve_from_host(&(1..=6).collect::<Vec<u32>>());
+        }
+        check_linearizable(&rec.events()).unwrap_or_else(|v| panic!("{cell}: {v}"));
+    }
+}
+
+/// The chaos mutation double at the history level: the broken retry that
+/// re-applies a sub-batch to failover GPUs while the primary retry also
+/// succeeds leaves one key freshly inserted on two devices — the history
+/// then has two `new_slot` insert responses for one key with no erase
+/// between them, which no linearization legalizes. Must be caught within
+/// the seed budget while the correct retry stays clean on every seed.
+#[test]
+fn broken_double_apply_is_flagged_non_linearizable() {
+    let budget = mutation_seeds();
+    let pairs: Vec<(u32, u32)> = (0..64u32).map(|i| (i * 7 + 1, i)).collect();
+    let run = |seed: u64, broken: bool| -> Option<Result<(), warpdrive::Violation>> {
+        let plan = gpu_sim::FaultPlan::default()
+            .with_seed(seed)
+            .with_launch_fail(0.3);
+        let devices: Vec<Arc<Device>> = (0..4)
+            .map(|i| Arc::new(Device::with_words(i, 1 << 14)))
+            .collect();
+        let mut cfg = Config::default().with_fault(plan);
+        if broken {
+            cfg = cfg.with_broken_double_apply_on_retry();
+        }
+        let mut d = DistributedHashMap::new(devices, 256, cfg, Topology::p100_quad(4)).unwrap();
+        let rec = Arc::new(HistoryRecorder::new());
+        d.set_recorder(Some(Arc::clone(&rec)));
+        d.insert_from_host(&pairs).ok()?;
+        Some(check_linearizable(&rec.events()))
+    };
+    let mut caught = None;
+    for seed in 0..budget {
+        if let Some(res) = run(seed, false) {
+            res.unwrap_or_else(|v| panic!("false positive at fault seed {seed}: {v}"));
+        }
+        if caught.is_none() && matches!(run(seed, true), Some(Err(_))) {
+            caught = Some(seed);
+        }
+    }
+    let seed = caught.unwrap_or_else(|| {
+        panic!("double-apply mutant survived {budget} fault seeds — checker has no teeth")
+    });
+    println!("double-apply mutant flagged non-linearizable at fault seed {seed}");
+}
+
 /// The mutation test: the broken probing variant must be *caught*. It
 /// skips the window reload after a failed claim CAS, so a key can land
 /// in two slots — the recorded history then contains two `new_slot`
