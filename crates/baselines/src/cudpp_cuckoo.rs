@@ -15,7 +15,7 @@
 //! Zipf experiment.
 
 use gpu_sim::{DevSlice, Device, GroupCtx, GroupSize, KernelStats, LaunchOptions};
-use hashes::{HashFn32, Hasher32, Translated};
+use hashes::{FastMod32, HashFn32, Hasher32, Translated};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use warpdrive::{key_of, pack, value_of, EMPTY};
@@ -46,6 +46,8 @@ pub struct CuckooHash {
     table: DevSlice,
     stash: DevSlice,
     capacity: usize,
+    /// Division-free `% capacity` for the per-attempt location lookup.
+    fm: FastMod32,
     hashes: [Translated; DEGREE],
     max_iter: u32,
     occupied: AtomicU64,
@@ -82,6 +84,7 @@ impl CuckooHash {
             table,
             stash,
             capacity,
+            fm: FastMod32::new(capacity as u64),
             hashes,
             max_iter,
             occupied: AtomicU64::new(0),
@@ -108,7 +111,7 @@ impl CuckooHash {
 
     #[inline]
     fn slot(&self, which: usize, key: u32) -> usize {
-        (self.hashes[which].hash(key) as usize) % self.capacity
+        self.fm.rem(u64::from(self.hashes[which].hash(key))) as usize
     }
 
     /// Which hash function placed `key` at `pos`, if any.

@@ -33,6 +33,8 @@ pub struct RobinHoodMap {
     dev: Arc<Device>,
     table: DevSlice,
     capacity: usize,
+    /// Division-free `% capacity` for the per-probe home computation.
+    fm: hashes::FastMod32,
     hash: Translated,
     max_probe: u32,
     occupied: AtomicU64,
@@ -51,6 +53,7 @@ impl RobinHoodMap {
             dev,
             table,
             capacity,
+            fm: hashes::FastMod32::new(capacity as u64),
             hash: Translated {
                 base: HashFn32::Murmur,
                 offset: seed,
@@ -74,12 +77,19 @@ impl RobinHoodMap {
 
     #[inline]
     fn home(&self, key: u32) -> usize {
-        (self.hash.hash(key) as usize) % self.capacity
+        self.fm.rem(u64::from(self.hash.hash(key))) as usize
     }
 
     #[inline]
     fn displacement(&self, key: u32, slot: usize) -> usize {
-        (slot + self.capacity - self.home(key)) % self.capacity
+        // slot and home are both < capacity, so the sum is < 2·capacity:
+        // one conditional subtraction, bit-identical to the modulo
+        let s = slot + self.capacity - self.home(key);
+        if s >= self.capacity {
+            s - self.capacity
+        } else {
+            s
+        }
     }
 
     /// Bulk insert. Duplicate keys update in place (the displacement
@@ -130,7 +140,10 @@ impl RobinHoodMap {
                         }
                         continue; // re-examine (possibly changed) slot
                     }
-                    pos = (pos + 1) % self.capacity;
+                    pos += 1;
+                    if pos == self.capacity {
+                        pos = 0;
+                    }
                     dist += 1;
                 }
                 failed.fetch_add(1, Relaxed);
@@ -177,7 +190,10 @@ impl RobinHoodMap {
                     if self.displacement(key_of(w), pos) + 8 < dist {
                         break;
                     }
-                    pos = (pos + 1) % self.capacity;
+                    pos += 1;
+                    if pos == self.capacity {
+                        pos = 0;
+                    }
                 }
                 ctx.write_stream(out, ctx.group_id(), EMPTY);
             },

@@ -19,7 +19,7 @@
 //! the kernel's simulated time.
 
 use gpu_sim::{DevSlice, Device, GroupCtx, GroupSize, KernelStats, LaunchOptions};
-use hashes::{DoubleHash, HashFamily};
+use hashes::{DoubleHash, FastMod32, HashFamily};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use warpdrive::{key_of, pack, value_of, EMPTY};
@@ -55,7 +55,9 @@ pub struct StadiumHash {
     dev: Arc<Device>,
     tickets: DevSlice,
     table: DevSlice,
-    capacity: usize,
+    /// Division-free `% capacity` for the per-attempt probe slot (also
+    /// carries the capacity itself via [`FastMod32::divisor`]).
+    fm: FastMod32,
     placement: TablePlacement,
     dh: DoubleHash,
     max_probe: u32,
@@ -84,7 +86,7 @@ impl StadiumHash {
             dev,
             tickets,
             table,
-            capacity,
+            fm: FastMod32::new(capacity as u64),
             placement,
             dh: DoubleHash::from_seed(seed ^ 0x57ad_1030),
             max_probe: (capacity as u32).min(4096),
@@ -106,7 +108,7 @@ impl StadiumHash {
 
     #[inline]
     fn probe_slot(&self, key: u32, attempt: u32) -> usize {
-        (self.dh.member(attempt, key) as usize) % self.capacity
+        self.fm.rem(u64::from(self.dh.member(attempt, key))) as usize
     }
 
     fn finish(&self, kernel: KernelStats, table_txns: u64, failed: u64) -> StadiumStats {

@@ -8,10 +8,7 @@
 //!
 //! Usage: `fig7 [--full] [--n <count>] [--seed <seed>]`
 
-use wd_bench::{
-    cuckoo_insert_retrieve, gops, single_gpu_insert_retrieve, table::TextTable, Opts,
-    PAPER_N_SINGLE,
-};
+use wd_bench::{gops, table::TextTable, Opts, SingleGpuBench, PAPER_N_SINGLE};
 use workloads::Distribution;
 
 /// The load-factor sweep of the figure's x-axis.
@@ -31,28 +28,18 @@ fn main() {
     let mut insert = TextTable::new(header.clone());
     let mut retrieve = TextTable::new(header);
 
+    // one fixture for the whole sweep: sized for the lowest load, staging
+    // arena reused at every point
+    let bench = SingleGpuBench::for_sweep(opts.n, LOADS[0]);
     for &load in &LOADS {
         let mut ins_row = vec![format!("{load:.2}")];
         let mut ret_row = vec![format!("{load:.2}")];
         for &g in &[1u32, 2, 4, 8, 16, 32] {
-            let m = single_gpu_insert_retrieve(
-                Distribution::Unique,
-                opts.n,
-                opts.modeled_n,
-                load,
-                g,
-                opts.seed,
-            );
+            let m = bench.warpdrive(Distribution::Unique, opts.modeled_n, load, g, opts.seed);
             ins_row.push(gops(m.insert_rate));
             ret_row.push(gops(m.retrieve_rate));
         }
-        let c = cuckoo_insert_retrieve(
-            Distribution::Unique,
-            opts.n,
-            opts.modeled_n,
-            load,
-            opts.seed,
-        );
+        let c = bench.cuckoo(Distribution::Unique, opts.modeled_n, load, opts.seed);
         let mark = if c.failed > 0 { "*" } else { "" };
         ins_row.push(format!("{}{mark}", gops(c.insert_rate)));
         ret_row.push(gops(c.retrieve_rate));

@@ -11,10 +11,7 @@
 //! Usage: `fig8 [--full] [--n <count>] [--seed <seed>]`
 
 use std::collections::HashSet;
-use wd_bench::{
-    cuckoo_insert_retrieve, gops, single_gpu_insert_retrieve, table::TextTable, Opts,
-    PAPER_N_SINGLE,
-};
+use wd_bench::{gops, table::TextTable, Opts, SingleGpuBench, PAPER_N_SINGLE};
 use workloads::Distribution;
 
 fn main() {
@@ -39,6 +36,9 @@ fn main() {
     let mut retrieve = TextTable::new(header);
 
     let dup_ratio = opts.n as f64 / distinct as f64;
+    // one fixture for the whole sweep; the cuckoo column's raw-count
+    // sizing at the lowest load needs the largest table
+    let bench = SingleGpuBench::for_sweep(opts.n, loads[0]);
     for &load in &loads {
         let mut ins_row = vec![format!("{load:.2}")];
         let mut ret_row = vec![format!("{load:.2}")];
@@ -46,19 +46,12 @@ fn main() {
             // size the table so *distinct* keys hit the target occupancy:
             // capacity = distinct/load ⇒ pass an effective target load of
             // load·(n/distinct) to the n-based runner
-            let m = single_gpu_insert_retrieve(
-                dist,
-                opts.n,
-                opts.modeled_n,
-                load * dup_ratio,
-                g,
-                opts.seed,
-            );
+            let m = bench.warpdrive(dist, opts.modeled_n, load * dup_ratio, g, opts.seed);
             ins_row.push(gops(m.insert_rate));
             ret_row.push(gops(m.retrieve_rate));
         }
         // CUDPP stores duplicates separately: raw-count sizing
-        let c = cuckoo_insert_retrieve(dist, opts.n, opts.modeled_n, load, opts.seed);
+        let c = bench.cuckoo(dist, opts.modeled_n, load, opts.seed);
         let mark = if c.failed > 0 { "!" } else { "" };
         ins_row.push(format!("{}{mark}", gops(c.insert_rate)));
         ret_row.push(gops(c.retrieve_rate));

@@ -24,6 +24,12 @@ const PAPER_NS: [u64; 2] = [1 << 28, 1 << 29];
 /// Runs one cascade pair and returns (insert seconds, retrieve seconds)
 /// at modeled scale for `n_model` total elements on `m` GPUs.
 fn tau(n_func: usize, n_model: u64, m: usize, seed: u64) -> (f64, f64) {
+    // Scratch audit: every call builds fresh devices and never calls
+    // `DeviceMemory::reset()`, so the outstanding-scratch panic cannot
+    // trigger mid-sweep — the cascade's transient ScratchGuards all drop
+    // inside `insert_device_sided`/`retrieve_device_sided`. Per-point
+    // device churn is acceptable here (m devices with distinct pool sizes
+    // per point; no shared fixture to reuse).
     let per_gpu_model = n_model / m as u64;
     let modeled_cap_bytes = ((per_gpu_model as f64 / LOAD).ceil() as u64) * 8;
     let per_gpu_func = n_func / m;

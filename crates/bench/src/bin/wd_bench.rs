@@ -1,0 +1,205 @@
+//! `wd-bench` — the host-performance runner behind `BENCH_perf.json`.
+//!
+//! Executes the paper's single-GPU insert/retrieve protocol (the Fig. 7
+//! grid, with a Fig. 8 Zipf point riding along) on one reusable fixture
+//! and reports *both* clocks per point: host wall-time (what this
+//! machine actually spent — the perf-gate signal) and modeled device
+//! rates with full counter snapshots (which must stay bit-identical
+//! across host-side optimizations). A table-build-free host microbench
+//! isolates raw kernel throughput from allocation effects.
+//!
+//! Usage:
+//!   wd-bench [--quick] [--n <count>] [--seed <seed>] [--out <path>]
+//!   wd-bench --validate <report.json>
+//!   wd-bench --compare <new.json> <baseline.json>
+//!
+//! `--validate` checks a report against the `wd-bench-perf/v1` schema
+//! (exit 1 on violation). `--compare` prints host-rate deltas between two
+//! reports and always exits 0 — wall-clock on shared CI runners is noisy,
+//! so the delta is advisory, never a gate.
+
+use std::time::Instant;
+use wd_bench::perf::{host_rate_deltas, parse, validate_perf, Json, PERF_SCHEMA};
+use wd_bench::{SingleGpuBench, PAPER_N_SINGLE};
+use workloads::Distribution;
+
+/// Fig. 7 load-factor axis.
+const LOADS_FULL: [f64; 9] = [0.40, 0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95, 0.97];
+/// Group sizes of the full grid.
+const GROUPS_FULL: [u32; 6] = [1, 2, 4, 8, 16, 32];
+/// Reduced grid for `--quick` (CI smoke).
+const LOADS_QUICK: [f64; 3] = [0.50, 0.80, 0.95];
+/// Group sizes for `--quick`.
+const GROUPS_QUICK: [u32; 3] = [1, 4, 16];
+
+fn counters_json(c: &gpu_sim::CounterSnapshot) -> Json {
+    Json::obj(vec![
+        ("transactions", Json::Num(c.transactions as f64)),
+        ("stream_bytes", Json::Num(c.stream_bytes as f64)),
+        ("cas_ops", Json::Num(c.cas_ops as f64)),
+        ("cas_failed", Json::Num(c.cas_failed as f64)),
+        ("atomic_ops", Json::Num(c.atomic_ops as f64)),
+        ("cold_atomics", Json::Num(c.cold_atomics as f64)),
+        ("group_steps", Json::Num(c.group_steps as f64)),
+        ("groups", Json::Num(c.groups as f64)),
+    ])
+}
+
+fn grab(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn read_doc(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("{path}: malformed JSON: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = grab(&args, "--validate") {
+        let doc = read_doc(&path);
+        match validate_perf(&doc) {
+            Ok(()) => println!("{path}: valid {PERF_SCHEMA}"),
+            Err(errs) => {
+                eprintln!("{path}: schema violations:\n{errs}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if let Some(new_path) = grab(&args, "--compare") {
+        let base_path = args
+            .iter()
+            .position(|a| a == "--compare")
+            .and_then(|i| args.get(i + 2))
+            .expect("--compare <new.json> <baseline.json>");
+        let new_doc = read_doc(&new_path);
+        let base_doc = read_doc(base_path);
+        let rows = host_rate_deltas(&base_doc, &new_doc);
+        if rows.is_empty() {
+            println!("no shared sweep points between {base_path} and {new_path}");
+        }
+        for (k, old, new) in rows {
+            let ratio = if old > 0.0 { new / old } else { f64::NAN };
+            println!("{k}: {old:.3e} -> {new:.3e} ops/s ({ratio:.2}x)");
+        }
+        println!("(advisory only: host wall-clock on shared runners is noisy)");
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = grab(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let n: usize = grab(&args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 << 14 } else { 1 << 16 });
+    let out_path = grab(&args, "--out").unwrap_or_else(|| "BENCH_perf.json".to_owned());
+
+    let (loads, groups): (&[f64], &[u32]) = if quick {
+        (&LOADS_QUICK, &GROUPS_QUICK)
+    } else {
+        (&LOADS_FULL, &GROUPS_FULL)
+    };
+
+    eprintln!(
+        "wd-bench: n = {n}, seed = {seed}, {} sweep ({} points)",
+        if quick { "quick" } else { "full" },
+        loads.len() * groups.len()
+    );
+
+    let bench = SingleGpuBench::for_sweep(n, loads[0]);
+    let mut sweep = Vec::new();
+    for &load in loads {
+        for &g in groups {
+            let m = bench.warpdrive(Distribution::Unique, PAPER_N_SINGLE, load, g, seed);
+            // host ops/s: insert + retrieve of n pairs each over the
+            // measured host wall time of the whole point
+            let host_ops = 2.0 * n as f64 / m.host_wall_s.max(1e-12);
+            sweep.push(Json::obj(vec![
+                ("load", Json::Num(load)),
+                ("group_size", Json::Num(f64::from(g))),
+                ("host_wall_s", Json::Num(m.host_wall_s)),
+                ("insert_host_ops_s", Json::Num(host_ops / 2.0)),
+                ("retrieve_host_ops_s", Json::Num(host_ops / 2.0)),
+                ("insert_modeled_ops_s", Json::Num(m.insert_rate)),
+                ("retrieve_modeled_ops_s", Json::Num(m.retrieve_rate)),
+                ("insert_sim_s", Json::Num(m.insert_sim_s)),
+                ("retrieve_sim_s", Json::Num(m.retrieve_sim_s)),
+                ("insert_counters", counters_json(&m.insert_counters)),
+                ("retrieve_counters", counters_json(&m.retrieve_counters)),
+            ]));
+        }
+    }
+
+    // Fig. 8 rider: one Zipf point — duplicate-heavy keys stress the
+    // update path the unique sweep never takes.
+    let zipf = bench.warpdrive(Distribution::paper_zipf(), PAPER_N_SINGLE, 0.80, 16, seed);
+
+    // Host microbench: repeat one mid-grid point and keep the fastest
+    // pass — table build, h2d and kernels, no input generation. The
+    // fastest-of-k filter strips scheduler noise from the shared runner.
+    let micro_rounds = if quick { 3 } else { 5 };
+    let mut best_wall = f64::INFINITY;
+    for _ in 0..micro_rounds {
+        let wall = Instant::now();
+        let _ = bench.warpdrive(Distribution::Unique, PAPER_N_SINGLE, 0.80, 4, seed);
+        best_wall = best_wall.min(wall.elapsed().as_secs_f64());
+    }
+    let micro_ops_s = 2.0 * n as f64 / best_wall.max(1e-12);
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str(PERF_SCHEMA.into())),
+        (
+            "machine",
+            Json::obj(vec![
+                ("os", Json::Str(std::env::consts::OS.into())),
+                ("arch", Json::Str(std::env::consts::ARCH.into())),
+                (
+                    "threads",
+                    Json::Num(rayon::current_num_threads() as f64),
+                ),
+            ]),
+        ),
+        (
+            "run",
+            Json::obj(vec![
+                ("quick", Json::Bool(quick)),
+                ("n", Json::Num(n as f64)),
+                ("modeled_n", Json::Num(PAPER_N_SINGLE as f64)),
+                ("seed", Json::Num(seed as f64)),
+            ]),
+        ),
+        ("sweep", Json::Arr(sweep)),
+        (
+            "zipf_point",
+            Json::obj(vec![
+                ("load", Json::Num(zipf.load)),
+                ("group_size", Json::Num(f64::from(zipf.group_size))),
+                ("host_wall_s", Json::Num(zipf.host_wall_s)),
+                ("insert_modeled_ops_s", Json::Num(zipf.insert_rate)),
+                ("retrieve_modeled_ops_s", Json::Num(zipf.retrieve_rate)),
+                ("insert_counters", counters_json(&zipf.insert_counters)),
+                ("retrieve_counters", counters_json(&zipf.retrieve_counters)),
+            ]),
+        ),
+        (
+            "host_microbench",
+            Json::obj(vec![
+                ("point", Json::Str("unique load=0.80 g=4".into())),
+                ("rounds", Json::Num(f64::from(micro_rounds))),
+                ("best_wall_s", Json::Num(best_wall)),
+                ("ops_s", Json::Num(micro_ops_s)),
+            ]),
+        ),
+    ]);
+
+    validate_perf(&doc).expect("self-emitted report must satisfy the schema");
+    std::fs::write(&out_path, doc.pretty())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wd-bench: wrote {out_path} (host microbench: {micro_ops_s:.3e} ops/s)");
+}

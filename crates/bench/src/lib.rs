@@ -11,12 +11,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
 pub mod runner;
 pub mod table;
 
 pub use runner::{
     cuckoo_insert_retrieve, scaled_rate, single_gpu_insert_retrieve, CuckooMeasurement,
-    SingleGpuMeasurement,
+    SingleGpuBench, SingleGpuMeasurement,
 };
 
 use std::sync::Arc;

@@ -1,0 +1,531 @@
+//! Schema-versioned perf-report JSON (`BENCH_perf.json`).
+//!
+//! The container has no JSON dependency (the workspace `serde` shim is
+//! compile-only), so this module hand-rolls the three pieces the perf
+//! pipeline needs: a [`Json`] value tree with a deterministic pretty
+//! printer, a recursive-descent parser for reading reports back (CI
+//! validation and baseline comparison), and [`validate_perf`], the
+//! structural check for the `wd-bench-perf/v1` schema emitted by the
+//! `wd-bench` binary.
+//!
+//! Printer determinism matters: object keys keep insertion order and
+//! floats print via Rust's shortest-roundtrip `Display`, so identical
+//! measurements produce byte-identical reports (reviewable diffs).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema identifier emitted in — and required of — every perf report.
+pub const PERF_SCHEMA: &str = "wd-bench-perf/v1";
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (JSON has no NaN/Inf; printing panics on them).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion order is preserved for printing.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Object field lookup (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number held, if this is a `Num`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string held, if this is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements held, if this is an `Arr`.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    ///
+    /// # Panics
+    /// Panics on non-finite numbers — the report builder must not emit
+    /// NaN/Inf (JSON cannot represent them).
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        let close = "  ".repeat(depth);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                assert!(x.is_finite(), "non-finite number in perf report");
+                // shortest-roundtrip float; integers print without ".0"
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document (strict enough for round-tripping our own
+/// reports; rejects trailing garbage).
+///
+/// # Errors
+/// Returns a human-readable message with the byte offset on malformed
+/// input.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut s = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        s.push(char::from_u32(cp).ok_or("bad \\u code point")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // advance one UTF-8 scalar
+                let tail = &b[*pos..];
+                let ch = std::str::from_utf8(&tail[..tail.len().min(4)])
+                    .map_or_else(|e| if e.valid_up_to() > 0 { Ok(()) } else { Err(()) }, |_| Ok(()))
+                    .and_then(|()| {
+                        std::str::from_utf8(&tail[..tail.len().min(4)])
+                            .ok()
+                            .and_then(|t| t.chars().next())
+                            .ok_or(())
+                    })
+                    .map_err(|()| "invalid UTF-8 in string".to_string())?;
+                s.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+/// Required numeric fields per section of the `wd-bench-perf/v1` schema.
+const SECTIONS: &[(&str, &[&str])] = &[
+    ("machine", &["threads"]),
+    ("run", &["n", "modeled_n", "seed"]),
+];
+
+/// Structurally validates a `wd-bench-perf/v1` report.
+///
+/// # Errors
+/// Returns every violation found (missing sections, wrong types, negative
+/// rates, empty sweeps) as one message per line.
+pub fn validate_perf(doc: &Json) -> Result<(), String> {
+    let mut errs: Vec<String> = Vec::new();
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(PERF_SCHEMA) => {}
+        Some(other) => errs.push(format!("schema is {other:?}, want {PERF_SCHEMA:?}")),
+        None => errs.push("missing string field `schema`".into()),
+    }
+    for &(section, fields) in SECTIONS {
+        match doc.get(section) {
+            None => errs.push(format!("missing object `{section}`")),
+            Some(obj) => {
+                for f in fields {
+                    if obj.get(f).and_then(Json::as_f64).is_none() {
+                        errs.push(format!("missing numeric `{section}.{f}`"));
+                    }
+                }
+            }
+        }
+    }
+    for s in ["os", "arch"] {
+        if doc
+            .get("machine")
+            .and_then(|m| m.get(s))
+            .and_then(Json::as_str)
+            .is_none()
+        {
+            errs.push(format!("missing string `machine.{s}`"));
+        }
+    }
+    match doc.get("sweep").and_then(Json::as_arr) {
+        None => errs.push("missing array `sweep`".into()),
+        Some([]) => errs.push("`sweep` is empty".into()),
+        Some(points) => {
+            for (i, p) in points.iter().enumerate() {
+                for f in [
+                    "load",
+                    "group_size",
+                    "insert_host_ops_s",
+                    "retrieve_host_ops_s",
+                    "insert_modeled_ops_s",
+                    "retrieve_modeled_ops_s",
+                ] {
+                    match p.get(f).and_then(Json::as_f64) {
+                        None => errs.push(format!("sweep[{i}]: missing numeric `{f}`")),
+                        Some(x) if x < 0.0 => {
+                            errs.push(format!("sweep[{i}]: negative `{f}`"));
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if p.get("insert_counters").is_none() || p.get("retrieve_counters").is_none() {
+                    errs.push(format!("sweep[{i}]: missing counter snapshots"));
+                }
+            }
+        }
+    }
+    if doc.get("host_microbench").is_none() {
+        errs.push("missing object `host_microbench`".into());
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs.join("\n"))
+    }
+}
+
+/// Compares the shared numeric leaves of two reports, returning
+/// `(path, old, new, ratio)` rows for every host-throughput field. Used
+/// by the advisory CI delta (never a hard gate — wall-clock on shared
+/// runners is noisy).
+#[must_use]
+pub fn host_rate_deltas(baseline: &Json, current: &Json) -> Vec<(String, f64, f64)> {
+    let mut rows = Vec::new();
+    let collect = |doc: &Json| -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        if let Some(points) = doc.get("sweep").and_then(Json::as_arr) {
+            for p in points {
+                let (Some(load), Some(g)) = (
+                    p.get("load").and_then(Json::as_f64),
+                    p.get("group_size").and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                for f in ["insert_host_ops_s", "retrieve_host_ops_s"] {
+                    if let Some(x) = p.get(f).and_then(Json::as_f64) {
+                        m.insert(format!("sweep[load={load},g={g}].{f}"), x);
+                    }
+                }
+            }
+        }
+        m
+    };
+    let old = collect(baseline);
+    let new = collect(current);
+    for (k, ov) in &old {
+        if let Some(nv) = new.get(k) {
+            rows.push((k.clone(), *ov, *nv));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_report() -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(PERF_SCHEMA.into())),
+            (
+                "machine",
+                Json::obj(vec![
+                    ("os", Json::Str("linux".into())),
+                    ("arch", Json::Str("x86_64".into())),
+                    ("threads", Json::Num(1.0)),
+                ]),
+            ),
+            (
+                "run",
+                Json::obj(vec![
+                    ("n", Json::Num(1024.0)),
+                    ("modeled_n", Json::Num(1e8)),
+                    ("seed", Json::Num(42.0)),
+                ]),
+            ),
+            (
+                "sweep",
+                Json::Arr(vec![Json::obj(vec![
+                    ("load", Json::Num(0.8)),
+                    ("group_size", Json::Num(4.0)),
+                    ("insert_host_ops_s", Json::Num(1e6)),
+                    ("retrieve_host_ops_s", Json::Num(2e6)),
+                    ("insert_modeled_ops_s", Json::Num(1e9)),
+                    ("retrieve_modeled_ops_s", Json::Num(2e9)),
+                    ("insert_counters", Json::obj(vec![("transactions", Json::Num(3.0))])),
+                    ("retrieve_counters", Json::obj(vec![("transactions", Json::Num(2.0))])),
+                ])]),
+            ),
+            ("host_microbench", Json::obj(vec![("ops_s", Json::Num(5e6))])),
+        ])
+    }
+
+    #[test]
+    fn pretty_parse_round_trip() {
+        let doc = minimal_report();
+        let text = doc.pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn valid_report_passes() {
+        validate_perf(&minimal_report()).unwrap();
+    }
+
+    #[test]
+    fn missing_schema_and_sweep_are_reported() {
+        let doc = Json::obj(vec![("machine", Json::obj(vec![]))]);
+        let err = validate_perf(&doc).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        assert!(err.contains("sweep"), "{err}");
+    }
+
+    #[test]
+    fn wrong_schema_version_rejected() {
+        let mut doc = minimal_report();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs[0].1 = Json::Str("wd-bench-perf/v0".into());
+        }
+        assert!(validate_perf(&doc).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let doc = Json::Str("a\"b\\c\nd\te\u{1}".into());
+        assert_eq!(parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::Num(65536.0).pretty(), "65536\n");
+        assert_eq!(Json::Num(0.8).pretty(), "0.8\n");
+    }
+
+    #[test]
+    fn host_rate_deltas_pairs_shared_points() {
+        let a = minimal_report();
+        let rows = host_rate_deltas(&a, &a);
+        assert_eq!(rows.len(), 2);
+        for (_, o, n) in rows {
+            assert_eq!(o, n);
+        }
+    }
+}

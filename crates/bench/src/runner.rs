@@ -1,6 +1,18 @@
 //! Experiment runners shared by the figure binaries.
+//!
+//! Sweeps reuse one [`SingleGpuBench`] across all their measurement
+//! points: the device pool is sized once for the worst-case (lowest-load)
+//! point, the `3n`-word staging buffer lives in the device's scratch
+//! arena (which survives [`gpu_sim::DeviceMemory::reset`]), and each point
+//! just resets the bump allocator. This removes the per-point
+//! allocate+zero of tens of megabytes that used to dominate host
+//! wall-clock — and because the pool size never feeds the timing model,
+//! modeled rates are bit-identical to the old fresh-device-per-point path.
 
 use crate::p100_with_words;
+use gpu_sim::{CounterSnapshot, DevSlice, Device, Schedule};
+use std::sync::Arc;
+use std::time::Instant;
 use warpdrive::{pack, Config, GpuHashMap};
 use workloads::Distribution;
 
@@ -19,12 +31,183 @@ pub struct SingleGpuMeasurement {
     pub insert_steps: f64,
     /// Mean probing windows per query (diagnostic).
     pub retrieve_steps: f64,
+    /// Modeled insert kernel time, seconds (functional scale).
+    pub insert_sim_s: f64,
+    /// Modeled retrieve kernel time, seconds (functional scale).
+    pub retrieve_sim_s: f64,
+    /// Insert kernel counter totals.
+    pub insert_counters: CounterSnapshot,
+    /// Retrieve kernel counter totals.
+    pub retrieve_counters: CounterSnapshot,
+    /// Host wall-clock for the whole point (table build + insert +
+    /// retrieve, excluding input generation), seconds.
+    pub host_wall_s: f64,
 }
 
-/// Runs the paper's single-GPU protocol (§V-B): insert `n` pairs of the
-/// given distribution into a table sized for `load`, then retrieve all of
-/// them; report simulated rates. `modeled_n` drives the >2 GB artifact at
-/// paper scale.
+/// Reusable single-GPU measurement fixture: one device + staging arena
+/// shared by every point of a sweep.
+#[derive(Debug)]
+pub struct SingleGpuBench {
+    dev: Arc<Device>,
+    n: usize,
+    arena: DevSlice,
+    schedule: Option<Schedule>,
+}
+
+impl SingleGpuBench {
+    /// Builds a fixture able to measure any point with `load >= min_load`
+    /// at functional scale `n` (the lowest load needs the largest table).
+    ///
+    /// # Panics
+    /// Panics when the worst-case pool does not fit (callers pick
+    /// functional scales far below VRAM).
+    #[must_use]
+    pub fn for_sweep(n: usize, min_load: f64) -> Self {
+        let max_capacity = (n as f64 / min_load).ceil() as usize;
+        // worst-case resident set of one point: table (max at min_load) +
+        // the 3n-word arena + 2n transient scratch for the cuckoo
+        // baseline's staging (its retrieve stages keys and results)
+        let dev = p100_with_words(0, max_capacity + 5 * n + 2048);
+        let arena = dev.arena_reserve(3 * n).expect("bench staging arena");
+        Self {
+            dev,
+            n,
+            arena,
+            schedule: None,
+        }
+    }
+
+    /// Pins the group schedule for every point this fixture measures
+    /// (default: the environment's schedule, see
+    /// [`gpu_sim::Schedule::from_env`]). Determinism tests pin
+    /// [`Schedule::Sequential`] or a seeded schedule so counter totals are
+    /// reproducible bit for bit.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Functional element count per point.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The device the fixture measures on.
+    #[must_use]
+    pub fn device(&self) -> &Arc<Device> {
+        &self.dev
+    }
+
+    /// Runs the paper's single-GPU protocol (§V-B) for one point: insert
+    /// `n` pairs of the given distribution into a table sized for `load`,
+    /// then retrieve all of them; report simulated rates plus host
+    /// wall-clock. `modeled_n` drives the >2 GB artifact at paper scale.
+    ///
+    /// # Panics
+    /// Panics if insertion fails (probing exhaustion) — callers choose
+    /// loads the scheme supports.
+    #[must_use]
+    pub fn warpdrive(
+        &self,
+        dist: Distribution,
+        modeled_n: u64,
+        load: f64,
+        group_size: u32,
+        seed: u64,
+    ) -> SingleGpuMeasurement {
+        let n = self.n;
+        // `load` may exceed 1 for duplicate-heavy distributions: it is the
+        // ratio of *elements* to capacity; occupancy stays below 1 because
+        // duplicates update in place (Fig. 8's "actual occupancy"
+        // semantics)
+        let capacity = (n as f64 / load).ceil() as usize;
+        let modeled_capacity_bytes = ((modeled_n as f64 / load).ceil() as u64) * 8;
+
+        // input generation is not part of the measured protocol
+        let pairs = dist.generate(n, seed);
+        let words: Vec<u64> = pairs.iter().map(|&(k, v)| pack(k, v)).collect();
+        let queries: Vec<u64> = pairs.iter().map(|&(k, _)| u64::from(k) << 32).collect();
+
+        let wall = Instant::now();
+        self.dev.mem().reset(); // arena survives; bump region reclaimed
+        let mut cfg = Config::default()
+            .with_group_size(group_size)
+            .with_modeled_capacity(modeled_capacity_bytes);
+        if let Some(s) = self.schedule {
+            cfg = cfg.with_schedule(s);
+        }
+        let map = GpuHashMap::new(self.dev.clone(), capacity, cfg).expect("table allocation");
+
+        let in_slice = self.arena.sub(0, n);
+        self.dev.mem().h2d(in_slice, &words);
+        let ins = map
+            .insert_device(in_slice, n)
+            .unwrap_or_else(|e| panic!("insert failed at load {load}, |g| = {group_size}: {e}"));
+
+        // retrieval of all inserted keys, device-sided
+        let q_slice = self.arena.sub(n, n);
+        let out_slice = self.arena.sub(2 * n, n);
+        self.dev.mem().h2d(q_slice, &queries);
+        let ret = map.retrieve_device(q_slice, out_slice, n);
+        let host_wall_s = wall.elapsed().as_secs_f64();
+
+        let overhead = self.dev.spec().launch_overhead;
+        SingleGpuMeasurement {
+            load,
+            group_size,
+            insert_rate: scaled_rate(ins.stats.sim_time, overhead, n, modeled_n),
+            retrieve_rate: scaled_rate(ret.sim_time, overhead, n, modeled_n),
+            insert_steps: ins.stats.counters.steps_per_group(),
+            retrieve_steps: ret.counters.steps_per_group(),
+            insert_sim_s: ins.stats.sim_time,
+            retrieve_sim_s: ret.sim_time,
+            insert_counters: ins.stats.counters,
+            retrieve_counters: ret.counters,
+            host_wall_s,
+        }
+    }
+
+    /// Runs the §V-B protocol against the CUDPP cuckoo baseline on the
+    /// shared fixture.
+    #[must_use]
+    pub fn cuckoo(
+        &self,
+        dist: Distribution,
+        modeled_n: u64,
+        load: f64,
+        seed: u64,
+    ) -> CuckooMeasurement {
+        use baselines::CuckooHash;
+        let n = self.n;
+        let capacity = (n as f64 / load).ceil() as usize;
+        let pairs = dist.generate(n, seed);
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+
+        let wall = Instant::now();
+        self.dev.mem().reset();
+        let table =
+            CuckooHash::new(self.dev.clone(), capacity, seed as u32).expect("cuckoo allocation");
+        let ins = table.insert_pairs(&pairs);
+        let (_, ret) = table.retrieve(&keys);
+        let host_wall_s = wall.elapsed().as_secs_f64();
+
+        let overhead = self.dev.spec().launch_overhead;
+        CuckooMeasurement {
+            load,
+            insert_rate: scaled_rate(ins.stats.sim_time, overhead, n, modeled_n),
+            retrieve_rate: scaled_rate(ret.sim_time, overhead, n, modeled_n),
+            insert_steps: ins.stats.counters.steps_per_group(),
+            failed: ins.failed,
+            host_wall_s,
+        }
+    }
+}
+
+/// One-shot wrapper around [`SingleGpuBench::warpdrive`]: builds a fixture
+/// for exactly this point and measures it. Sweeps should hold a
+/// [`SingleGpuBench`] instead to amortize the device across points.
 ///
 /// # Panics
 /// Panics if insertion fails (probing exhaustion) — callers choose loads
@@ -38,43 +221,7 @@ pub fn single_gpu_insert_retrieve(
     group_size: u32,
     seed: u64,
 ) -> SingleGpuMeasurement {
-    // `load` may exceed 1 for duplicate-heavy distributions: it is the
-    // ratio of *elements* to capacity; occupancy stays below 1 because
-    // duplicates update in place (Fig. 8's "actual occupancy" semantics)
-    let capacity = (n as f64 / load).ceil() as usize;
-    let modeled_capacity_bytes = ((modeled_n as f64 / load).ceil() as u64) * 8;
-    let dev = p100_with_words(0, capacity + 3 * n + 1024);
-    let cfg = Config::default()
-        .with_group_size(group_size)
-        .with_modeled_capacity(modeled_capacity_bytes);
-    let map = GpuHashMap::new(dev.clone(), capacity, cfg).expect("table allocation");
-
-    let pairs = dist.generate(n, seed);
-    let words: Vec<u64> = pairs.iter().map(|&(k, v)| pack(k, v)).collect();
-    let input = dev.alloc_scratch(3 * n).expect("bench scratch");
-    let in_slice = input.slice().sub(0, n);
-    dev.mem().h2d(in_slice, &words);
-
-    let ins = map
-        .insert_device(in_slice, n)
-        .unwrap_or_else(|e| panic!("insert failed at load {load}, |g| = {group_size}: {e}"));
-
-    // retrieval of all inserted keys, device-sided
-    let q_slice = input.slice().sub(n, n);
-    let out_slice = input.slice().sub(2 * n, n);
-    let queries: Vec<u64> = pairs.iter().map(|&(k, _)| u64::from(k) << 32).collect();
-    dev.mem().h2d(q_slice, &queries);
-    let ret = map.retrieve_device(q_slice, out_slice, n);
-
-    let overhead = dev.spec().launch_overhead;
-    SingleGpuMeasurement {
-        load,
-        group_size,
-        insert_rate: scaled_rate(ins.stats.sim_time, overhead, n, modeled_n),
-        retrieve_rate: scaled_rate(ret.sim_time, overhead, n, modeled_n),
-        insert_steps: ins.stats.counters.steps_per_group(),
-        retrieve_steps: ret.counters.steps_per_group(),
-    }
+    SingleGpuBench::for_sweep(n, load).warpdrive(dist, modeled_n, load, group_size, seed)
 }
 
 /// Converts a functional-scale kernel time into the modeled-scale rate:
@@ -102,9 +249,11 @@ pub struct CuckooMeasurement {
     pub insert_steps: f64,
     /// Pairs that could not be placed.
     pub failed: u64,
+    /// Host wall-clock for the point, seconds.
+    pub host_wall_s: f64,
 }
 
-/// Runs the §V-B protocol against the CUDPP cuckoo baseline.
+/// One-shot wrapper around [`SingleGpuBench::cuckoo`].
 #[must_use]
 pub fn cuckoo_insert_retrieve(
     dist: Distribution,
@@ -113,22 +262,7 @@ pub fn cuckoo_insert_retrieve(
     load: f64,
     seed: u64,
 ) -> CuckooMeasurement {
-    use baselines::CuckooHash;
-    let capacity = (n as f64 / load).ceil() as usize;
-    let dev = p100_with_words(0, capacity + 3 * n + 1024);
-    let table = CuckooHash::new(dev.clone(), capacity, seed as u32).expect("cuckoo allocation");
-    let pairs = dist.generate(n, seed);
-    let ins = table.insert_pairs(&pairs);
-    let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-    let (_, ret) = table.retrieve(&keys);
-    let overhead = dev.spec().launch_overhead;
-    CuckooMeasurement {
-        load,
-        insert_rate: scaled_rate(ins.stats.sim_time, overhead, n, modeled_n),
-        retrieve_rate: scaled_rate(ret.sim_time, overhead, n, modeled_n),
-        insert_steps: ins.stats.counters.steps_per_group(),
-        failed: ins.failed,
-    }
+    SingleGpuBench::for_sweep(n, load).cuckoo(dist, modeled_n, load, seed)
 }
 
 #[cfg(test)]
@@ -144,6 +278,7 @@ mod tests {
             "retrieve should beat insert"
         );
         assert!(m.insert_steps >= 1.0);
+        assert!(m.host_wall_s > 0.0);
     }
 
     #[test]
@@ -152,5 +287,27 @@ mod tests {
         let hi = single_gpu_insert_retrieve(Distribution::Unique, 1 << 14, 1 << 27, 0.97, 8, 1);
         assert!(hi.insert_rate < lo.insert_rate);
         assert!(hi.insert_steps > lo.insert_steps);
+    }
+
+    #[test]
+    fn fixture_reuse_is_bit_identical_to_fresh_devices() {
+        // The whole point of the arena path: resetting and re-measuring on
+        // one device must reproduce the one-shot (fresh device) modeled
+        // numbers bit for bit, including a repeat of the same point.
+        let bench = SingleGpuBench::for_sweep(1 << 12, 0.5).with_schedule(Schedule::Sequential);
+        let a = bench.warpdrive(Distribution::Unique, 1 << 27, 0.8, 4, 7);
+        let _mid = bench.warpdrive(Distribution::Unique, 1 << 27, 0.5, 16, 7);
+        let b = bench.warpdrive(Distribution::Unique, 1 << 27, 0.8, 4, 7);
+        let fresh = SingleGpuBench::for_sweep(1 << 12, 0.8)
+            .with_schedule(Schedule::Sequential)
+            .warpdrive(Distribution::Unique, 1 << 27, 0.8, 4, 7);
+        for (x, y) in [(&a, &b), (&a, &fresh)] {
+            assert_eq!(x.insert_rate.to_bits(), y.insert_rate.to_bits());
+            assert_eq!(x.retrieve_rate.to_bits(), y.retrieve_rate.to_bits());
+            assert_eq!(x.insert_sim_s.to_bits(), y.insert_sim_s.to_bits());
+            assert_eq!(x.retrieve_sim_s.to_bits(), y.retrieve_sim_s.to_bits());
+            assert_eq!(x.insert_counters, y.insert_counters);
+            assert_eq!(x.retrieve_counters, y.retrieve_counters);
+        }
     }
 }

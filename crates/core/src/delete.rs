@@ -74,7 +74,7 @@ fn erase_one_aos(ctx: &GroupCtx, table: &TableRef, prober: &Prober, p_max: u32, 
             loop {
                 let hit = ctx.ballot(|r| key_of(window.lane(r)) == key);
                 if let Some(r) = GroupCtx::ffs(hit) {
-                    let idx = (base + r as usize) % cap;
+                    let idx = crate::probing::wrap_slot(base, r as usize, cap);
                     if ctx.cas(data, idx, window.lane(r), TOMBSTONE).is_ok() {
                         return true;
                     }
@@ -102,7 +102,7 @@ fn erase_one_soa(ctx: &GroupCtx, table: &TableRef, prober: &Prober, p_max: u32, 
             let window = ctx.read_window(keys, base);
             let hit = ctx.ballot(|r| soa_key_of(window.lane(r)) == Some(key));
             if let Some(r) = GroupCtx::ffs(hit) {
-                let idx = (base + r as usize) % cap;
+                let idx = crate::probing::wrap_slot(base, r as usize, cap);
                 // exclusive access (global barrier) makes a plain CAS
                 // against the known key word sufficient
                 if ctx.cas(keys, idx, window.lane(r), TOMBSTONE).is_ok() {

@@ -155,7 +155,7 @@ fn insert_one_aos(
                 // update path: our key already lives in this window
                 let dup = ctx.ballot(|r| key_of(window.lane(r)) == key);
                 if let Some(r) = GroupCtx::ffs(dup) {
-                    let idx = (base + r as usize) % cap;
+                    let idx = crate::probing::wrap_slot(base, r as usize, cap);
                     if ctx.cas(data, idx, window.lane(r), word).is_ok() {
                         return GroupResult::Updated;
                     }
@@ -168,7 +168,7 @@ fn insert_one_aos(
                 let Some(r) = GroupCtx::ffs(mask) else {
                     break; // window exhausted → next window
                 };
-                let idx = (base + r as usize) % cap;
+                let idx = crate::probing::wrap_slot(base, r as usize, cap);
                 let expected = window.lane(r);
                 if ctx.cas(data, idx, expected, word).is_ok() {
                     // g.any(success) — all members exit
@@ -233,7 +233,7 @@ fn insert_one_soa(
             loop {
                 let dup = ctx.ballot(|r| soa_key_of(window.lane(r)) == Some(key));
                 if let Some(r) = GroupCtx::ffs(dup) {
-                    let idx = (base + r as usize) % cap;
+                    let idx = crate::probing::wrap_slot(base, r as usize, cap);
                     // relaxed value overwrite: last writer wins, but two
                     // racing updaters may interleave with readers — the
                     // shared annotation tells racecheck this is by design
@@ -244,7 +244,7 @@ fn insert_one_soa(
                 let Some(r) = GroupCtx::ffs(mask) else {
                     break;
                 };
-                let idx = (base + r as usize) % cap;
+                let idx = crate::probing::wrap_slot(base, r as usize, cap);
                 let expected = window.lane(r);
                 if ctx.cas(keys, idx, expected, u64::from(key)).is_ok() {
                     if muts.publish_plain_store {

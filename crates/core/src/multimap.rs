@@ -125,7 +125,7 @@ impl GpuMultiMap {
                             // claim the leftmost vacant slot; no update path
                             let mask = ctx.ballot(|r| is_vacant(window.lane(r)));
                             let Some(r) = GroupCtx::ffs(mask) else { break };
-                            let idx = (base + r as usize) % cap;
+                            let idx = crate::probing::wrap_slot(base, r as usize, cap);
                             if ctx.cas(table, idx, window.lane(r), word).is_ok() {
                                 inserted.fetch_add(1, Relaxed);
                                 claimed = true;
@@ -202,7 +202,7 @@ impl GpuMultiMap {
                         let window = ctx.read_window(table, base);
                         for (r, w) in window.iter() {
                             if key_of(w) == key {
-                                hits.push(((base + r as usize) % cap, value_of(w)));
+                                hits.push((crate::probing::wrap_slot(base, r as usize, cap), value_of(w)));
                             }
                         }
                         if ctx.any(|r| is_empty_slot(window.lane(r))) {

@@ -13,7 +13,7 @@
 //! size of g is varied over time", §IV-A).
 
 use crate::config::ProbingScheme;
-use hashes::{DoubleHash, HashFamily};
+use hashes::{DoubleHash, FastMod32, HashFamily};
 
 /// Width of one outer attempt's span in slots (a traditional warp).
 pub const SPAN: u64 = 32;
@@ -21,12 +21,31 @@ pub const SPAN: u64 = 32;
 /// Slots per 32-byte memory sector (probe starts align to this).
 pub const SECTOR_SLOTS: u64 = 4;
 
+/// `(base + r) % cap` for a window-local lane offset: `base` is already
+/// reduced modulo `cap` and `r` is a lane rank (< 32 ≤ cap), so a single
+/// conditional subtraction is bit-identical to the modulo without the
+/// hardware division every probed slot would otherwise pay.
+#[inline]
+pub(crate) fn wrap_slot(base: usize, r: usize, cap: usize) -> usize {
+    debug_assert!(base < cap && r < cap);
+    let s = base + r;
+    if s >= cap {
+        s - cap
+    } else {
+        s
+    }
+}
+
 /// Probing-sequence generator for one map configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct Prober {
     dh: DoubleHash,
     scheme: ProbingScheme,
     capacity: u64,
+    /// Division-free `% capacity` (bit-identical to `%`; the probing hot
+    /// path reduces several values per window, and a hardware `div` per
+    /// reduction dominates the simulated kernel's host cost).
+    fm: FastMod32,
 }
 
 impl Prober {
@@ -46,6 +65,7 @@ impl Prober {
             dh,
             scheme,
             capacity: capacity as u64,
+            fm: FastMod32::new(capacity as u64),
         }
     }
 
@@ -75,8 +95,8 @@ impl Prober {
                 u64::from(self.dh.h(key)) + u64::from(p) * u64::from(p) * SPAN
             }
         };
-        let base = raw % self.capacity;
-        base - base % SECTOR_SLOTS
+        let base = self.fm.rem(raw);
+        base - base % SECTOR_SLOTS // SECTOR_SLOTS is a power of two: free
     }
 
     /// Base slot of window `q` (of `window` slots) within attempt `p` —
@@ -84,7 +104,10 @@ impl Prober {
     #[inline]
     #[must_use]
     pub fn window_base(&self, key: u32, p: u32, q: u32, window: u32) -> u64 {
-        (self.span_base(key, p) + u64::from(q) * u64::from(window)) % self.capacity
+        // span_base is already reduced and q·|g| < SPAN ≤ capacity: one
+        // conditional subtraction replaces the modulo
+        self.fm
+            .add_rem(self.span_base(key, p), u64::from(q) * u64::from(window))
     }
 
     /// Flat sequence of the first `n` *slot* indices probed for `key` —

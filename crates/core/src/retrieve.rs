@@ -118,7 +118,7 @@ fn retrieve_one_soa(
                 // the Fig. 1 SOA cost: a second, uncoalesced access to
                 // fetch the value word — annotated shared: it races with
                 // last-writer-wins updates by design
-                let idx = (base + r as usize) % cap;
+                let idx = crate::probing::wrap_slot(base, r as usize, cap);
                 return soa_hit(key, ctx.read_shared(values, idx));
             }
             if ctx.any(|r| soa_is_empty(window.lane(r))) {

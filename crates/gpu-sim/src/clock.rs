@@ -6,14 +6,26 @@
 //! pipeline; each simulated resource serializes the stages scheduled onto
 //! it and advances its own busy-horizon, a classic resource-constrained
 //! event simulation.
+//!
+//! The busy horizon is a single `f64` stored as its bit pattern in an
+//! [`AtomicU64`] and advanced with a CAS loop, so scheduling a stage is a
+//! handful of uncontended atomic ops instead of a mutex acquire/release on
+//! the pipeline hot path. Non-negative `f64`s order the same as their bit
+//! patterns, but the loop never relies on that: each iteration recomputes
+//! `start = busy.max(ready)` from the freshly observed horizon, so the
+//! granted intervals are exactly those the mutex version would grant.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A single serial resource on the simulated timeline (one PCIe switch,
 /// the NVLink fabric, one GPU's memory system, …).
+///
+/// `Default` is a fresh idle resource: `AtomicU64::default()` is 0, and
+/// the all-zero bit pattern is exactly `0.0f64`.
 #[derive(Debug, Default)]
 pub struct ResourceTimeline {
-    busy_until: Mutex<f64>,
+    /// Busy horizon in seconds, stored as `f64::to_bits`.
+    busy_until: AtomicU64,
 }
 
 /// Scheduled interval returned by [`ResourceTimeline::schedule`].
@@ -46,22 +58,32 @@ impl ResourceTimeline {
     /// and the resource is free.
     pub fn schedule(&self, ready: f64, duration: f64) -> Interval {
         assert!(duration >= 0.0, "negative duration");
-        let mut busy = self.busy_until.lock();
-        let start = busy.max(ready);
-        let end = start + duration;
-        *busy = end;
-        Interval { start, end }
+        let mut cur = self.busy_until.load(Ordering::Acquire);
+        loop {
+            let busy = f64::from_bits(cur);
+            let start = busy.max(ready);
+            let end = start + duration;
+            match self.busy_until.compare_exchange_weak(
+                cur,
+                end.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Interval { start, end },
+                Err(observed) => cur = observed,
+            }
+        }
     }
 
     /// Current busy horizon (the earliest time a new stage could start).
     #[must_use]
     pub fn horizon(&self) -> f64 {
-        *self.busy_until.lock()
+        f64::from_bits(self.busy_until.load(Ordering::Acquire))
     }
 
     /// Resets the timeline to idle at t = 0.
     pub fn reset(&self) {
-        *self.busy_until.lock() = 0.0;
+        self.busy_until.store(0.0f64.to_bits(), Ordering::Release);
     }
 }
 
@@ -144,5 +166,33 @@ mod tests {
         }
         // 800 stages × 0.5 s on one serial resource
         assert!((r.horizon() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_intervals_never_overlap() {
+        // The CAS loop must hand out the same disjoint, back-to-back
+        // intervals the mutex version did: every granted [start, end) is
+        // exclusive, so sorting by start must tile the busy span exactly.
+        let r = std::sync::Arc::new(ResourceTimeline::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let r = std::sync::Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                (0..64)
+                    .map(|i| r.schedule(0.0, 0.25 + f64::from(t * 64 + i) * 1e-6))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<Interval> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        let mut expected_start = 0.0;
+        for iv in &all {
+            assert_eq!(iv.start, expected_start, "gap or overlap at {iv:?}");
+            expected_start = iv.end;
+        }
+        assert_eq!(r.horizon(), expected_start);
     }
 }

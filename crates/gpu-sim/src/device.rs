@@ -1,6 +1,6 @@
 //! The simulated device: memory + kernel launcher + timing.
 
-use crate::counters::{CounterSnapshot, KernelCounters};
+use crate::counters::{CounterSnapshot, KernelCounters, LocalCounters};
 use crate::fault::FaultPlan;
 use crate::mem::{DevSlice, DeviceMemory, OutOfMemory};
 use crate::sanitizer::{LaunchSanitizer, Policy, Report, SanitizerSet};
@@ -261,6 +261,23 @@ impl Device {
         self.mem.alloc_scratch(len)
     }
 
+    /// Reserves (or reuses) the device-lifetime scratch arena — a staging
+    /// buffer that survives [`DeviceMemory::reset`] so measurement sweeps
+    /// stop re-allocating per point. See
+    /// [`DeviceMemory::arena_reserve`].
+    ///
+    /// # Errors
+    /// Returns [`OutOfMemory`] when the arena would collide with
+    /// persistent allocations.
+    pub fn arena_reserve(&self, len: usize) -> Result<DevSlice, OutOfMemory> {
+        self.mem.arena_reserve(len)
+    }
+
+    /// Releases the scratch arena (see [`DeviceMemory::arena_release`]).
+    pub fn arena_release(&self) {
+        self.mem.arena_release();
+    }
+
     /// Launches `num_groups` coalesced groups of size `group_size` running
     /// `kernel`, returning measured counters and modeled time.
     ///
@@ -297,33 +314,51 @@ impl Device {
             Some(LaunchSanitizer::new(ds, eff, name, schedule))
         };
         let san = san.as_ref();
+        // Mark the launch in flight for its whole execution span so a
+        // concurrent `snapshot()` (a torn multi-field read) is rejected in
+        // debug builds; the guard drops before the quiescent snapshot below.
+        let in_flight = counters.launch_guard();
         match schedule {
             Schedule::Sequential => {
+                // One accumulator for the whole launch: the counted ops
+                // bump plain cells and a single flush settles the totals.
+                let local = LocalCounters::new();
                 for gid in 0..num_groups {
-                    let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size, san);
+                    let ctx = GroupCtx::new(&self.mem, &local, gid, group_size, san);
                     kernel(&ctx);
-                    counters.add_group();
                 }
+                local.flush_into(&counters);
+                counters.add_groups(num_groups as u64);
             }
             Schedule::Pool => {
                 // Chunk groups so per-task overhead stays negligible even
                 // for millions of tiny groups (perf-book: amortize
-                // par_iter tasks).
+                // par_iter tasks). Each chunk shares one plain-cell
+                // accumulator and flushes it once — `u64` addition
+                // commutes, so totals stay bit-identical to per-op (and
+                // per-group) updates under every interleaving.
                 const CHUNK: usize = 1024;
-                (0..num_groups)
-                    .into_par_iter()
-                    .with_min_len(CHUNK)
-                    .for_each(|gid| {
-                        let ctx = GroupCtx::new(&self.mem, &counters, gid, group_size, san);
+                let chunks = num_groups.div_ceil(CHUNK);
+                (0..chunks).into_par_iter().for_each(|chunk| {
+                    let lo = chunk * CHUNK;
+                    let hi = (lo + CHUNK).min(num_groups);
+                    let local = LocalCounters::new();
+                    for gid in lo..hi {
+                        let ctx = GroupCtx::new(&self.mem, &local, gid, group_size, san);
                         kernel(&ctx);
-                        counters.add_group();
-                    });
+                    }
+                    local.flush_into(&counters);
+                    counters.add_groups((hi - lo) as u64);
+                });
             }
             stepwise => {
                 sched::run_stepwise(stepwise, num_groups, |gid, step| {
+                    let local = LocalCounters::new();
                     let ctx =
-                        GroupCtx::new_stepped(&self.mem, &counters, gid, group_size, step, san);
+                        GroupCtx::new_stepped(&self.mem, &local, gid, group_size, step, san);
                     kernel(&ctx);
+                    drop(ctx);
+                    local.flush_into(&counters);
                     counters.add_group();
                 });
             }
@@ -331,6 +366,7 @@ impl Device {
         if let Some(san) = san {
             san.finish();
         }
+        drop(in_flight);
         let snapshot = counters.snapshot();
         let working_set = opts.modeled_working_set.unwrap_or(0);
         let mut breakdown =

@@ -49,4 +49,4 @@ pub use sanitizer::{Detector, Report, SanitizerSet};
 pub use sched::{AdversarialMode, Schedule, StepSched};
 pub use simt::{GroupCtx, GroupSize};
 pub use spec::DeviceSpec;
-pub use timing::TimingModel;
+pub use timing::{TimeBreakdown, TimingModel};

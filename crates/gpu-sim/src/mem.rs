@@ -98,6 +98,20 @@ struct AllocState {
     scratch_live: Vec<DevSlice>,
     /// Lowest offset handed to scratch (== pool size when none live).
     scratch_floor: usize,
+    /// Device-lifetime scratch arena pinned at the very top of the pool
+    /// (see [`DeviceMemory::arena_reserve`]). Unlike the transient stack
+    /// it survives [`DeviceMemory::reset`], so sweep loops reuse one
+    /// staging buffer across measurement points instead of re-carving
+    /// (and re-validating) `3n` words per point.
+    arena: Option<DevSlice>,
+}
+
+impl AllocState {
+    /// Lowest offset transient scratch may fall back to when the stack
+    /// empties: the arena's base when one is reserved, else the pool top.
+    fn scratch_base(&self, pool_words: usize) -> usize {
+        self.arena.map_or(pool_words, |a| a.offset)
+    }
 }
 
 /// Global memory of one simulated device.
@@ -123,6 +137,7 @@ impl DeviceMemory {
                 next_free: 0,
                 scratch_live: Vec::new(),
                 scratch_floor: words,
+                arena: None,
             }),
             sanitizer: OnceLock::new(),
         }
@@ -223,6 +238,90 @@ impl DeviceMemory {
         Ok(ScratchGuard { mem: self, slice })
     }
 
+    /// Reserves a device-lifetime scratch **arena** of at least `len`
+    /// words at the top of the pool, or returns the existing reservation
+    /// when it is already large enough. The returned slice is valid until
+    /// [`DeviceMemory::arena_release`] — in particular it **survives
+    /// [`DeviceMemory::reset`]**, which is the point: bench sweeps reserve
+    /// one staging buffer, then `reset()` between measurement points
+    /// without re-allocating (or tripping the outstanding-scratch panic
+    /// that guards transient [`ScratchGuard`]s).
+    ///
+    /// The words are *undefined* on every reservation (initcheck clears
+    /// their valid bits); callers fill what they use, as with
+    /// [`DeviceMemory::alloc_scratch`].
+    ///
+    /// # Errors
+    /// Returns [`OutOfMemory`] when the arena would collide with the bump
+    /// region.
+    ///
+    /// # Panics
+    /// Panics when growing the arena while transient scratch allocations
+    /// are live — the carve would move the floor out from under them.
+    pub fn arena_reserve(&self, len: usize) -> Result<DevSlice, OutOfMemory> {
+        let mut s = self.state.lock();
+        if let Some(a) = s.arena {
+            if a.len >= len {
+                // Reuse the standing reservation; contents are undefined
+                // again for this round of use.
+                if let Some(v) = self.valid_bits() {
+                    v.clear_range(a.offset, len);
+                }
+                return Ok(DevSlice {
+                    offset: a.offset,
+                    len,
+                });
+            }
+        }
+        assert!(
+            s.scratch_live.is_empty(),
+            "DeviceMemory::arena_reserve() growing under {} live transient scratch \
+             allocation(s) — reserve the arena before any ScratchGuard",
+            s.scratch_live.len()
+        );
+        let offset = (self.words.len().checked_sub(len))
+            .map(|o| o / 4 * 4) // sector alignment, cf. alloc
+            .filter(|&o| o >= s.next_free)
+            .ok_or(OutOfMemory {
+                requested_words: len,
+                available_words: self.words.len() - s.next_free,
+            })?;
+        // The reservation spans [offset, pool top): alignment slack at the
+        // top stays inside the arena rather than leaking to the stack.
+        let arena = DevSlice {
+            offset,
+            len: self.words.len() - offset,
+        };
+        s.arena = Some(arena);
+        s.scratch_floor = offset;
+        if let Some(v) = self.valid_bits() {
+            v.clear_range(arena.offset, arena.len);
+        }
+        Ok(DevSlice { offset, len })
+    }
+
+    /// Releases the arena reservation (no-op when none is held). Any
+    /// slices previously returned by [`DeviceMemory::arena_reserve`]
+    /// become dangling; initcheck marks the words undefined so stale reads
+    /// through them are flagged.
+    ///
+    /// # Panics
+    /// Panics when transient scratch is still stacked on the arena floor.
+    pub fn arena_release(&self) {
+        let mut s = self.state.lock();
+        let Some(a) = s.arena.take() else { return };
+        assert!(
+            s.scratch_live.is_empty(),
+            "DeviceMemory::arena_release() with {} live transient scratch \
+             allocation(s) stacked on the arena floor",
+            s.scratch_live.len()
+        );
+        s.scratch_floor = self.words.len();
+        if let Some(v) = self.valid_bits() {
+            v.clear_range(a.offset, a.len);
+        }
+    }
+
     fn release_scratch(&self, slice: DevSlice) {
         let mut s = self.state.lock();
         let pos = s
@@ -231,12 +330,13 @@ impl DeviceMemory {
             .position(|l| *l == slice)
             .expect("scratch guard released twice");
         s.scratch_live.swap_remove(pos);
+        let base = s.scratch_base(self.words.len());
         s.scratch_floor = s
             .scratch_live
             .iter()
             .map(|l| l.offset)
             .min()
-            .unwrap_or(self.words.len());
+            .unwrap_or(base);
         // released scratch is undefined again: a stale read through a
         // dangling DevSlice into recycled scratch is flagged by initcheck
         if let Some(v) = self.valid_bits() {
@@ -246,6 +346,9 @@ impl DeviceMemory {
 
     /// Resets both allocators, invalidating all outstanding slices
     /// (contents are *not* cleared; callers fill what they allocate).
+    /// An arena reservation ([`DeviceMemory::arena_reserve`]) is
+    /// deliberately **preserved** — it is the reuse mechanism that lets
+    /// sweep loops reset between measurement points.
     ///
     /// # Panics
     /// Panics when scratch allocations are outstanding: resetting under a
@@ -261,7 +364,7 @@ impl DeviceMemory {
             s.scratch_live.len()
         );
         s.next_free = 0;
-        s.scratch_floor = self.words.len();
+        s.scratch_floor = s.scratch_base(self.words.len());
     }
 
     /// Memcheck leak report: scratch allocations still registered (their
@@ -541,6 +644,85 @@ mod tests {
         assert!(
             !valid.is_valid(offset),
             "recycled scratch must read as undefined"
+        );
+    }
+
+    #[test]
+    fn arena_survives_reset_at_stable_offset() {
+        let mem = DeviceMemory::new(128);
+        let a = mem.arena_reserve(32).unwrap();
+        let base = mem.alloc(16).unwrap();
+        mem.h2d(a, &[7; 32]);
+        mem.reset();
+        // bump region reclaimed, arena reservation intact
+        assert_eq!(mem.alloc(16).unwrap().offset, base.offset);
+        let b = mem.arena_reserve(32).unwrap();
+        assert_eq!(b.offset, a.offset, "reused arena must not move");
+        assert_eq!(b.len, 32);
+    }
+
+    #[test]
+    fn arena_reuse_serves_smaller_requests_in_place() {
+        let mem = DeviceMemory::new(128);
+        let a = mem.arena_reserve(48).unwrap();
+        let b = mem.arena_reserve(16).unwrap();
+        assert_eq!(b.offset, a.offset);
+        assert_eq!(b.len, 16);
+    }
+
+    #[test]
+    fn transient_scratch_stacks_below_the_arena() {
+        let mem = DeviceMemory::new(128);
+        let a = mem.arena_reserve(32).unwrap();
+        let g = mem.alloc_scratch(16).unwrap();
+        assert!(g.slice().offset + g.slice().len <= a.offset);
+        drop(g);
+        // floor returns to the arena base, not the pool top
+        let g2 = mem.alloc_scratch(16).unwrap();
+        assert!(g2.slice().offset + g2.slice().len <= a.offset);
+    }
+
+    #[test]
+    fn arena_release_restores_full_pool() {
+        let mem = DeviceMemory::new(128);
+        let _ = mem.arena_reserve(64).unwrap();
+        assert!(mem.alloc(100).is_err());
+        mem.arena_release();
+        assert!(mem.alloc(100).is_ok());
+    }
+
+    #[test]
+    fn arena_collision_with_bump_region_reports_oom() {
+        let mem = DeviceMemory::new(64);
+        let _ = mem.alloc(40).unwrap();
+        let err = mem.arena_reserve(32).unwrap_err();
+        assert_eq!(err.requested_words, 32);
+        mem.reset();
+        assert!(mem.arena_reserve(32).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "live transient scratch")]
+    fn arena_growth_under_live_scratch_panics() {
+        let mem = DeviceMemory::new(256);
+        let _ = mem.arena_reserve(16).unwrap();
+        let _guard = mem.alloc_scratch(8).unwrap();
+        let _ = mem.arena_reserve(64); // grow would move the floor
+    }
+
+    #[test]
+    fn arena_words_are_undefined_on_each_reservation() {
+        use crate::sanitizer::{Policy, SanitizerSet};
+        let mem = DeviceMemory::new(64);
+        let san = mem.attach_sanitizer(SanitizerSet::INIT, Policy::Collect, false);
+        let valid = san.valid().unwrap();
+        let a = mem.arena_reserve(8).unwrap();
+        mem.h2d(a, &[1; 8]);
+        assert!(valid.is_valid(a.offset));
+        let b = mem.arena_reserve(8).unwrap();
+        assert!(
+            !valid.is_valid(b.offset),
+            "re-reserved arena words must read as undefined"
         );
     }
 

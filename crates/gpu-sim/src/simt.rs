@@ -11,7 +11,7 @@
 //! warp-synchronous semantics the algorithm assumes, while different
 //! *groups* race against each other for real on a Rayon thread pool.
 
-use crate::counters::KernelCounters;
+use crate::counters::LocalCounters;
 use crate::mem::{DevSlice, DeviceMemory};
 use crate::sanitizer::racecheck::{AccessKind, GroupClock};
 use crate::sanitizer::LaunchSanitizer;
@@ -118,7 +118,13 @@ impl Window {
 /// global-memory traffic, as in the paper).
 pub struct GroupCtx<'a> {
     mem: &'a DeviceMemory,
-    counters: &'a KernelCounters,
+    /// Scheduler-chunk accumulator: counted operations bump plain
+    /// `Cell`s here (no atomics at all on the hot path). The launch
+    /// driver owns the accumulator, shares it across every group of one
+    /// scheduler chunk, and flushes the totals into a padded per-worker
+    /// stripe of the launch's [`KernelCounters`] once per chunk — `u64`
+    /// addition commutes, so totals are bit-identical to per-op updates.
+    local: &'a LocalCounters,
     group_id: usize,
     size: GroupSize,
     /// Stepwise scheduler of the launch, when one is active. `None` on
@@ -138,14 +144,14 @@ pub struct GroupCtx<'a> {
 impl<'a> GroupCtx<'a> {
     pub(crate) fn new(
         mem: &'a DeviceMemory,
-        counters: &'a KernelCounters,
+        local: &'a LocalCounters,
         group_id: usize,
         size: GroupSize,
         san: Option<&'a LaunchSanitizer<'a>>,
     ) -> Self {
         Self {
             mem,
-            counters,
+            local,
             group_id,
             size,
             sched: None,
@@ -157,7 +163,7 @@ impl<'a> GroupCtx<'a> {
 
     pub(crate) fn new_stepped(
         mem: &'a DeviceMemory,
-        counters: &'a KernelCounters,
+        local: &'a LocalCounters,
         group_id: usize,
         size: GroupSize,
         sched: &'a StepSched,
@@ -165,7 +171,7 @@ impl<'a> GroupCtx<'a> {
     ) -> Self {
         Self {
             mem,
-            counters,
+            local,
             group_id,
             size,
             sched: Some(sched),
@@ -339,19 +345,34 @@ impl<'a> GroupCtx<'a> {
         let len = slice.len();
         debug_assert!(len > 0);
         let g = self.size.get() as usize;
-        let start = base % len;
+        let start = fast_idx(base, len);
         let mut vals = [0u64; 32];
-        for (r, val) in vals.iter_mut().enumerate().take(g) {
-            let idx = (start + r) % len;
-            *val = self.mem.word(slice, idx).load(Ordering::Relaxed);
-            // window loads are *relaxed by design*: probing tolerates
-            // racing CAS claims and annotated shared stores (stale data is
-            // re-balloted), so racecheck only flags plain writes
-            self.san_read(slice, idx, AccessKind::RelaxedRead, Some(r as u32));
+        if start + g <= len {
+            // common case: the window does not wrap — straight-line
+            // indices, no per-lane reduction at all
+            for (r, val) in vals.iter_mut().enumerate().take(g) {
+                let idx = start + r;
+                *val = self.mem.word(slice, idx).load(Ordering::Relaxed);
+                // window loads are *relaxed by design*: probing tolerates
+                // racing CAS claims and annotated shared stores (stale
+                // data is re-balloted), so racecheck only flags plain
+                // writes
+                self.san_read(slice, idx, AccessKind::RelaxedRead, Some(r as u32));
+            }
+        } else {
+            let mut idx = start;
+            for (r, val) in vals.iter_mut().enumerate().take(g) {
+                *val = self.mem.word(slice, idx).load(Ordering::Relaxed);
+                self.san_read(slice, idx, AccessKind::RelaxedRead, Some(r as u32));
+                idx += 1;
+                if idx == len {
+                    idx = 0; // wrap to the front of the table (mod len)
+                }
+            }
         }
-        self.counters
+        self.local
             .add_transactions(window_transactions(slice, start, g));
-        self.counters.add_steps(1);
+        self.local.add_steps(1);
         Window {
             vals,
             size: self.size.get(),
@@ -374,21 +395,21 @@ impl<'a> GroupCtx<'a> {
     #[must_use]
     pub fn read(&self, slice: DevSlice, idx: usize) -> u64 {
         self.pace();
-        let idx = idx % slice.len();
+        let idx = fast_idx(idx, slice.len());
         let v = self.mem.word(slice, idx).load(Ordering::Relaxed);
         self.san_read(slice, idx, AccessKind::PlainRead, None);
-        self.counters.add_transactions(1);
-        self.counters.add_steps(1);
+        self.local.add_transactions(1);
+        self.local.add_steps(1);
         v
     }
 
     /// Uncoalesced single-word store.
     pub fn write(&self, slice: DevSlice, idx: usize, val: u64) {
         self.pace();
-        let idx = idx % slice.len();
+        let idx = fast_idx(idx, slice.len());
         self.san_write(slice, idx, AccessKind::PlainWrite);
         self.mem.word(slice, idx).store(val, Ordering::Relaxed);
-        self.counters.add_transactions(1);
+        self.local.add_transactions(1);
     }
 
     /// Uncoalesced single-word load *annotated as intentionally relaxed*:
@@ -399,11 +420,11 @@ impl<'a> GroupCtx<'a> {
     #[must_use]
     pub fn read_shared(&self, slice: DevSlice, idx: usize) -> u64 {
         self.pace();
-        let idx = idx % slice.len();
+        let idx = fast_idx(idx, slice.len());
         let v = self.mem.word(slice, idx).load(Ordering::Relaxed);
         self.san_read(slice, idx, AccessKind::SharedRead, None);
-        self.counters.add_transactions(1);
-        self.counters.add_steps(1);
+        self.local.add_transactions(1);
+        self.local.add_steps(1);
         v
     }
 
@@ -414,10 +435,10 @@ impl<'a> GroupCtx<'a> {
     /// plain store racing this one is still a finding.
     pub fn write_shared(&self, slice: DevSlice, idx: usize, val: u64) {
         self.pace();
-        let idx = idx % slice.len();
+        let idx = fast_idx(idx, slice.len());
         self.san_write(slice, idx, AccessKind::SharedWrite);
         self.mem.word(slice, idx).store(val, Ordering::Relaxed);
-        self.counters.add_transactions(1);
+        self.local.add_transactions(1);
     }
 
     /// Fully coalesced streaming load (bulk inputs: keys to insert or
@@ -426,7 +447,7 @@ impl<'a> GroupCtx<'a> {
     #[must_use]
     pub fn read_stream(&self, slice: DevSlice, idx: usize) -> u64 {
         self.pace();
-        self.counters.add_stream_bytes(8);
+        self.local.add_stream_bytes(8);
         if let Some(s) = self.san {
             // streaming accesses index directly (no wrap) — the one place
             // a counted op can run off a slice. Memcheck reports and
@@ -443,7 +464,7 @@ impl<'a> GroupCtx<'a> {
     /// Fully coalesced streaming store (bulk outputs: query results).
     pub fn write_stream(&self, slice: DevSlice, idx: usize, val: u64) {
         self.pace();
-        self.counters.add_stream_bytes(8);
+        self.local.add_stream_bytes(8);
         if let Some(s) = self.san {
             if !s.stream_in_bounds("write_stream", slice, idx, self.group_id) && s.contains_oob() {
                 return;
@@ -467,7 +488,7 @@ impl<'a> GroupCtx<'a> {
     /// no extra DRAM transaction.
     pub fn cas(&self, slice: DevSlice, idx: usize, current: u64, new: u64) -> Result<(), u64> {
         self.pace();
-        let idx = idx % slice.len();
+        let idx = fast_idx(idx, slice.len());
         self.san_atomic(slice, idx);
         let r = self.mem.word(slice, idx).compare_exchange(
             current,
@@ -475,8 +496,8 @@ impl<'a> GroupCtx<'a> {
             Ordering::Relaxed,
             Ordering::Relaxed,
         );
-        self.counters.add_cas(r.is_ok());
-        self.counters.add_steps(1);
+        self.local.add_cas(r.is_ok());
+        self.local.add_steps(1);
         r.map(|_| ())
     }
 
@@ -485,12 +506,12 @@ impl<'a> GroupCtx<'a> {
     /// pays a full sector fetch plus the cold-atomic round-trip.
     pub fn exchange(&self, slice: DevSlice, idx: usize, new: u64) -> u64 {
         self.pace();
-        let idx = idx % slice.len();
+        let idx = fast_idx(idx, slice.len());
         self.san_atomic(slice, idx);
         let old = self.mem.word(slice, idx).swap(new, Ordering::Relaxed);
-        self.counters.add_cold_atomic();
-        self.counters.add_transactions(1); // sector fetch
-        self.counters.add_steps(1);
+        self.local.add_cold_atomic();
+        self.local.add_transactions(1); // sector fetch
+        self.local.add_steps(1);
         old
     }
 
@@ -498,11 +519,11 @@ impl<'a> GroupCtx<'a> {
     /// counters, warp-aggregated compaction).
     pub fn atomic_add(&self, slice: DevSlice, idx: usize, delta: u64) -> u64 {
         self.pace();
-        let idx = idx % slice.len();
+        let idx = fast_idx(idx, slice.len());
         self.san_atomic(slice, idx);
         let old = self.mem.word(slice, idx).fetch_add(delta, Ordering::Relaxed);
-        self.counters.add_atomic();
-        self.counters.add_steps(1);
+        self.local.add_atomic();
+        self.local.add_steps(1);
         old
     }
 
@@ -510,11 +531,11 @@ impl<'a> GroupCtx<'a> {
     /// claims in the Stadium-hash baseline).
     pub fn atomic_or(&self, slice: DevSlice, idx: usize, bits: u64) -> u64 {
         self.pace();
-        let idx = idx % slice.len();
+        let idx = fast_idx(idx, slice.len());
         self.san_atomic(slice, idx);
         let old = self.mem.word(slice, idx).fetch_or(bits, Ordering::Relaxed);
-        self.counters.add_atomic();
-        self.counters.add_steps(1);
+        self.local.add_atomic();
+        self.local.add_steps(1);
         old
     }
 
@@ -525,25 +546,39 @@ impl<'a> GroupCtx<'a> {
     /// traffic must still be charged).
     pub fn bill_transactions(&self, n: u64) {
         self.pace();
-        self.counters.add_transactions(n);
-        self.counters.add_steps(1);
+        self.local.add_transactions(n);
+        self.local.add_steps(1);
     }
 
     /// Bills `bytes` of coalesced streaming traffic without touching
     /// memory (modeling hook, cf. [`GroupCtx::bill_transactions`]).
     pub fn bill_stream_bytes(&self, bytes: u64) {
-        self.counters.add_stream_bytes(bytes);
+        self.local.add_stream_bytes(bytes);
     }
 
     /// 64-bit `atomicMax` (used by some baselines' stash bookkeeping).
     pub fn atomic_max(&self, slice: DevSlice, idx: usize, val: u64) -> u64 {
         self.pace();
-        let idx = idx % slice.len();
+        let idx = fast_idx(idx, slice.len());
         self.san_atomic(slice, idx);
         let old = self.mem.word(slice, idx).fetch_max(val, Ordering::Relaxed);
-        self.counters.add_atomic();
-        self.counters.add_steps(1);
+        self.local.add_atomic();
+        self.local.add_steps(1);
         old
+    }
+}
+
+/// Reduces an index into `[0, len)` without a hardware division on the
+/// common path. Kernel call sites almost always pass an already-reduced
+/// index (the probers reduce modulo capacity before dispatch), so the
+/// branch is predictably not-taken and costs ~1 cycle where `idx % len`
+/// costs a 64-bit `div`. Bit-identical to `idx % len` in every case.
+#[inline]
+fn fast_idx(idx: usize, len: usize) -> usize {
+    if idx < len {
+        idx
+    } else {
+        idx % len
     }
 }
 
@@ -572,24 +607,24 @@ mod tests {
     use crate::counters::KernelCounters;
     use crate::mem::DeviceMemory;
 
-    fn ctx<'a>(mem: &'a DeviceMemory, counters: &'a KernelCounters, g: u32) -> GroupCtx<'a> {
-        GroupCtx::new(mem, counters, 0, GroupSize::new(g), None)
+    fn ctx<'a>(mem: &'a DeviceMemory, local: &'a LocalCounters, g: u32) -> GroupCtx<'a> {
+        GroupCtx::new(mem, local, 0, GroupSize::new(g), None)
     }
 
     #[test]
     fn full_mask_matches_group_size() {
         let mem = DeviceMemory::new(8);
-        let c = KernelCounters::new();
-        assert_eq!(ctx(&mem, &c, 1).full_mask(), 0b1);
-        assert_eq!(ctx(&mem, &c, 4).full_mask(), 0b1111);
-        assert_eq!(ctx(&mem, &c, 32).full_mask(), u32::MAX);
+        let l = LocalCounters::new();
+        assert_eq!(ctx(&mem, &l, 1).full_mask(), 0b1);
+        assert_eq!(ctx(&mem, &l, 4).full_mask(), 0b1111);
+        assert_eq!(ctx(&mem, &l, 32).full_mask(), u32::MAX);
     }
 
     #[test]
     fn masked_collectives_skip_inactive_lanes() {
         let mem = DeviceMemory::new(8);
-        let c = KernelCounters::new();
-        let g = ctx(&mem, &c, 4);
+        let l = LocalCounters::new();
+        let g = ctx(&mem, &l, 4);
         // lane 2 inactive: its predicate must not run and cannot vote
         let mask = g.ballot_where(0b1011, |r| {
             assert_ne!(r, 2);
@@ -604,11 +639,14 @@ mod tests {
     fn shared_accessors_bill_like_plain_ones() {
         let mem = DeviceMemory::new(8);
         let c = KernelCounters::new();
+        let l = LocalCounters::new();
         let s = mem.alloc(4).unwrap();
         mem.fill(s, 7);
-        let g = ctx(&mem, &c, 1);
+        let g = ctx(&mem, &l, 1);
         g.write_shared(s, 1, 9);
         assert_eq!(g.read_shared(s, 1), 9);
+        drop(g);
+        l.flush_into(&c); // chunk retirement: flush the accumulator
         let snap = c.snapshot();
         assert_eq!(snap.transactions, 2);
         assert_eq!(snap.group_steps, 1); // read pays the round-trip, write doesn't
@@ -630,8 +668,8 @@ mod tests {
     #[test]
     fn ballot_packs_lane_predicates() {
         let mem = DeviceMemory::new(64);
-        let c = KernelCounters::new();
-        let g = ctx(&mem, &c, 8);
+        let l = LocalCounters::new();
+        let g = ctx(&mem, &l, 8);
         let mask = g.ballot(|r| r % 2 == 0);
         assert_eq!(mask, 0b0101_0101);
         assert!(g.any(|r| r == 7));
@@ -649,11 +687,11 @@ mod tests {
     #[test]
     fn read_window_wraps_around_table() {
         let mem = DeviceMemory::new(16);
-        let c = KernelCounters::new();
+        let l = LocalCounters::new();
         let s = mem.alloc(10).unwrap();
         let data: Vec<u64> = (100..110).collect();
         mem.h2d(s, &data);
-        let g = ctx(&mem, &c, 4);
+        let g = ctx(&mem, &l, 4);
         let w = g.read_window(s, 8); // slots 8, 9, 0, 1
         assert_eq!(w.lane(0), 108);
         assert_eq!(w.lane(1), 109);
@@ -665,11 +703,17 @@ mod tests {
     fn window_transaction_counting_aligned() {
         let mem = DeviceMemory::new(64);
         let c = KernelCounters::new();
+        let l = LocalCounters::new();
         let s = mem.alloc(64).unwrap(); // offset 0, aligned
-        let g8 = ctx(&mem, &c, 8);
+        let g8 = ctx(&mem, &l, 8);
         let _ = g8.read_window(s, 0); // words 0..8 → segments 0,1 → 2 txns
+        drop(g8);
+        l.flush_into(&c);
         assert_eq!(c.snapshot().transactions, 2);
+        let g8 = ctx(&mem, &l, 8);
         let _ = g8.read_window(s, 2); // words 2..10 → segments 0,1,2 → 3 txns
+        drop(g8);
+        l.flush_into(&c);
         assert_eq!(c.snapshot().transactions, 5);
     }
 
@@ -677,9 +721,12 @@ mod tests {
     fn window_transaction_counting_wrapped() {
         let mem = DeviceMemory::new(64);
         let c = KernelCounters::new();
+        let l = LocalCounters::new();
         let s = mem.alloc(16).unwrap();
-        let g4 = ctx(&mem, &c, 4);
+        let g4 = ctx(&mem, &l, 4);
         let _ = g4.read_window(s, 14); // 14,15 + 0,1 → 2 segments
+        drop(g4);
+        l.flush_into(&c);
         assert_eq!(c.snapshot().transactions, 2);
     }
 
@@ -687,10 +734,13 @@ mod tests {
     fn cas_success_and_failure_paths() {
         let mem = DeviceMemory::new(8);
         let c = KernelCounters::new();
+        let l = LocalCounters::new();
         let s = mem.alloc(4).unwrap();
-        let g = ctx(&mem, &c, 1);
+        let g = ctx(&mem, &l, 1);
         assert!(g.cas(s, 2, 0, 42).is_ok());
         assert_eq!(g.cas(s, 2, 0, 43), Err(42));
+        drop(g);
+        l.flush_into(&c);
         let snap = c.snapshot();
         assert_eq!(snap.cas_ops, 2);
         assert_eq!(snap.cas_failed, 1);
@@ -701,11 +751,14 @@ mod tests {
     fn atomic_add_returns_previous() {
         let mem = DeviceMemory::new(4);
         let c = KernelCounters::new();
+        let l = LocalCounters::new();
         let s = mem.alloc(1).unwrap();
-        let g = ctx(&mem, &c, 1);
+        let g = ctx(&mem, &l, 1);
         assert_eq!(g.atomic_add(s, 0, 5), 0);
         assert_eq!(g.atomic_add(s, 0, 7), 5);
         assert_eq!(mem.d2h(s)[0], 12);
+        drop(g);
+        l.flush_into(&c);
         assert_eq!(c.snapshot().atomic_ops, 2);
     }
 
@@ -713,10 +766,13 @@ mod tests {
     fn stream_accesses_count_bytes_not_transactions() {
         let mem = DeviceMemory::new(8);
         let c = KernelCounters::new();
+        let l = LocalCounters::new();
         let s = mem.alloc(8).unwrap();
-        let g = ctx(&mem, &c, 4);
+        let g = ctx(&mem, &l, 4);
         let _ = g.read_stream(s, 0);
         g.write_stream(s, 1, 9);
+        drop(g);
+        l.flush_into(&c);
         let snap = c.snapshot();
         assert_eq!(snap.stream_bytes, 16);
         assert_eq!(snap.transactions, 0);
@@ -726,10 +782,10 @@ mod tests {
     #[test]
     fn exchange_swaps_and_counts() {
         let mem = DeviceMemory::new(4);
-        let c = KernelCounters::new();
+        let l = LocalCounters::new();
         let s = mem.alloc(1).unwrap();
         mem.h2d(s, &[11]);
-        let g = ctx(&mem, &c, 1);
+        let g = ctx(&mem, &l, 1);
         assert_eq!(g.exchange(s, 0, 22), 11);
         assert_eq!(mem.d2h(s)[0], 22);
     }

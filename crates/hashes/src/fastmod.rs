@@ -1,0 +1,159 @@
+//! Division-free modulo reduction (Lemire, Kaser & Kurz, "Faster
+//! remainder by direct computation", 2019).
+//!
+//! Table capacities are runtime values, so every `hash % capacity` on the
+//! probing hot path compiles to a hardware `div` — tens of cycles on the
+//! host CPUs the simulator actually runs on, several times per probed
+//! window. For 32-bit operands the remainder can instead be computed
+//! *exactly* with one wrapping 64-bit multiply and the high half of a
+//! 64×64 product: with `M = ⌈2⁶⁴ / d⌉`, `n mod d = ⌊((M·n mod 2⁶⁴) · d) /
+//! 2⁶⁴⌋` for all `n, d < 2³²`. The result is bit-identical to `n % d` —
+//! the simulator's counters and replay hints cannot tell the difference —
+//! only the cycle count changes.
+
+/// Precomputed fast-modulo context for a fixed divisor.
+///
+/// The fast path is exact for dividends up to [`u32::MAX`]; larger
+/// dividends (or divisors above `u32::MAX`, where the magic constant
+/// cannot be represented) transparently fall back to hardware `%`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastMod32 {
+    d: u64,
+    /// `⌈2⁶⁴ / d⌉ mod 2⁶⁴` — wraps to 0 for `d = 1`, which still yields
+    /// the correct remainder (always 0) through the same formula.
+    magic: u64,
+    /// Whether `d` admits the 32-bit fast path at all.
+    fast: bool,
+}
+
+impl FastMod32 {
+    /// Precomputes the reduction context for divisor `d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: u64) -> Self {
+        assert!(d > 0, "modulo by zero");
+        let fast = d <= u64::from(u32::MAX);
+        let magic = if fast {
+            (u64::MAX / d).wrapping_add(1)
+        } else {
+            0
+        };
+        Self { d, magic, fast }
+    }
+
+    /// The divisor.
+    #[inline]
+    #[must_use]
+    pub fn divisor(&self) -> u64 {
+        self.d
+    }
+
+    /// `n % d`, division-free when both fit 32 bits.
+    #[inline]
+    #[must_use]
+    pub fn rem(&self, n: u64) -> u64 {
+        if self.fast && n <= u64::from(u32::MAX) {
+            let lowbits = self.magic.wrapping_mul(n);
+            ((u128::from(lowbits) * u128::from(self.d)) >> 64) as u64
+        } else {
+            n % self.d
+        }
+    }
+
+    /// `(a + b) % d` for already-reduced `a < d` and small `b < d`: a
+    /// single conditional subtraction, no multiply at all. This is the
+    /// inner-loop form — window offsets and probe increments are always
+    /// bounded by the span width, far below any legal capacity.
+    #[inline]
+    #[must_use]
+    pub fn add_rem(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.d && b < self.d);
+        let s = a + b;
+        if s >= self.d {
+            s - self.d
+        } else {
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hardware_modulo_exhaustively_on_edges() {
+        for d in [
+            1u64,
+            2,
+            3,
+            7,
+            31,
+            32,
+            1000,
+            65536,
+            (1 << 20) - 1,
+            u64::from(u32::MAX),
+        ] {
+            let f = FastMod32::new(d);
+            for n in [
+                0u64,
+                1,
+                d - 1,
+                d,
+                d + 1,
+                2 * d.min(1 << 31),
+                12_345_678,
+                u64::from(u32::MAX) - 1,
+                u64::from(u32::MAX),
+            ] {
+                assert_eq!(f.rem(n), n % d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_agreement() {
+        // deterministic LCG sweep — no external RNG
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..100_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let n = x >> 32;
+            let d = (x & 0xFFFF_FFFF).max(1);
+            let f = FastMod32::new(d);
+            assert_eq!(f.rem(n), n % d, "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn wide_dividends_fall_back() {
+        let f = FastMod32::new(1000);
+        assert_eq!(f.rem(u64::MAX), u64::MAX % 1000);
+        assert_eq!(f.rem(1u64 << 40), (1u64 << 40) % 1000);
+    }
+
+    #[test]
+    fn wide_divisors_fall_back() {
+        let d = u64::from(u32::MAX) + 17;
+        let f = FastMod32::new(d);
+        assert_eq!(f.rem(123), 123);
+        assert_eq!(f.rem(u64::MAX), u64::MAX % d);
+    }
+
+    #[test]
+    fn add_rem_wraps_once() {
+        let f = FastMod32::new(100);
+        assert_eq!(f.add_rem(99, 1), 0);
+        assert_eq!(f.add_rem(50, 49), 99);
+        assert_eq!(f.add_rem(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulo by zero")]
+    fn zero_divisor_rejected() {
+        let _ = FastMod32::new(0);
+    }
+}

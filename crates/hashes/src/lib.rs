@@ -28,11 +28,13 @@
 
 pub mod avalanche;
 pub mod family;
+pub mod fastmod;
 pub mod mueller;
 pub mod murmur;
 pub mod tabulation;
 
 pub use family::{DoubleHash, HashFamily, HashFn32, Hasher32, PartitionFn, Translated};
+pub use fastmod::FastMod32;
 pub use mueller::{mueller32, mueller64};
 pub use murmur::{fmix32, fmix64};
 pub use tabulation::Tabulation32;

@@ -9,3 +9,6 @@ for b in $BINS; do
   echo "capturing $b"
   cargo run --release -p wd-bench --bin "$b" -- --n 65536 > "results/$b.txt"
 done
+echo "capturing BENCH_perf.json"
+cargo run --release -p wd-bench --bin wd-bench -- --out BENCH_perf.json
+cargo run --release -p wd-bench --bin wd-bench -- --validate BENCH_perf.json

@@ -13,8 +13,21 @@
 use std::num::NonZeroUsize;
 
 /// Number of worker threads parallel operations fan out to.
+///
+/// Honours `RAYON_NUM_THREADS` like real rayon's default pool (a positive
+/// integer overrides the hardware count; `0`, garbage, or unset fall back
+/// to [`std::thread::available_parallelism`]). Read per call — there is no
+/// persistent pool in this shim — so tests can sweep worker counts by
+/// setting the variable between launches.
 #[must_use]
 pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
