@@ -179,15 +179,40 @@ impl CuckooHash {
         }
     }
 
+    /// Bulk retrieval with a typed [`warpdrive::OpReport`]: probes the
+    /// ≤ 4 candidate slots, then the stash.
+    ///
+    /// # Errors
+    /// [`warpdrive::OpError::OutOfMemory`] if the query batch cannot be
+    /// staged.
+    pub fn try_retrieve(
+        &self,
+        keys: &[u32],
+    ) -> Result<warpdrive::GetResponse, warpdrive::OpError> {
+        let (values, stats) = self.retrieve_impl(keys)?;
+        Ok(warpdrive::GetResponse {
+            values,
+            report: warpdrive::OpReport::from_kernel(&stats, keys.len() as u64),
+        })
+    }
+
     /// Bulk retrieval: probes the ≤ 4 candidate slots, then the stash.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_retrieve` — typed `GetResponse` carrying an `OpReport`"
+    )]
     #[must_use]
     pub fn retrieve(&self, keys: &[u32]) -> (Vec<Option<u32>>, KernelStats) {
+        self.retrieve_impl(keys).expect("cuckoo staging")
+    }
+
+    fn retrieve_impl(
+        &self,
+        keys: &[u32],
+    ) -> Result<(Vec<Option<u32>>, KernelStats), warpdrive::OpError> {
         let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
         let n = words.len();
-        let staging = self
-            .dev
-            .alloc_scratch(2 * n.max(1))
-            .expect("cuckoo staging");
+        let staging = self.dev.alloc_scratch(2 * n.max(1))?;
         let input = staging.slice().sub(0, n);
         let out = staging.slice().sub(n.max(1), n);
         self.dev.mem().h2d(input, &words);
@@ -230,7 +255,7 @@ impl CuckooHash {
             .into_iter()
             .map(|w| (w != EMPTY).then(|| value_of(w)))
             .collect();
-        (results, stats)
+        Ok((results, stats))
     }
 }
 
@@ -251,7 +276,7 @@ mod tests {
         assert_eq!(out.failed, 0, "failures at load 0.78");
         assert_eq!(t.len(), 800);
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([999_999]).collect();
-        let (res, _) = t.retrieve(&keys);
+        let res = t.try_retrieve(&keys).unwrap().values;
         for (i, p) in pairs.iter().enumerate() {
             assert_eq!(res[i], Some(p.1), "key {}", p.0);
         }
@@ -284,7 +309,7 @@ mod tests {
         // everything must land somewhere (stash or table)
         assert_eq!(out.failed + t.len(), 62);
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (res, _) = t.retrieve(&keys);
+        let res = t.try_retrieve(&keys).unwrap().values;
         let found = res.iter().filter(|r| r.is_some()).count() as u64;
         assert_eq!(found, t.len());
     }
@@ -295,8 +320,8 @@ mod tests {
         let pairs: Vec<(u32, u32)> = (0..400u32).map(|i| (i + 1, i)).collect();
         t.insert_pairs(&pairs);
         let keys: Vec<u32> = (1..=400).collect();
-        let (_, stats) = t.retrieve(&keys);
-        let per_query = stats.counters.transactions as f64 / 400.0;
+        let report = t.try_retrieve(&keys).unwrap().report;
+        let per_query = report.counters.transactions as f64 / 400.0;
         assert!(
             (1.0..=4.0 + 0.01).contains(&per_query),
             "avg probes {per_query}"

@@ -156,12 +156,40 @@ impl RobinHoodMap {
         }
     }
 
+    /// Bulk retrieval with a typed [`warpdrive::OpReport`]: linear probe
+    /// from the home slot; EMPTY terminates.
+    ///
+    /// # Errors
+    /// [`warpdrive::OpError::OutOfMemory`] if the query batch cannot be
+    /// staged.
+    pub fn try_retrieve(
+        &self,
+        keys: &[u32],
+    ) -> Result<warpdrive::GetResponse, warpdrive::OpError> {
+        let (values, stats) = self.retrieve_impl(keys)?;
+        Ok(warpdrive::GetResponse {
+            values,
+            report: warpdrive::OpReport::from_kernel(&stats, keys.len() as u64),
+        })
+    }
+
     /// Bulk retrieval: linear probe from the home slot; EMPTY terminates.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_retrieve` — typed `GetResponse` carrying an `OpReport`"
+    )]
     #[must_use]
     pub fn retrieve(&self, keys: &[u32]) -> (Vec<Option<u32>>, KernelStats) {
+        self.retrieve_impl(keys).expect("rh staging")
+    }
+
+    fn retrieve_impl(
+        &self,
+        keys: &[u32],
+    ) -> Result<(Vec<Option<u32>>, KernelStats), warpdrive::OpError> {
         let n = keys.len();
         let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
-        let staging = self.dev.alloc_scratch(2 * n.max(1)).expect("rh staging");
+        let staging = self.dev.alloc_scratch(2 * n.max(1))?;
         let input = staging.slice().sub(0, n);
         let out = staging.slice().sub(n.max(1), n);
         self.dev.mem().h2d(input, &words);
@@ -205,7 +233,7 @@ impl RobinHoodMap {
             .into_iter()
             .map(|w| (w != EMPTY).then(|| value_of(w)))
             .collect();
-        (results, stats)
+        Ok((results, stats))
     }
 
     /// Probe-length statistics over all live entries (host-side): Robin
@@ -244,7 +272,7 @@ mod tests {
         let out = m.insert_pairs(&pairs);
         assert_eq!(out.failed, 0);
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([123_456_789]).collect();
-        let (res, _) = m.retrieve(&keys);
+        let res = m.try_retrieve(&keys).unwrap().values;
         for (i, p) in pairs.iter().enumerate() {
             assert_eq!(res[i], Some(p.1), "key {}", p.0);
         }
@@ -257,7 +285,7 @@ mod tests {
         m.insert_pairs(&[(5, 1)]);
         m.insert_pairs(&[(5, 2)]);
         assert_eq!(m.len(), 1);
-        assert_eq!(m.retrieve(&[5]).0[0], Some(2));
+        assert_eq!(m.try_retrieve(&[5]).unwrap().values[0], Some(2));
     }
 
     #[test]
@@ -287,7 +315,7 @@ mod tests {
         let pairs: Vec<(u32, u32)> = (0..480u32).map(|i| (i + 1, i)).collect();
         let out = m.insert_pairs(&pairs);
         assert_eq!(out.failed, 0);
-        let (res, _) = m.retrieve(&(1..=480).collect::<Vec<u32>>());
+        let res = m.try_retrieve(&(1..=480).collect::<Vec<u32>>()).unwrap().values;
         let missing: Vec<u32> = res
             .iter()
             .enumerate()

@@ -100,13 +100,42 @@ impl SortCompressStore {
         self.n == 0
     }
 
+    /// Binary-search queries with a typed [`warpdrive::OpReport`]:
+    /// returns the value of the first matching run element per key (like
+    /// the single-value hash map contract).
+    ///
+    /// # Errors
+    /// [`warpdrive::OpError::OutOfMemory`] if the query batch cannot be
+    /// staged.
+    pub fn try_retrieve(
+        &self,
+        keys: &[u32],
+    ) -> Result<warpdrive::GetResponse, warpdrive::OpError> {
+        let (values, stats) = self.retrieve_impl(keys)?;
+        Ok(warpdrive::GetResponse {
+            values,
+            report: warpdrive::OpReport::from_kernel(&stats, keys.len() as u64),
+        })
+    }
+
     /// Binary-search queries: returns the value of the first matching run
     /// element per key (like the single-value hash map contract).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_retrieve` — typed `GetResponse` carrying an `OpReport`"
+    )]
     #[must_use]
     pub fn retrieve(&self, keys: &[u32]) -> (Vec<Option<u32>>, KernelStats) {
+        self.retrieve_impl(keys).expect("sc staging")
+    }
+
+    fn retrieve_impl(
+        &self,
+        keys: &[u32],
+    ) -> Result<(Vec<Option<u32>>, KernelStats), warpdrive::OpError> {
         let nq = keys.len();
         let qwords: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
-        let staging = self.dev.alloc_scratch(2 * nq.max(1)).expect("sc staging");
+        let staging = self.dev.alloc_scratch(2 * nq.max(1))?;
         let input = staging.slice().sub(0, nq);
         let out = staging.slice().sub(nq.max(1), nq);
         self.dev.mem().h2d(input, &qwords);
@@ -144,7 +173,7 @@ impl SortCompressStore {
             .into_iter()
             .map(|w| (w != EMPTY).then(|| value_of(w)))
             .collect();
-        (results, stats)
+        Ok((results, stats))
     }
 
     /// All values of one key (the multi-value capability): binary search
@@ -176,13 +205,14 @@ mod tests {
         let (store, build_stats) = build(&pairs);
         assert!(build_stats.counters.stream_bytes > 0);
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([0, 2, 4]).collect();
-        let (res, qstats) = store.retrieve(&keys);
+        let resp = store.try_retrieve(&keys).unwrap();
+        let res = resp.values;
         for (i, p) in pairs.iter().enumerate() {
             assert_eq!(res[i], Some(p.1));
         }
         assert!(res[1000..].iter().all(Option::is_none));
         // O(log n) probes per query
-        let per_query = qstats.counters.transactions as f64 / keys.len() as f64;
+        let per_query = resp.report.counters.transactions as f64 / keys.len() as f64;
         assert!(
             (8.0..=12.0).contains(&per_query),
             "binary search depth {per_query}"
@@ -205,7 +235,7 @@ mod tests {
         assert_eq!(run, vec![1, 2, 3]);
         assert_eq!(store.retrieve_run(4), Vec::<u32>::new());
         // single-value API returns the first of the run
-        let (res, _) = store.retrieve(&[5, 3]);
+        let res = store.try_retrieve(&[5, 3]).unwrap().values;
         assert!(res[0].is_some());
         assert_eq!(res[1], Some(9));
     }
@@ -214,7 +244,7 @@ mod tests {
     fn empty_store() {
         let (store, _) = build(&[]);
         assert!(store.is_empty());
-        let (res, _) = store.retrieve(&[1]);
+        let res = store.try_retrieve(&[1]).unwrap().values;
         assert_eq!(res, vec![None]);
     }
 }

@@ -174,16 +174,42 @@ impl StadiumHash {
         self.finish(stats, table_txns.load(Relaxed), failed.load(Relaxed))
     }
 
+    /// Bulk retrieval with a typed [`warpdrive::OpReport`]: the ticket
+    /// board screens absent slots; the table is touched only for occupied
+    /// slots on the probe path. The report's `time` is the PCIe-inclusive
+    /// modeled time ([`StadiumStats::sim_time`]).
+    ///
+    /// # Errors
+    /// [`warpdrive::OpError::OutOfMemory`] if the query batch cannot be
+    /// staged.
+    pub fn try_retrieve(
+        &self,
+        keys: &[u32],
+    ) -> Result<warpdrive::GetResponse, warpdrive::OpError> {
+        let (values, st) = self.retrieve_impl(keys)?;
+        let mut report = warpdrive::OpReport::from_kernel(&st.kernel, keys.len() as u64);
+        report.time = st.sim_time;
+        Ok(warpdrive::GetResponse { values, report })
+    }
+
     /// Bulk retrieval: the ticket board screens absent slots; the table is
     /// touched only for occupied slots on the probe path.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_retrieve` — typed `GetResponse` carrying an `OpReport`"
+    )]
     #[must_use]
     pub fn retrieve(&self, keys: &[u32]) -> (Vec<Option<u32>>, StadiumStats) {
+        self.retrieve_impl(keys).expect("stadium staging")
+    }
+
+    fn retrieve_impl(
+        &self,
+        keys: &[u32],
+    ) -> Result<(Vec<Option<u32>>, StadiumStats), warpdrive::OpError> {
         let n = keys.len();
         let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
-        let staging = self
-            .dev
-            .alloc_scratch(2 * n.max(1))
-            .expect("stadium staging");
+        let staging = self.dev.alloc_scratch(2 * n.max(1))?;
         let input = staging.slice().sub(0, n);
         let out = staging.slice().sub(n.max(1), n);
         self.dev.mem().h2d(input, &words);
@@ -220,7 +246,7 @@ impl StadiumHash {
             .into_iter()
             .map(|w| (w != EMPTY).then(|| value_of(w)))
             .collect();
-        (results, self.finish(stats, table_txns.load(Relaxed), 0))
+        Ok((results, self.finish(stats, table_txns.load(Relaxed), 0)))
     }
 }
 
@@ -241,7 +267,7 @@ mod tests {
         assert_eq!(out.failed, 0);
         assert_eq!(out.pcie_bytes, 0);
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([404]).collect();
-        let (res, _) = t.retrieve(&keys);
+        let res = t.try_retrieve(&keys).unwrap().values;
         for (i, p) in pairs.iter().enumerate() {
             assert_eq!(res[i], Some(p.1), "key {}", p.0);
         }
@@ -278,9 +304,9 @@ mod tests {
         // query only absent keys: table reads should be rare relative to
         // probes because tickets answer most of them
         let miss_keys: Vec<u32> = (1_000_000..1_002_000).collect();
-        let (res, stats) = t.retrieve(&miss_keys);
-        assert!(res.iter().all(Option::is_none));
-        assert!(stats.kernel.counters.transactions > 0);
+        let resp = t.try_retrieve(&miss_keys).unwrap();
+        assert!(resp.values.iter().all(Option::is_none));
+        assert!(resp.report.counters.transactions > 0);
     }
 
     #[test]
@@ -292,7 +318,7 @@ mod tests {
         assert_eq!(out.failed, 0);
         assert_eq!(t.len(), 2);
         // retrieval returns the first on the probe path
-        let (res, _) = t.retrieve(&[7]);
+        let res = t.try_retrieve(&[7]).unwrap().values;
         assert!(res[0].is_some());
     }
 }

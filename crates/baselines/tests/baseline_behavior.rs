@@ -21,7 +21,7 @@ fn cuckoo_at_its_advertised_load_limit() {
     let out = t.insert_pairs(&pairs);
     assert_eq!(out.failed, 0, "failures at 0.95 ({} stashed)", out.stashed);
     let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-    let (res, _) = t.retrieve(&keys);
+    let res = t.try_retrieve(&keys).unwrap().values;
     assert!(res.iter().all(Option::is_some));
 }
 
@@ -34,7 +34,7 @@ fn cuckoo_rejects_beyond_the_threshold_gracefully() {
     let out = t.insert_pairs(&pairs);
     let placed = t.len();
     assert_eq!(placed + out.failed, 512);
-    let (res, _) = t.retrieve(&(1..=512).collect::<Vec<u32>>());
+    let res = t.try_retrieve(&(1..=512).collect::<Vec<u32>>()).unwrap().values;
     assert_eq!(res.iter().filter(|r| r.is_some()).count() as u64, placed);
 }
 
@@ -46,7 +46,7 @@ fn robin_hood_handles_clustered_keys() {
     let out = m.insert_pairs(&pairs);
     assert_eq!(out.failed, 0);
     let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-    let (res, _) = m.retrieve(&keys);
+    let res = m.try_retrieve(&keys).unwrap().values;
     for (i, r) in res.iter().enumerate() {
         assert_eq!(*r, Some(pairs[i].1), "key {}", pairs[i].0);
     }
@@ -57,6 +57,7 @@ fn stadium_modes_agree_functionally() {
     let pairs = Distribution::Uniform.generate(1500, 9);
     let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([12345]).collect();
     let mut answers = Vec::new();
+    let mut times = Vec::new();
     for placement in [
         TablePlacement::InCore,
         TablePlacement::OutOfCore {
@@ -66,13 +67,12 @@ fn stadium_modes_agree_functionally() {
         let t = StadiumHash::new(device(1 << 14), 2048, placement, 2).unwrap();
         let out = t.insert_pairs(&pairs);
         assert_eq!(out.failed, 0);
-        let (res, stats) = t.retrieve(&keys);
-        answers.push(res);
-        if matches!(placement, TablePlacement::OutOfCore { .. }) {
-            assert!(stats.pcie_bytes > 0, "out-of-core must cross PCIe");
-        }
+        let resp = t.try_retrieve(&keys).unwrap();
+        answers.push(resp.values);
+        times.push(resp.report.time);
     }
     assert_eq!(answers[0], answers[1]);
+    assert!(times[1] > times[0], "out-of-core must pay PCIe time");
 }
 
 #[test]
@@ -84,7 +84,7 @@ fn sort_compress_duplicates_and_order() {
     assert_eq!(store.retrieve_run(9).len(), 3);
     assert_eq!(store.retrieve_run(3).len(), 2);
     assert_eq!(store.retrieve_run(1), vec![4]);
-    let (res, _) = store.retrieve(&[9, 3, 1, 2]);
+    let res = store.try_retrieve(&[9, 3, 1, 2]).unwrap().values;
     assert!(res[0].is_some() && res[1].is_some() && res[2] == Some(4));
     assert_eq!(res[3], None);
 }
@@ -120,15 +120,15 @@ fn all_baselines_reject_nothing_at_half_load() {
 
     let c = CuckooHash::new(device(1 << 14), 2048, 1).unwrap();
     assert_eq!(c.insert_pairs(&pairs).failed, 0);
-    assert!(c.retrieve(&keys).0.iter().all(Option::is_some));
+    assert!(c.try_retrieve(&keys).unwrap().values.iter().all(Option::is_some));
 
     let r = RobinHoodMap::new(device(1 << 14), 2048, 2).unwrap();
     assert_eq!(r.insert_pairs(&pairs).failed, 0);
-    assert!(r.retrieve(&keys).0.iter().all(Option::is_some));
+    assert!(r.try_retrieve(&keys).unwrap().values.iter().all(Option::is_some));
 
     let s = StadiumHash::new(device(1 << 14), 2048, TablePlacement::InCore, 3).unwrap();
     assert_eq!(s.insert_pairs(&pairs).failed, 0);
-    assert!(s.retrieve(&keys).0.iter().all(Option::is_some));
+    assert!(s.try_retrieve(&keys).unwrap().values.iter().all(Option::is_some));
 
     let f = FolkloreMap::new(2048);
     assert_eq!(f.insert_bulk(&pairs).failed, 0);

@@ -38,11 +38,11 @@ fn bench_retrieve_kernel(c: &mut Criterion) {
     let pairs = Distribution::Unique.generate(N, 2);
     map.insert_pairs(&pairs).unwrap();
     let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-    g.bench_function("hits", |b| b.iter(|| map.retrieve(black_box(&keys))));
+    g.bench_function("hits", |b| b.iter(|| map.try_retrieve(black_box(&keys)).unwrap()));
     let misses: Vec<u32> = (1..=N as u32)
         .map(|i| i.wrapping_mul(0x9e37_79b9) | 1)
         .collect();
-    g.bench_function("mixed", |b| b.iter(|| map.retrieve(black_box(&misses))));
+    g.bench_function("mixed", |b| b.iter(|| map.try_retrieve(black_box(&misses)).unwrap()));
     g.finish();
 }
 

@@ -55,12 +55,14 @@ fn main() {
             .chunks(per)
             .map(|c| c.iter().map(|p| p.0).collect())
             .collect();
-        let (res, ret) = dmap.retrieve_device_sided(&per_keys);
-        assert!(res.iter().flatten().all(Option::is_some));
+        let ret = dmap
+            .try_retrieve_device_sided(&per_keys)
+            .expect("device retrieve");
+        assert!(ret.values.iter().flatten().all(Option::is_some));
         t.row(vec![
             "multisplit transposition (paper)".to_owned(),
             gops(ins.modeled_ops_per_sec(scale)),
-            gops(ret.modeled_ops_per_sec(scale)),
+            gops(ret.report.modeled_ops_per_sec(scale)),
             "1 GPU each".to_owned(),
         ]);
     }
@@ -84,9 +86,9 @@ fn main() {
         let mut ret_worst = 0.0f64;
         let mut found = vec![false; keys.len()];
         for map in &maps {
-            let (res, stats) = map.retrieve(&keys);
-            ret_worst = ret_worst.max(stats.sim_time);
-            for (i, r) in res.iter().enumerate() {
+            let ret = map.try_retrieve(&keys).expect("broadcast retrieve");
+            ret_worst = ret_worst.max(ret.report.time);
+            for (i, r) in ret.values.iter().enumerate() {
                 found[i] |= r.is_some();
             }
         }

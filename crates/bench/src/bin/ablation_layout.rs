@@ -32,8 +32,8 @@ fn main() {
             let pairs = Distribution::Unique.generate(n, opts.seed);
             let ins = map.insert_pairs(&pairs).expect("insert");
             let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-            let (res, ret) = map.retrieve(&keys);
-            assert!(res.iter().all(Option::is_some));
+            let ret = map.try_retrieve(&keys).expect("retrieve");
+            assert!(ret.values.iter().all(Option::is_some));
             let words = match layout {
                 Layout::Aos => map.capacity(),
                 Layout::Soa => 2 * map.capacity(),
@@ -42,7 +42,7 @@ fn main() {
                 format!("{load:.2}"),
                 label.to_owned(),
                 gops(scaled_rate(ins.stats.sim_time, oh, n, opts.modeled_n)),
-                gops(scaled_rate(ret.sim_time, oh, n, opts.modeled_n)),
+                gops(scaled_rate(ret.report.time, oh, n, opts.modeled_n)),
                 words.to_string(),
             ]);
         }

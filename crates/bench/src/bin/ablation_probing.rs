@@ -49,12 +49,12 @@ fn main() {
                 }
             };
             let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-            let (_, ret) = map.retrieve(&keys);
+            let ret = map.try_retrieve(&keys).expect("retrieve").report;
             t.row(vec![
                 format!("{load:.2}"),
                 label.to_owned(),
                 gops(scaled_rate(ins.stats.sim_time, oh, n, opts.modeled_n)),
-                gops(scaled_rate(ret.sim_time, oh, n, opts.modeled_n)),
+                gops(scaled_rate(ret.time, oh, n, opts.modeled_n)),
                 format!("{:.2}", ins.stats.counters.steps_per_group()),
             ]);
         }

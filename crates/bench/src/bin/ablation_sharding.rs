@@ -42,7 +42,7 @@ fn main() {
         )
         .unwrap();
         let mi = mono.insert_pairs(&pairs).unwrap();
-        let (_, mr) = mono.retrieve(&keys);
+        let mr = mono.try_retrieve(&keys).unwrap().report;
         // sharded ×4 (per-shard modeled footprint = modeled/4)
         let dev = p100_with_words(0, capacity + 3 * n + 4096);
         let shard = ShardedHashMap::new(
@@ -53,7 +53,7 @@ fn main() {
         )
         .unwrap();
         let si = shard.insert_pairs(&pairs).unwrap();
-        let (_, sr) = shard.retrieve(&keys);
+        let sr = shard.try_retrieve(&keys).unwrap().report;
 
         let mono_ins = scaled_rate(mi.stats.sim_time, oh, n, opts.modeled_n);
         // sharded issues 1 routing + 4 shard launches
@@ -63,8 +63,8 @@ fn main() {
             gops(mono_ins),
             gops(shard_ins),
             format!("{:.2}x", shard_ins / mono_ins),
-            gops(scaled_rate(mr.sim_time, oh, n, opts.modeled_n)),
-            gops(scaled_rate(sr.sim_time - 4.0 * oh, oh, n, opts.modeled_n)),
+            gops(scaled_rate(mr.time, oh, n, opts.modeled_n)),
+            gops(scaled_rate(sr.time - 4.0 * oh, oh, n, opts.modeled_n)),
         ]);
     }
     t.print();

@@ -56,7 +56,10 @@ fn run(dist: Distribution, n_func: usize, n_model: u64, seed: u64) -> Rates {
         .chunks(per_func)
         .map(|c| c.iter().map(|p| p.0).collect())
         .collect();
-    let (_, ret) = dmap.retrieve_device_sided(&per_gpu_keys);
+    let ret = dmap
+        .try_retrieve_device_sided(&per_gpu_keys)
+        .expect("device retrieve")
+        .report;
 
     // host-sided: the paper's peak host rates (84%/55% of PCIe) are the
     // asynchronously overlapped variants — batches of 2^24 modeled

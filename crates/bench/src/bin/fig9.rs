@@ -56,7 +56,10 @@ fn tau(n_func: usize, n_model: u64, m: usize, seed: u64) -> (f64, f64) {
         .chunks(per_gpu_func)
         .map(|c| c.iter().map(|p| p.0).collect())
         .collect();
-    let (_, ret) = dmap.retrieve_device_sided(&per_gpu_keys);
+    let ret = dmap
+        .try_retrieve_device_sided(&per_gpu_keys)
+        .expect("device retrieve")
+        .report;
 
     let scale = n_model as f64 / (per_gpu_func * m) as f64;
     (ins.modeled_time(scale), ret.modeled_time(scale))

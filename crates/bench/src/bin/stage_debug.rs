@@ -38,7 +38,10 @@ fn main() {
         .chunks(per)
         .map(|c| c.iter().map(|p| p.0).collect())
         .collect();
-    let (_, ret) = dmap.retrieve_device_sided(&keys);
+    let ret = dmap
+        .try_retrieve_device_sided(&keys)
+        .expect("device retrieve")
+        .report;
     println!("retrieve cascade:");
     for s in &ret.stages {
         println!(

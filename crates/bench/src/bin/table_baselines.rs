@@ -43,11 +43,11 @@ fn main() {
         let map = warpdrive::GpuHashMap::new(dev, capacity, warpdrive::Config::default())
             .expect("warpdrive");
         let ins = map.insert_pairs(&pairs).expect("insert");
-        let (_, ret) = map.retrieve(&keys);
+        let ret = map.try_retrieve(&keys).expect("retrieve").report;
         t.row(vec![
             "WarpDrive |g|=4".to_owned(),
             gops(rate(ins.stats.sim_time)),
-            gops(rate(ret.sim_time)),
+            gops(rate(ret.time)),
             map.capacity().to_string(),
             "this paper".to_owned(),
         ]);
@@ -58,8 +58,8 @@ fn main() {
         let dev = p100_with_words(0, capacity + 3 * n + 1024);
         let table = CuckooHash::new(dev, capacity, opts.seed as u32).expect("cuckoo");
         let ins = table.insert_pairs(&pairs);
-        let (_, ret) = table.retrieve(&keys);
-        let r = (rate(ins.stats.sim_time), rate(ret.sim_time));
+        let ret = table.try_retrieve(&keys).expect("retrieve").report;
+        let r = (rate(ins.stats.sim_time), rate(ret.time));
         t.row(vec![
             "CUDPP cuckoo".to_owned(),
             gops(r.0),
@@ -75,11 +75,11 @@ fn main() {
         let dev = p100_with_words(0, capacity + 3 * n + 1024);
         let map = RobinHoodMap::new(dev, capacity, opts.seed as u32).expect("robin hood");
         let ins = map.insert_pairs(&pairs);
-        let (_, ret) = map.retrieve(&keys);
+        let ret = map.try_retrieve(&keys).expect("retrieve").report;
         t.row(vec![
             "Robin Hood".to_owned(),
             gops(rate(ins.stats.sim_time)),
-            gops(rate(ret.sim_time)),
+            gops(rate(ret.time)),
             capacity.to_string(),
             "García et al.".to_owned(),
         ]);
@@ -98,7 +98,7 @@ fn main() {
         let dev = p100_with_words(0, capacity + capacity / 64 + 3 * n + 1024);
         let table = StadiumHash::new(dev, capacity, placement, opts.seed as u32).expect("stadium");
         let ins = table.insert_pairs(&pairs);
-        let (_, ret) = table.retrieve(&keys);
+        let ret = table.try_retrieve(&keys).expect("retrieve").report;
         let ins_rate = rate(ins.sim_time);
         let note = if matches!(placement, TablePlacement::InCore) {
             format!("{:.2}x cuckoo ins", ins_rate / cuckoo_rates.0)
@@ -108,7 +108,7 @@ fn main() {
         t.row(vec![
             label.to_owned(),
             gops(ins_rate),
-            gops(rate(ret.sim_time)),
+            gops(rate(ret.time)),
             (capacity + capacity / 64).to_string(),
             note,
         ]);
@@ -118,11 +118,11 @@ fn main() {
     {
         let dev = p100_with_words(0, 4 * n + 1024);
         let (store, build) = SortCompressStore::build(dev, &pairs).expect("sort store");
-        let (_, q) = store.retrieve(&keys);
+        let q = store.try_retrieve(&keys).expect("query").report;
         t.row(vec![
             "sort+compress".to_owned(),
             gops(rate(build.sim_time)),
-            gops(rate(q.sim_time)),
+            gops(rate(q.time)),
             store.footprint_words.to_string(),
             "2x memory, O(log n) query".to_owned(),
         ]);

@@ -13,7 +13,7 @@
 //!   wd-bench --validate <report.json>
 //!   wd-bench --compare <new.json> <baseline.json>
 //!
-//! `--validate` checks a report against the `wd-bench-perf/v1` schema
+//! `--validate` checks a report against the `wd-bench-perf/v2` schema
 //! (exit 1 on violation). `--compare` prints host-rate deltas between two
 //! reports and always exits 0 — wall-clock on shared CI runners is noisy,
 //! so the delta is advisory, never a gate.
@@ -42,6 +42,65 @@ fn counters_json(c: &gpu_sim::CounterSnapshot) -> Json {
         ("cold_atomics", Json::Num(c.cold_atomics as f64)),
         ("group_steps", Json::Num(c.group_steps as f64)),
         ("groups", Json::Num(c.groups as f64)),
+    ])
+}
+
+/// The serving scenario: a seeded two-tenant trace through a
+/// [`wd_serve::Server`] over a 4-GPU node, reporting modeled tail
+/// latency and throughput next to the host wall time of the whole run.
+fn serve_scenario(quick: bool, seed: u64) -> Json {
+    use interconnect::Topology;
+    use std::sync::Arc;
+    use warpdrive::{Config, DistributedHashMap, MapService};
+    use wd_serve::{generate, ServeConfig, Server, TraceConfig};
+
+    let ops = if quick { 8_192 } else { 32_768 };
+    let wall = Instant::now();
+    let devices: Vec<Arc<gpu_sim::Device>> = (0..4)
+        .map(|i| Arc::new(gpu_sim::Device::with_words(i, 1 << 18)))
+        .collect();
+    let node = DistributedHashMap::new(devices, 1 << 14, Config::default(), Topology::p100_quad(4))
+        .expect("serve node");
+    let mut srv = Server::new(
+        node,
+        ServeConfig::default()
+            .with_max_batch(512)
+            .with_max_delay(5e-5)
+            .with_tenant_quota(1 << 13),
+    );
+    let trace = generate(
+        &TraceConfig {
+            ops,
+            tenants: 2,
+            key_space: 1 << 13,
+            put_per_mille: 500,
+            delete_per_mille: 100,
+            mean_gap: 2e-7,
+        },
+        seed,
+    );
+    let run = srv.run_trace(&trace);
+    let host_wall_s = wall.elapsed().as_secs_f64();
+
+    let t = srv.telemetry();
+    Json::obj(vec![
+        ("ops", Json::Num(run.completions.len() as f64)),
+        ("tenants", Json::Num(2.0)),
+        ("flushes", Json::Num(t.flushes as f64)),
+        ("mean_batch", Json::Num(t.mean_batch())),
+        ("p50_latency_s", Json::Num(t.latency.p50())),
+        ("p99_latency_s", Json::Num(t.latency.p99())),
+        (
+            "throughput_ops_s",
+            Json::Num(if t.report.time > 0.0 {
+                t.flushed_ops as f64 / t.report.time
+            } else {
+                0.0
+            }),
+        ),
+        ("occupancy", Json::Num(srv.backend().occupancy())),
+        ("rejects", Json::Num(run.rejects.len() as f64)),
+        ("host_wall_s", Json::Num(host_wall_s)),
     ])
 }
 
@@ -152,6 +211,11 @@ fn main() {
     }
     let micro_ops_s = 2.0 * n as f64 / best_wall.max(1e-12);
 
+    // Online serving scenario: seeded two-tenant trace, coalesced onto a
+    // 4-GPU node — modeled p50/p99 and throughput are deterministic, the
+    // host wall time rides along like everywhere else.
+    let serve = serve_scenario(quick, seed);
+
     let doc = Json::obj(vec![
         ("schema", Json::Str(PERF_SCHEMA.into())),
         (
@@ -196,6 +260,7 @@ fn main() {
                 ("ops_s", Json::Num(micro_ops_s)),
             ]),
         ),
+        ("serve", serve),
     ]);
 
     validate_perf(&doc).expect("self-emitted report must satisfy the schema");

@@ -5,7 +5,7 @@
 //! pipeline needs: a [`Json`] value tree with a deterministic pretty
 //! printer, a recursive-descent parser for reading reports back (CI
 //! validation and baseline comparison), and [`validate_perf`], the
-//! structural check for the `wd-bench-perf/v1` schema emitted by the
+//! structural check for the `wd-bench-perf/v2` schema emitted by the
 //! `wd-bench` binary.
 //!
 //! Printer determinism matters: object keys keep insertion order and
@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema identifier emitted in — and required of — every perf report.
-pub const PERF_SCHEMA: &str = "wd-bench-perf/v1";
+pub const PERF_SCHEMA: &str = "wd-bench-perf/v2";
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,13 +317,28 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
         .ok_or_else(|| format!("bad number at byte {start}"))
 }
 
-/// Required numeric fields per section of the `wd-bench-perf/v1` schema.
+/// Required numeric fields per section of the `wd-bench-perf/v2` schema.
 const SECTIONS: &[(&str, &[&str])] = &[
     ("machine", &["threads"]),
     ("run", &["n", "modeled_n", "seed"]),
+    (
+        "serve",
+        &[
+            "ops",
+            "tenants",
+            "flushes",
+            "mean_batch",
+            "p50_latency_s",
+            "p99_latency_s",
+            "throughput_ops_s",
+            "occupancy",
+            "rejects",
+            "host_wall_s",
+        ],
+    ),
 ];
 
-/// Structurally validates a `wd-bench-perf/v1` report.
+/// Structurally validates a `wd-bench-perf/v2` report.
 ///
 /// # Errors
 /// Returns every violation found (missing sections, wrong types, negative
@@ -467,6 +482,21 @@ mod tests {
                 ])]),
             ),
             ("host_microbench", Json::obj(vec![("ops_s", Json::Num(5e6))])),
+            (
+                "serve",
+                Json::obj(vec![
+                    ("ops", Json::Num(8192.0)),
+                    ("tenants", Json::Num(2.0)),
+                    ("flushes", Json::Num(16.0)),
+                    ("mean_batch", Json::Num(512.0)),
+                    ("p50_latency_s", Json::Num(1e-4)),
+                    ("p99_latency_s", Json::Num(4e-4)),
+                    ("throughput_ops_s", Json::Num(1e8)),
+                    ("occupancy", Json::Num(0.3)),
+                    ("rejects", Json::Num(0.0)),
+                    ("host_wall_s", Json::Num(0.2)),
+                ]),
+            ),
         ])
     }
 

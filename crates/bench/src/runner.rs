@@ -190,14 +190,14 @@ impl SingleGpuBench {
         let table =
             CuckooHash::new(self.dev.clone(), capacity, seed as u32).expect("cuckoo allocation");
         let ins = table.insert_pairs(&pairs);
-        let (_, ret) = table.retrieve(&keys);
+        let ret = table.try_retrieve(&keys).unwrap().report;
         let host_wall_s = wall.elapsed().as_secs_f64();
 
         let overhead = self.dev.spec().launch_overhead;
         CuckooMeasurement {
             load,
             insert_rate: scaled_rate(ins.stats.sim_time, overhead, n, modeled_n),
-            retrieve_rate: scaled_rate(ret.sim_time, overhead, n, modeled_n),
+            retrieve_rate: scaled_rate(ret.time, overhead, n, modeled_n),
             insert_steps: ins.stats.counters.steps_per_group(),
             failed: ins.failed,
             host_wall_s,

@@ -107,11 +107,30 @@ impl AdaptiveHashMap {
         self.inner.insert_pairs(pairs)
     }
 
+    /// Retrieves with the recommended group size, returning a typed
+    /// [`crate::GetResponse`].
+    ///
+    /// # Errors
+    /// Same as [`GpuHashMap::try_retrieve`].
+    pub fn try_retrieve(
+        &mut self,
+        keys: &[u32],
+    ) -> Result<crate::GetResponse, crate::OpError> {
+        let g = self.current_group_size();
+        self.inner.set_group_size(g);
+        self.inner.try_retrieve(keys)
+    }
+
     /// Retrieves with the recommended group size.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_retrieve` — typed `GetResponse` carrying an `OpReport`"
+    )]
     #[must_use]
     pub fn retrieve(&mut self, keys: &[u32]) -> (Vec<Option<u32>>, gpu_sim::KernelStats) {
         let g = self.current_group_size();
         self.inner.set_group_size(g);
+        #[allow(deprecated)]
         self.inner.retrieve(keys)
     }
 
@@ -161,7 +180,7 @@ mod tests {
         }
         // every key is found regardless of which |g| inserted it
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (res, _) = map.retrieve(&keys);
+        let res = map.try_retrieve(&keys).unwrap().values;
         assert!(res.iter().all(Option::is_some));
         // recommendations stayed in the sane band
         assert!(sizes.iter().all(|g| (2..=8).contains(g)), "{sizes:?}");

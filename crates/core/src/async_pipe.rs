@@ -172,7 +172,9 @@ impl DistributedHashMap {
         let mut cascades = Vec::new();
         let mut results = Vec::with_capacity(keys.len());
         for chunk in keys.chunks(batch_size) {
-            let (r, rep) = self.retrieve_from_host(chunk);
+            let (r, rep) = self
+                .retrieve_from_host_impl(chunk)
+                .expect("scratch for overlapped retrieve");
             results.extend(r);
             cascades.push(rep);
         }
@@ -197,7 +199,9 @@ impl DistributedHashMap {
         let mut cascades = Vec::new();
         let mut results = Vec::with_capacity(keys.len());
         for chunk in keys.chunks(batch_size) {
-            let (r, rep) = self.retrieve_from_host(chunk);
+            let (r, rep) = self
+                .retrieve_from_host_impl(chunk)
+                .expect("scratch for overlapped retrieve");
             results.extend(r);
             cascades.push(rep);
         }

@@ -14,7 +14,7 @@ use crate::insert::{soa_is_empty, soa_key_of};
 use crate::map::TableRef;
 use crate::probing::Prober;
 use gpu_sim::{DevSlice, Device, GroupCtx, KernelStats, LaunchOptions};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 
 /// Result of a bulk erase.
 #[derive(Debug, Clone)]
@@ -23,6 +23,9 @@ pub struct EraseOutcome {
     pub stats: KernelStats,
     /// Number of keys found and tombstoned.
     pub erased: u64,
+    /// Per-key outcome in input order: `hits[i]` is `true` iff input
+    /// key `i` was found and tombstoned (`erased` is its popcount).
+    pub hits: Vec<bool>,
 }
 
 #[allow(clippy::too_many_arguments)] // kernel ABI: device + table + knobs
@@ -37,6 +40,7 @@ pub(crate) fn erase_kernel(
     recorder: Option<&HistoryRecorder>,
 ) -> EraseOutcome {
     let erased = AtomicU64::new(0);
+    let hits: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let stats = dev.launch(
         "warpdrive_erase",
         n,
@@ -51,6 +55,7 @@ pub(crate) fn erase_kernel(
             };
             if hit {
                 erased.fetch_add(1, Relaxed);
+                hits[ctx.group_id()].store(true, Relaxed);
             }
             if let (Some(rec), Some(invoked)) = (recorder, invoked) {
                 rec.complete(key, OpKind::Erase, OpResponse::Erased { hit }, invoked);
@@ -60,6 +65,7 @@ pub(crate) fn erase_kernel(
     EraseOutcome {
         stats,
         erased: erased.load(Relaxed),
+        hits: hits.into_iter().map(AtomicBool::into_inner).collect(),
     }
 }
 

@@ -33,9 +33,10 @@
 use crate::chaos::{launch_site, straggled, ChaosState, Router};
 use crate::config::Config;
 use crate::entry::{key_of, pack, value_of, EMPTY};
-use crate::errors::{BuildError, InsertError, RetrieveError};
+use crate::errors::{BuildError, InsertError};
 use crate::history::{OpKind, OpResponse};
 use crate::map::GpuHashMap;
+use crate::service::{OpError, OpReport, PerGpuDeleteResponse, PerGpuGetResponse, PutResponse};
 use crate::stats::{CascadeReport, CascadeStage, DegradedStats};
 use gpu_sim::{Device, FaultPlan, GroupSize, LaunchOptions, RetryPolicy};
 use hashes::PartitionFn;
@@ -619,29 +620,45 @@ impl DistributedHashMap {
     /// failover avenue; use
     /// [`DistributedHashMap::try_retrieve_device_sided`] for the typed
     /// error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_retrieve_device_sided` — typed `PerGpuGetResponse` carrying an `OpReport`"
+    )]
     #[must_use]
     pub fn retrieve_device_sided(
         &self,
         per_gpu_keys: &[Vec<u32>],
     ) -> (Vec<Vec<Option<u32>>>, CascadeReport) {
-        match self.try_retrieve_device_sided(per_gpu_keys) {
+        match self.retrieve_device_sided_impl(per_gpu_keys) {
             Ok(out) => out,
             Err(e) => panic!("retrieve failed: {e}; replay: {}", self.replay_hint()),
         }
     }
 
-    /// [`DistributedHashMap::retrieve_device_sided`] with typed fault
-    /// errors. Retrieval is pure, so fault recovery restarts the whole
-    /// cascade after quarantining the culprit; queries addressed to
+    /// Device-sided retrieval with typed fault errors, returning the
+    /// per-GPU results *in the original per-GPU order* plus a unified
+    /// [`OpReport`]. Retrieval is pure, so fault recovery restarts the
+    /// whole cascade after quarantining the culprit; queries addressed to
     /// quarantined GPUs re-spread over the survivors with their origin
     /// tracked, so result order is unaffected.
     ///
     /// # Errors
-    /// [`RetrieveError`] once every failover avenue is exhausted.
+    /// [`OpError`] once every failover avenue is exhausted.
     pub fn try_retrieve_device_sided(
         &self,
         per_gpu_keys: &[Vec<u32>],
-    ) -> Result<PerGpuRetrieve, RetrieveError> {
+    ) -> Result<PerGpuGetResponse, OpError> {
+        let (values, report) = self.retrieve_device_sided_impl(per_gpu_keys)?;
+        Ok(PerGpuGetResponse {
+            values,
+            report: OpReport::from_cascade(&report),
+        })
+    }
+
+    pub(crate) fn retrieve_device_sided_impl(
+        &self,
+        per_gpu_keys: &[Vec<u32>],
+    ) -> Result<PerGpuRetrieve, OpError> {
         assert_eq!(per_gpu_keys.len(), self.num_gpus(), "one batch per GPU");
         let n_total: u64 = per_gpu_keys.iter().map(|v| v.len() as u64).sum();
         let mut report = CascadeReport::new(n_total);
@@ -827,27 +844,66 @@ impl DistributedHashMap {
     /// # Panics
     /// Panics (with the replay hint) if fault injection exhausts every
     /// failover avenue.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_erase_device_sided` — typed `PerGpuDeleteResponse` with per-key hits"
+    )]
     pub fn erase_device_sided(&mut self, per_gpu_keys: &[Vec<u32>]) -> (u64, CascadeReport) {
+        match self.erase_device_sided_impl(per_gpu_keys) {
+            Ok((_, erased, report)) => (erased, report),
+            Err(e) => panic!("erase failed: {e}; replay: {}", self.replay_hint()),
+        }
+    }
+
+    /// Device-sided erase with typed fault errors, returning the per-key
+    /// hit flags *in the original per-GPU order* alongside the tombstoned
+    /// count and a unified [`OpReport`]. Hit flags ride the same
+    /// origin-packing convention as retrieval (origin index in the low
+    /// half of the query word) and survive quarantine restarts: a key
+    /// tombstoned in an aborted round stays reported as a hit even though
+    /// the retried round no longer observes it.
+    ///
+    /// # Errors
+    /// [`OpError`] once every failover avenue is exhausted.
+    pub fn try_erase_device_sided(
+        &mut self,
+        per_gpu_keys: &[Vec<u32>],
+    ) -> Result<PerGpuDeleteResponse, OpError> {
+        let (hits, erased, report) = self.erase_device_sided_impl(per_gpu_keys)?;
+        Ok(PerGpuDeleteResponse {
+            hits,
+            erased,
+            report: OpReport::from_cascade(&report),
+        })
+    }
+
+    pub(crate) fn erase_device_sided_impl(
+        &mut self,
+        per_gpu_keys: &[Vec<u32>],
+    ) -> Result<(Vec<Vec<bool>>, u64, CascadeReport), OpError> {
         assert_eq!(per_gpu_keys.len(), self.num_gpus(), "one batch per GPU");
         let n_total: u64 = per_gpu_keys.iter().map(|v| v.len() as u64).sum();
         let mut report = CascadeReport::new(n_total);
         let mut erased = 0u64;
+        let mut hits: Vec<Vec<bool>> = per_gpu_keys.iter().map(|k| vec![false; k.len()]).collect();
         let policy = self.cfg.retry;
         for _round in 0..=self.num_gpus() {
             let (plan, mask) = self.chaos_snapshot();
-            let (eff, _origin) = self.respread_keys(per_gpu_keys, mask);
+            let (eff, origin) = self.respread_keys(per_gpu_keys, mask);
             let router = self.router_for(mask);
-            match self.erase_cascade_once(&eff, &router, &plan, &policy, &mut report, &mut erased)
-            {
-                Ok(()) => return (erased, report),
-                Err(Abort::Lost(j)) => {
-                    if let Err(e) = self.quarantine(j) {
-                        panic!("erase failed: {e}; replay: {}", self.replay_hint());
-                    }
-                }
-                Err(Abort::Fatal(e)) => {
-                    panic!("erase failed: {e}; replay: {}", self.replay_hint())
-                }
+            match self.erase_cascade_once(
+                &eff,
+                &origin,
+                &router,
+                &plan,
+                &policy,
+                &mut report,
+                &mut erased,
+                &mut hits,
+            ) {
+                Ok(()) => return Ok((hits, erased, report)),
+                Err(Abort::Lost(j)) => self.quarantine(j)?,
+                Err(Abort::Fatal(e)) => return Err(e.into()),
             }
         }
         unreachable!("every failed round quarantines one GPU; at most m rounds")
@@ -857,15 +913,25 @@ impl DistributedHashMap {
     fn erase_cascade_once(
         &self,
         per_gpu_keys: &[Vec<u32>],
+        origin: &[Vec<(usize, usize)>],
         router: &Router,
         plan: &FaultPlan,
         policy: &RetryPolicy,
         report: &mut CascadeReport,
         erased: &mut u64,
+        hits_out: &mut [Vec<bool>],
     ) -> Result<(), Abort> {
+        // erase query words carry the (effective) origin index in the low
+        // 32 bits, exactly like retrieval — the erase kernel only reads
+        // `key_of`, so the payload half is free for routing metadata
         let query_words: Vec<Vec<u64>> = per_gpu_keys
             .iter()
-            .map(|keys| keys.iter().map(|&k| u64::from(k) << 32).collect())
+            .map(|keys| {
+                keys.iter()
+                    .enumerate()
+                    .map(|(i, &k)| pack(k, i as u32))
+                    .collect()
+            })
             .collect();
         let oh = self.devices[0].spec().launch_overhead;
         let mut tally = ChaosTally::default();
@@ -889,18 +955,88 @@ impl DistributedHashMap {
             report.push(CascadeStage::Transpose, transpose.time, transpose.bytes);
 
             let mut worst = 0.0f64;
+            let mut hit_vecs: Vec<Vec<bool>> = vec![Vec::new(); self.num_gpus()];
+            let mut aborted: Option<Abort> = None;
             for (j, words) in recv.iter().enumerate() {
                 if words.is_empty() {
                     continue;
                 }
-                gate_launch(plan, policy, j, launch_site::ERASE, &mut tally)
-                    .map_err(Abort::Lost)?;
+                if let Err(lost) = gate_launch(plan, policy, j, launch_site::ERASE, &mut tally) {
+                    aborted = Some(Abort::Lost(lost));
+                    break;
+                }
                 let buf = recv_guards[j].slice().sub(0, words.len());
                 let out = self.maps[j].erase_device_shared(buf, words.len());
                 *erased += out.erased;
+                hit_vecs[j] = out.hits;
                 worst = worst.max(straggled(plan, j, out.stats.sim_time));
             }
+
+            // harvest per-key hits for every target that completed — even
+            // when the round aborts: those tombstones landed, and the
+            // restarted round will no longer observe the keys (this is
+            // the same accumulate-across-rounds rule `erased` follows)
+            let recv_offsets = split.table.recv_offsets();
+            for i in 0..self.num_gpus() {
+                for j in 0..self.num_gpus() {
+                    if hit_vecs[j].is_empty() {
+                        continue;
+                    }
+                    let send_off = split.splits[i].offsets[j] as usize;
+                    let count = split.splits[i].counts[j] as usize;
+                    let sent = self.devices[i]
+                        .mem()
+                        .d2h(split.splits[i].out.sub(send_off, count));
+                    let recv_off = recv_offsets[i][j] as usize;
+                    for (r, &qword) in sent.iter().enumerate() {
+                        if hit_vecs[j][recv_off + r] {
+                            let (oi, oidx) = origin[i][value_of(qword) as usize];
+                            hits_out[oi][oidx] = true;
+                        }
+                    }
+                }
+            }
+            if let Some(a) = aborted {
+                return Err(a);
+            }
             report.push_with_overhead(CascadeStage::Query, worst, 0, oh);
+
+            // return trip: one status byte per key mirrors the forward
+            // chunking, then an irregular-store scatter per origin GPU
+            let back = alltoall_time_faulted(
+                &self.topo,
+                &split.table.transposed().byte_matrix(1),
+                plan,
+                policy,
+            )
+            .map_err(|e| {
+                tally_exhausted_transfer(&mut tally, policy, e);
+                Abort::Lost(Self::blame(plan, e))
+            })?;
+            tally.transfer_retries += u64::from(back.retries);
+            tally.backoff += back.backoff;
+            report.push(CascadeStage::TransposeBack, back.time, back.bytes);
+
+            let mut scatter_worst = 0.0f64;
+            for i in 0..self.num_gpus() {
+                let writes: u64 = split.splits[i].counts.iter().sum();
+                if writes > 0 {
+                    let stats = self.devices[i].launch(
+                        "erase_hit_scatter",
+                        (writes as usize).div_ceil(32),
+                        GroupSize::WARP,
+                        LaunchOptions::default(),
+                        |ctx| {
+                            // 32 streaming reads of (qword, status) pairs;
+                            // single-byte statuses store near-coalesced
+                            ctx.bill_stream_bytes(32 * (8 + 1));
+                            ctx.bill_transactions(2);
+                        },
+                    );
+                    scatter_worst = scatter_worst.max(straggled(plan, i, stats.sim_time));
+                }
+            }
+            report.push_with_overhead(CascadeStage::Scatter, scatter_worst, 0, oh);
             Ok(())
         })();
         if tally.backoff > 0.0 {
@@ -912,21 +1048,58 @@ impl DistributedHashMap {
 
     /// Host-sided erase: keys travel over PCIe, then the device cascade
     /// runs. Returns the tombstoned count.
+    ///
+    /// # Panics
+    /// Panics (with the replay hint) if fault injection exhausts every
+    /// failover avenue.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_erase_from_host` — typed `DeleteResponse` with per-key hits"
+    )]
     pub fn erase_from_host(&mut self, keys: &[u32]) -> (u64, CascadeReport) {
+        match self.erase_from_host_impl(keys) {
+            Ok((_, erased, report)) => (erased, report),
+            Err(e) => panic!("erase failed: {e}; replay: {}", self.replay_hint()),
+        }
+    }
+
+    /// Host-sided erase with typed fault errors: keys travel over PCIe,
+    /// the device cascade runs, and per-key hit flags come back in the
+    /// original input order.
+    ///
+    /// # Errors
+    /// [`OpError`] once every failover avenue is exhausted.
+    pub fn try_erase_from_host(
+        &mut self,
+        keys: &[u32],
+    ) -> Result<crate::service::DeleteResponse, OpError> {
+        let (hits, erased, report) = self.erase_from_host_impl(keys)?;
+        Ok(crate::service::DeleteResponse {
+            hits,
+            erased,
+            report: OpReport::from_cascade(&report),
+        })
+    }
+
+    fn erase_from_host_impl(
+        &mut self,
+        keys: &[u32],
+    ) -> Result<(Vec<bool>, u64, CascadeReport), OpError> {
         let m = self.num_gpus();
         let per = keys.len().div_ceil(m.max(1)).max(1);
         let mut per_gpu: Vec<Vec<u32>> = keys.chunks(per).map(<[u32]>::to_vec).collect();
         per_gpu.resize(m, Vec::new());
         let bytes: Vec<u64> = per_gpu.iter().map(|c| c.len() as u64 * 8).collect();
         let t_h2d = interconnect::h2d_time(&self.topo, &bytes);
-        let (erased, device) = self.erase_device_sided(&per_gpu);
+        let (hits, erased, device) = self.erase_device_sided_impl(&per_gpu)?;
         let mut report = CascadeReport::new(keys.len() as u64);
         report.push(CascadeStage::H2D, t_h2d, bytes.iter().sum());
         report.absorb(&CascadeReport {
             stages: device.stages,
             elements: 0,
         });
-        (erased, report)
+        // chunks are contiguous, so flattening restores input order
+        Ok((hits.into_iter().flatten().collect(), erased, report))
     }
 
     // ---- phases -----------------------------------------------------------
@@ -1011,6 +1184,43 @@ impl DistributedHashMap {
     }
 }
 
+impl crate::service::MapService for DistributedHashMap {
+    fn put_batch(&mut self, pairs: &[(u32, u32)]) -> Result<PutResponse, OpError> {
+        let before = self.len();
+        let report = self.insert_from_host(pairs)?;
+        // the cascade does not thread per-key placement classes back to
+        // the host, but live-count conservation recovers the split: keys
+        // that did not grow the table updated (or duplicated) in place
+        let new_slots = self.len() - before;
+        Ok(PutResponse {
+            new_slots,
+            updates: (pairs.len() as u64).saturating_sub(new_slots),
+            reclaimed: 0,
+            report: OpReport::from_cascade(&report),
+        })
+    }
+
+    fn get_batch(&mut self, keys: &[u32]) -> Result<crate::service::GetResponse, OpError> {
+        self.try_retrieve_from_host(keys)
+    }
+
+    fn delete_batch(&mut self, keys: &[u32]) -> Result<crate::service::DeleteResponse, OpError> {
+        self.try_erase_from_host(keys)
+    }
+
+    fn live_len(&self) -> u64 {
+        self.len()
+    }
+
+    fn slot_capacity(&self) -> u64 {
+        self.maps.iter().map(GpuHashMap::capacity).sum::<usize>() as u64
+    }
+
+    fn degraded(&self) -> DegradedStats {
+        self.degraded_stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1069,17 +1279,21 @@ mod tests {
             pairs[900..].iter().map(|p| p.0).collect(),
         ];
         keys[2].push(pairs[42].0); // present key on the "miss" GPU
-        let (results, report) = d.retrieve_device_sided(&keys);
+        let resp = d.try_retrieve_device_sided(&keys).unwrap();
 
         let lookup: std::collections::HashMap<u32, u32> = pairs.iter().copied().collect();
         for (g, gpu_keys) in keys.iter().enumerate() {
             for (i, k) in gpu_keys.iter().enumerate() {
-                assert_eq!(results[g][i], lookup.get(k).copied(), "gpu {g} idx {i}");
+                assert_eq!(resp.values[g][i], lookup.get(k).copied(), "gpu {g} idx {i}");
             }
         }
         // five phases: MST, T, Q, T back, scatter
-        assert_eq!(report.stages.len(), 5);
-        assert!(report.time_of(CascadeStage::TransposeBack) > 0.0);
+        assert_eq!(resp.report.stages.len(), 5);
+        assert!(resp
+            .report
+            .stages
+            .iter()
+            .any(|t| t.stage == CascadeStage::TransposeBack && t.time > 0.0));
     }
 
     #[test]
@@ -1100,8 +1314,8 @@ mod tests {
         // both packed words target the same GPU and key; last writer wins
         // nondeterministically — but exactly one value must be stored
         assert_eq!(d.len(), 1);
-        let (res, _) = d.retrieve_device_sided(&[vec![77], vec![]]);
-        let v = res[0][0].unwrap();
+        let resp = d.try_retrieve_device_sided(&[vec![77], vec![]]).unwrap();
+        let v = resp.values[0][0].unwrap();
         assert!(v == 1 || v == 2, "got {v}");
     }
 
@@ -1133,13 +1347,18 @@ mod erase_tests {
         let pairs: Vec<(u32, u32)> = (0..3000u32).map(|i| (i * 5 + 2, i)).collect();
         d.insert_from_host(&pairs).unwrap();
         let victims: Vec<u32> = pairs.iter().step_by(3).map(|p| p.0).collect();
-        let (erased, report) = d.erase_from_host(&victims);
-        assert_eq!(erased as usize, victims.len());
+        let del = d.try_erase_from_host(&victims).unwrap();
+        assert_eq!(del.erased as usize, victims.len());
+        assert!(del.hits.iter().all(|&h| h), "all victims were present");
         assert_eq!(d.len() as usize, pairs.len() - victims.len());
-        assert!(report.time_of(CascadeStage::H2D) > 0.0);
+        assert!(del
+            .report
+            .stages
+            .iter()
+            .any(|t| t.stage == CascadeStage::H2D && t.time > 0.0));
         // survivors answer, victims do not
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (res, _) = d.retrieve_from_host(&keys);
+        let res = d.try_retrieve_from_host(&keys).unwrap().values;
         for (i, r) in res.iter().enumerate() {
             if i % 3 == 0 {
                 assert_eq!(*r, None, "victim {} survived", keys[i]);
@@ -1153,8 +1372,9 @@ mod erase_tests {
     fn erase_of_absent_keys_reports_zero() {
         let mut d = node(2);
         d.insert_from_host(&[(1, 10), (2, 20)]).unwrap();
-        let (erased, _) = d.erase_from_host(&[100, 200, 300]);
-        assert_eq!(erased, 0);
+        let del = d.try_erase_from_host(&[100, 200, 300]).unwrap();
+        assert_eq!(del.erased, 0);
+        assert_eq!(del.hits, vec![false, false, false]);
         assert_eq!(d.len(), 2);
     }
 
@@ -1164,13 +1384,14 @@ mod erase_tests {
         let pairs: Vec<(u32, u32)> = (0..500u32).map(|i| (i + 1, i)).collect();
         d.insert_from_host(&pairs).unwrap();
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (erased, _) = d.erase_from_host(&keys);
-        assert_eq!(erased, 500);
+        let del = d.try_erase_from_host(&keys).unwrap();
+        assert_eq!(del.erased, 500);
+        assert!(del.hits.iter().all(|&h| h));
         assert!(d.is_empty());
         // reinsert over the tombstones
         d.insert_from_host(&pairs).unwrap();
         assert_eq!(d.len(), 500);
-        let (res, _) = d.retrieve_from_host(&keys);
+        let res = d.try_retrieve_from_host(&keys).unwrap().values;
         assert!(res.iter().all(Option::is_some));
     }
 }
@@ -1231,7 +1452,7 @@ mod chaos_tests {
 
         // every key — including those migrated off GPU 3 — still answers
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (res, _) = d.retrieve_from_host(&keys);
+        let res = d.try_retrieve_from_host(&keys).unwrap().values;
         for (i, p) in pairs.iter().enumerate() {
             assert_eq!(res[i], Some(p.1), "key {} lost after quarantine", p.0);
         }
@@ -1265,7 +1486,7 @@ mod chaos_tests {
         let stats = d.degraded_stats();
         assert!(stats.transfer_retries > 0, "no drops at 40% rate");
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (res, _) = d.retrieve_from_host(&keys);
+        let res = d.try_retrieve_from_host(&keys).unwrap().values;
         assert!(res.iter().all(Option::is_some));
     }
 
@@ -1323,8 +1544,12 @@ mod chaos_tests {
         d.insert_from_host(&pairs).unwrap();
         d.set_fault_plan(FaultPlan::default().with_kill(1));
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (erased, _) = d.erase_from_host(&keys);
-        assert_eq!(erased, 1000, "migrated keys must still be erasable");
+        let del = d.try_erase_from_host(&keys).unwrap();
+        assert_eq!(del.erased, 1000, "migrated keys must still be erasable");
+        assert!(
+            del.hits.iter().all(|&h| h),
+            "hits survive the quarantine restart"
+        );
         assert!(d.is_empty());
         assert_eq!(d.quarantined(), vec![1]);
     }

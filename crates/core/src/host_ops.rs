@@ -9,7 +9,8 @@
 
 use crate::distributed::DistributedHashMap;
 use crate::entry::pack;
-use crate::errors::{InsertError, RetrieveError};
+use crate::errors::InsertError;
+use crate::service::{GetResponse, OpError, OpReport};
 use crate::stats::{CascadeReport, CascadeStage};
 use interconnect::{d2h_time_faulted, h2d_time_faulted};
 
@@ -110,23 +111,44 @@ impl DistributedHashMap {
     /// failover avenue; use
     /// [`DistributedHashMap::try_retrieve_from_host`] for the typed
     /// error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_retrieve_from_host` — typed `GetResponse` carrying an `OpReport`"
+    )]
     #[must_use]
     pub fn retrieve_from_host(&self, keys: &[u32]) -> (Vec<Option<u32>>, CascadeReport) {
-        match self.try_retrieve_from_host(keys) {
+        match self.retrieve_from_host_impl(keys) {
             Ok(out) => out,
             Err(e) => panic!("retrieve failed: {e}; replay: {}", self.replay_hint()),
         }
     }
 
-    /// [`DistributedHashMap::retrieve_from_host`] with typed fault
-    /// errors.
+    /// Host-sided retrieval with typed fault errors, returning the
+    /// results in the original key order with a unified [`OpReport`].
     ///
     /// # Errors
-    /// [`RetrieveError`] once every failover avenue is exhausted.
-    pub fn try_retrieve_from_host(
+    /// [`OpError`] once every failover avenue is exhausted.
+    pub fn try_retrieve_from_host(&self, keys: &[u32]) -> Result<GetResponse, OpError> {
+        let (values, report) = self.retrieve_from_host_impl(keys)?;
+        Ok(GetResponse {
+            values,
+            report: OpReport::from_cascade(&report),
+        })
+    }
+
+    /// Single-key convenience. Routed through the same counter/stats
+    /// path as [`DistributedHashMap::try_retrieve_from_host`], so device
+    /// lifetime telemetry counts it like any batched read.
+    #[must_use]
+    pub fn get(&self, key: u32) -> Option<u32> {
+        self.retrieve_from_host_impl(&[key])
+            .map_or(None, |(values, _)| values[0])
+    }
+
+    pub(crate) fn retrieve_from_host_impl(
         &self,
         keys: &[u32],
-    ) -> Result<(Vec<Option<u32>>, CascadeReport), RetrieveError> {
+    ) -> Result<(Vec<Option<u32>>, CascadeReport), OpError> {
         let m = self.num_gpus();
         let policy = self.retry_policy();
         let mut report = CascadeReport::new(keys.len() as u64);
@@ -149,14 +171,13 @@ impl DistributedHashMap {
                 }
                 Err(e) => {
                     self.bill_exhausted_transfer(&mut report, &policy, e);
-                    self.quarantine_blamed(&plan, e)
-                        .map_err(RetrieveError::from)?;
+                    self.quarantine_blamed(&plan, e)?;
                 }
             }
         }
         let per_gpu = upload.expect("every failed round quarantines one GPU; at most m rounds");
 
-        let (per_gpu_results, device) = self.try_retrieve_device_sided(&per_gpu)?;
+        let (per_gpu_results, device) = self.retrieve_device_sided_impl(&per_gpu)?;
         report.absorb(&CascadeReport {
             stages: device.stages,
             elements: 0,
@@ -190,8 +211,7 @@ impl DistributedHashMap {
                 }
                 Err(e) => {
                     self.bill_exhausted_transfer(&mut report, &policy, e);
-                    self.quarantine_blamed(&plan, e)
-                        .map_err(RetrieveError::from)?;
+                    self.quarantine_blamed(&plan, e)?;
                 }
             }
         }
@@ -223,14 +243,22 @@ mod tests {
         assert_eq!(rep.stages[0].stage, CascadeStage::H2D);
 
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([999_999_999]).collect();
-        let (results, qrep) = d.retrieve_from_host(&keys);
+        let resp = d.try_retrieve_from_host(&keys).unwrap();
         for (i, p) in pairs.iter().enumerate() {
-            assert_eq!(results[i], Some(p.1), "key {}", p.0);
+            assert_eq!(resp.values[i], Some(p.1), "key {}", p.0);
         }
-        assert_eq!(results[pairs.len()], None);
-        // retrieval pays PCIe both ways
-        assert!(qrep.time_of(CascadeStage::D2H) > 0.0);
-        assert!(qrep.time_of(CascadeStage::H2D) > 0.0);
+        assert_eq!(resp.values[pairs.len()], None);
+        // retrieval pays PCIe both ways, visible through the unified report
+        let stage_time = |s: CascadeStage| {
+            resp.report
+                .stages
+                .iter()
+                .filter(|t| t.stage == s)
+                .map(|t| t.time)
+                .sum::<f64>()
+        };
+        assert!(stage_time(CascadeStage::D2H) > 0.0);
+        assert!(stage_time(CascadeStage::H2D) > 0.0);
     }
 
     #[test]

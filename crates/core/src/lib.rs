@@ -32,8 +32,8 @@
 //! let dev = Arc::new(Device::with_words(0, 1 << 16));
 //! let map = GpuHashMap::new(dev, 1024, Config::default()).unwrap();
 //! map.insert_pairs(&[(7, 70), (8, 80)]).unwrap();
-//! let (results, _stats) = map.retrieve(&[7, 8, 9]);
-//! assert_eq!(results, vec![Some(70), Some(80), None]);
+//! let resp = map.try_retrieve(&[7, 8, 9]).unwrap();
+//! assert_eq!(resp.values, vec![Some(70), Some(80), None]);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,6 +55,7 @@ pub mod map;
 pub mod multimap;
 pub mod probing;
 pub mod retrieve;
+pub mod service;
 pub mod sharded;
 pub mod stats;
 
@@ -62,12 +63,16 @@ pub use adaptive::{recommend_group_size, AdaptiveHashMap};
 pub use chaos::Router;
 pub use config::{Config, Layout, ProbingScheme};
 pub use distributed::DistributedHashMap;
-pub use entry::{key_of, pack, value_of, EMPTY, TOMBSTONE};
+pub use entry::{key_of, pack, value_of, EMPTY, RESERVED_KEY, TOMBSTONE};
 pub use errors::{BuildError, InsertError, RetrieveError};
 pub use history::{HistoryRecorder, OpEvent, OpKind, OpResponse};
 pub use linearize::{check_linearizable, check_linearizable_multi, Violation};
 pub use map::GpuHashMap;
 pub use multimap::GpuMultiMap;
+pub use service::{
+    DeleteResponse, GetAllResponse, GetResponse, MapService, Op, OpError, OpReport,
+    PerGpuDeleteResponse, PerGpuGetResponse, PutResponse, Response,
+};
 pub use sharded::ShardedHashMap;
 pub use stats::{CascadeReport, CascadeStage, DegradedStats};
 

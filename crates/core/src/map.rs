@@ -8,6 +8,7 @@ use crate::history::HistoryRecorder;
 use crate::insert::{insert_kernel, InsertOutcome};
 use crate::probing::Prober;
 use crate::retrieve::retrieve_kernel;
+use crate::service::{DeleteResponse, GetResponse, OpError, OpReport};
 use gpu_sim::{DevSlice, Device, GroupSize, KernelStats, LaunchOptions};
 use hashes::DoubleHash;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -297,15 +298,15 @@ impl GpuHashMap {
         self.insert_device(staging.slice().sub(0, words.len()), words.len())
     }
 
-    /// Queries host-resident keys, returning per-key results in order.
-    #[must_use]
-    pub fn retrieve(&self, keys: &[u32]) -> (Vec<Option<u32>>, KernelStats) {
+    /// Shared body of the host-resident query paths: stage, launch,
+    /// download. Typed scratch failure instead of a panic.
+    pub(crate) fn retrieve_impl(
+        &self,
+        keys: &[u32],
+    ) -> Result<(Vec<Option<u32>>, KernelStats), OpError> {
         let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
         let n = words.len();
-        let staging = self
-            .dev
-            .alloc_scratch(2 * n.max(1))
-            .expect("scratch for retrieve");
+        let staging = self.dev.alloc_scratch(2 * n.max(1))?;
         let input = staging.slice().sub(0, n.max(1)).sub(0, n);
         let out = staging.slice().sub(n.max(1), n);
         self.dev.mem().h2d(input, &words);
@@ -317,25 +318,80 @@ impl GpuHashMap {
             .into_iter()
             .map(|w| if w == EMPTY { None } else { Some(value_of(w)) })
             .collect();
-        (results, stats)
+        Ok((results, stats))
+    }
+
+    /// Queries host-resident keys, returning per-key results in order
+    /// with the unified cost report.
+    ///
+    /// # Errors
+    /// [`OpError::OutOfMemory`] when staging scratch is unavailable.
+    pub fn try_retrieve(&self, keys: &[u32]) -> Result<GetResponse, OpError> {
+        let (values, stats) = self.retrieve_impl(keys)?;
+        Ok(GetResponse {
+            values,
+            report: OpReport::from_kernel(&stats, keys.len() as u64),
+        })
+    }
+
+    /// Queries host-resident keys, returning per-key results in order.
+    ///
+    /// # Panics
+    /// Panics when staging scratch is unavailable — use
+    /// [`GpuHashMap::try_retrieve`] for the typed error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_retrieve` — typed `GetResponse` carrying an `OpReport`"
+    )]
+    #[must_use]
+    pub fn retrieve(&self, keys: &[u32]) -> (Vec<Option<u32>>, KernelStats) {
+        self.retrieve_impl(keys).expect("scratch for retrieve")
     }
 
     /// Convenience single-key lookup (bulk APIs are the fast path).
+    /// Launches the same retrieval kernel as the batched path, so the
+    /// device's [`gpu_sim::LifetimeStats`] count it identically —
+    /// telemetry never undercounts singleton fallbacks.
     #[must_use]
     pub fn get(&self, key: u32) -> Option<u32> {
-        self.retrieve(&[key]).0[0]
+        self.retrieve_impl(&[key]).expect("scratch for get").0[0]
+    }
+
+    /// Shared body of the host-resident erase paths.
+    pub(crate) fn erase_impl(&mut self, keys: &[u32]) -> Result<EraseOutcome, OpError> {
+        let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
+        let dev = Arc::clone(&self.dev);
+        let staging = dev.alloc_scratch(words.len().max(1))?;
+        let input = staging.slice().sub(0, words.len());
+        dev.mem().h2d(input, &words);
+        Ok(self.erase_device(input, words.len()))
+    }
+
+    /// Tombstones host-resident keys, returning per-key hits in input
+    /// order with the unified cost report.
+    ///
+    /// # Errors
+    /// [`OpError::OutOfMemory`] when staging scratch is unavailable.
+    pub fn try_erase(&mut self, keys: &[u32]) -> Result<DeleteResponse, OpError> {
+        let outcome = self.erase_impl(keys)?;
+        Ok(DeleteResponse {
+            report: OpReport::from_kernel(&outcome.stats, keys.len() as u64),
+            hits: outcome.hits,
+            erased: outcome.erased,
+        })
     }
 
     /// Tombstones host-resident keys; returns how many were found.
+    ///
+    /// # Panics
+    /// Panics when staging scratch is unavailable — use
+    /// [`GpuHashMap::try_erase`] for the typed error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_erase` — typed `DeleteResponse` carrying an `OpReport`"
+    )]
     pub fn erase(&mut self, keys: &[u32]) -> EraseOutcome {
-        let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
-        let dev = Arc::clone(&self.dev);
-        let staging = dev
-            .alloc_scratch(words.len().max(1))
-            .expect("scratch for erase");
-        let input = staging.slice().sub(0, words.len());
-        dev.mem().h2d(input, &words);
-        self.erase_device(input, words.len())
+        self.erase_impl(keys).expect("scratch for erase")
     }
 
     // ---- maintenance ------------------------------------------------------
@@ -417,6 +473,34 @@ impl GpuHashMap {
     }
 }
 
+impl crate::service::MapService for GpuHashMap {
+    fn put_batch(&mut self, pairs: &[(u32, u32)]) -> Result<crate::service::PutResponse, OpError> {
+        let o = self.insert_pairs(pairs)?;
+        Ok(crate::service::PutResponse {
+            new_slots: o.new_slots,
+            updates: o.updates,
+            reclaimed: o.reclaimed,
+            report: OpReport::from_kernel(&o.stats, pairs.len() as u64),
+        })
+    }
+
+    fn get_batch(&mut self, keys: &[u32]) -> Result<GetResponse, OpError> {
+        self.try_retrieve(keys)
+    }
+
+    fn delete_batch(&mut self, keys: &[u32]) -> Result<DeleteResponse, OpError> {
+        self.try_erase(keys)
+    }
+
+    fn live_len(&self) -> u64 {
+        self.len()
+    }
+
+    fn slot_capacity(&self) -> u64 {
+        self.capacity() as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,7 +524,7 @@ mod tests {
         assert_eq!(outcome.updates, 0);
         assert_eq!(m.len(), 500);
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (res, _) = m.retrieve(&keys);
+        let res = m.try_retrieve(&keys).unwrap().values;
         for (i, p) in pairs.iter().enumerate() {
             assert_eq!(res[i], Some(p.1));
         }
@@ -452,7 +536,7 @@ mod tests {
         m.insert_pairs(&[(1, 10)]).unwrap();
         assert_eq!(m.get(1), Some(10));
         assert_eq!(m.get(2), None);
-        let (res, _) = m.retrieve(&[3, 1, 4]);
+        let res = m.try_retrieve(&[3, 1, 4]).unwrap().values;
         assert_eq!(res, vec![None, Some(10), None]);
     }
 
@@ -479,7 +563,7 @@ mod tests {
                 .unwrap_or_else(|e| panic!("|g|={g}: {e}"));
             assert!((m.load_factor() - 0.99).abs() < 0.01);
             let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-            let (res, _) = m.retrieve(&keys);
+            let res = m.try_retrieve(&keys).unwrap().values;
             assert!(res.iter().all(Option::is_some), "|g|={g} lost keys");
         }
     }
@@ -500,7 +584,10 @@ mod tests {
         let cfg2 = Config::default().with_group_size(2);
         let m2 = GpuHashMap::new(Arc::clone(&dev), 1024, cfg2).unwrap();
         m2.insert_pairs(&snap).unwrap();
-        let (res, _) = m2.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        let res = m2
+            .try_retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>())
+            .unwrap()
+            .values;
         assert!(res.iter().all(Option::is_some));
     }
 
@@ -509,15 +596,19 @@ mod tests {
         let mut m = map_with(512, Config::default());
         let pairs: Vec<(u32, u32)> = (0..400u32).map(|i| (i + 1, i)).collect();
         m.insert_pairs(&pairs).unwrap();
-        let erased = m.erase(&(1..=200).collect::<Vec<u32>>());
+        let erased = m.try_erase(&(1..=200).collect::<Vec<u32>>()).unwrap();
         assert_eq!(erased.erased, 200);
+        assert!(erased.hits.iter().all(|&h| h), "every victim was present");
         assert_eq!(m.len(), 200);
         assert_eq!(m.tombstones(), 200);
         // erased keys gone, others remain
         assert_eq!(m.get(5), None);
         assert_eq!(m.get(300), Some(299));
         // probing walks through tombstones to find keys placed beyond them
-        let (res, _) = m.retrieve(&(201..=400).collect::<Vec<u32>>());
+        let res = m
+            .try_retrieve(&(201..=400).collect::<Vec<u32>>())
+            .unwrap()
+            .values;
         assert!(res.iter().all(Option::is_some));
         // reinsert over tombstones
         m.insert_pairs(&(1..=200).map(|k| (k, k * 2)).collect::<Vec<_>>())
@@ -530,8 +621,9 @@ mod tests {
     fn erase_missing_keys_reports_zero() {
         let mut m = map_with(128, Config::default());
         m.insert_pairs(&[(1, 1)]).unwrap();
-        let out = m.erase(&[99, 100]);
+        let out = m.try_erase(&[99, 100]).unwrap();
         assert_eq!(out.erased, 0);
+        assert_eq!(out.hits, vec![false, false]);
         assert_eq!(m.len(), 1);
     }
 
@@ -540,7 +632,7 @@ mod tests {
         let mut m = map_with(512, Config::default());
         let pairs: Vec<(u32, u32)> = (0..300u32).map(|i| (i + 1, i)).collect();
         m.insert_pairs(&pairs).unwrap();
-        m.erase(&(1..=100).collect::<Vec<u32>>());
+        m.try_erase(&(1..=100).collect::<Vec<u32>>()).unwrap();
         let seed_before = m.config().seed;
         m.rebuild_with_fresh_hash().unwrap();
         assert_eq!(m.config().seed, seed_before + 1);
@@ -557,7 +649,10 @@ mod tests {
         let m = map_with(512, Config::default().with_layout(Layout::Soa));
         let pairs: Vec<(u32, u32)> = (0..450u32).map(|i| (i * 3 + 2, i)).collect();
         m.insert_pairs(&pairs).unwrap();
-        let (res, _) = m.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        let res = m
+            .try_retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>())
+            .unwrap()
+            .values;
         for (i, p) in pairs.iter().enumerate() {
             assert_eq!(res[i], Some(p.1));
         }
@@ -565,8 +660,29 @@ mod tests {
         m.insert_pairs(&[(pairs[0].0, 777)]).unwrap();
         assert_eq!(m.get(pairs[0].0), Some(777));
         let mut m = m;
-        assert_eq!(m.erase(&[pairs[1].0]).erased, 1);
+        let del = m.try_erase(&[pairs[1].0]).unwrap();
+        assert_eq!((del.erased, del.hits), (1, vec![true]));
         assert_eq!(m.get(pairs[1].0), None);
+    }
+
+    /// Regression cover for the deprecated tuple shims: they must agree
+    /// with the typed API until they are removed next release.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_typed_api() {
+        let mut m = map_with(512, Config::default());
+        let pairs: Vec<(u32, u32)> = (0..300u32).map(|i| (i * 3 + 2, i)).collect();
+        m.insert_pairs(&pairs).unwrap();
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([7]).collect();
+        let (shim_res, shim_stats) = m.retrieve(&keys);
+        let typed = m.try_retrieve(&keys).unwrap();
+        assert_eq!(shim_res, typed.values);
+        assert_eq!(shim_stats.counters, typed.report.counters);
+        let shim_erase = m.erase(&keys[..100]);
+        assert_eq!(shim_erase.erased, 100);
+        let typed_erase = m.try_erase(&keys[..100]).unwrap();
+        assert_eq!(typed_erase.erased, 0, "already tombstoned");
+        assert!(typed_erase.hits.iter().all(|&h| !h));
     }
 
     #[test]
@@ -597,7 +713,10 @@ mod tests {
             let pairs: Vec<(u32, u32)> = (0..900u32).map(|i| (i * 5 + 1, i)).collect();
             m.insert_pairs(&pairs)
                 .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
-            let (res, _) = m.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+            let res = m
+                .try_retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>())
+                .unwrap()
+                .values;
             assert!(res.iter().all(Option::is_some), "{scheme:?} lost keys");
         }
     }
@@ -648,8 +767,9 @@ mod tests {
         assert!(outcome.stats.counters.cas_ops >= 500);
         assert!(outcome.stats.sim_time > 0.0);
         // retrieval does no CAS
-        let (_, stats) = m.retrieve(&[1, 2, 3]);
-        assert_eq!(stats.counters.cas_ops, 0);
+        let report = m.try_retrieve(&[1, 2, 3]).unwrap().report;
+        assert_eq!(report.counters.cas_ops, 0);
+        assert_eq!(report.elements, 3);
     }
 
     proptest! {
@@ -669,7 +789,7 @@ mod tests {
                 model.insert(key, v);
             }
             let keys: Vec<u32> = model.keys().copied().collect();
-            let (res, _) = m.retrieve(&keys);
+            let res = m.try_retrieve(&keys).unwrap().values;
             for (i, k) in keys.iter().enumerate() {
                 prop_assert_eq!(res[i], model.get(k).copied());
             }

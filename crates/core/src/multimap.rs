@@ -163,16 +163,40 @@ impl GpuMultiMap {
         Ok(stats)
     }
 
+    /// Retrieves **all** values stored under each key, with a typed
+    /// [`crate::OpReport`]. Results are per-key value vectors (order
+    /// across racing inserts unspecified).
+    ///
+    /// # Errors
+    /// [`crate::OpError::OutOfMemory`] if the query batch cannot be
+    /// staged.
+    pub fn try_retrieve_all(
+        &self,
+        keys: &[u32],
+    ) -> Result<crate::GetAllResponse, crate::OpError> {
+        let (values, stats) = self.retrieve_all_impl(keys)?;
+        let report = crate::OpReport::from_kernel(&stats, keys.len() as u64);
+        Ok(crate::GetAllResponse { values, report })
+    }
+
     /// Retrieves **all** values stored under each key. Results are
     /// per-key value vectors (order across racing inserts unspecified).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_retrieve_all` — typed `GetAllResponse` carrying an `OpReport`"
+    )]
     #[must_use]
     pub fn retrieve_all(&self, keys: &[u32]) -> (Vec<Vec<u32>>, KernelStats) {
+        self.retrieve_all_impl(keys).expect("multimap scratch")
+    }
+
+    fn retrieve_all_impl(
+        &self,
+        keys: &[u32],
+    ) -> Result<(Vec<Vec<u32>>, KernelStats), crate::OpError> {
         let results: Mutex<Vec<Vec<u32>>> = Mutex::new(vec![Vec::new(); keys.len()]);
         let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
-        let staging = self
-            .dev
-            .alloc_scratch(words.len().max(1))
-            .expect("multimap scratch");
+        let staging = self.dev.alloc_scratch(words.len().max(1))?;
         let input = staging.slice().sub(0, words.len());
         self.dev.mem().h2d(input, &words);
 
@@ -229,13 +253,14 @@ impl GpuMultiMap {
                 results.lock()[gid] = found;
             },
         );
-        (results.into_inner(), stats)
+        Ok((results.into_inner(), stats))
     }
 
-    /// Number of values stored under one key.
+    /// Number of values stored under one key. Routed through the same
+    /// counter/stats path as [`Self::try_retrieve_all`].
     #[must_use]
     pub fn count(&self, key: u32) -> usize {
-        self.retrieve_all(&[key]).0[0].len()
+        self.retrieve_all_impl(&[key]).expect("multimap scratch").0[0].len()
     }
 
     /// Host-side snapshot of all stored pairs.
@@ -266,7 +291,7 @@ mod tests {
         m.insert_pairs(&[(5, 10), (5, 11), (5, 12), (6, 60)])
             .unwrap();
         assert_eq!(m.len(), 4);
-        let (res, _) = m.retrieve_all(&[5, 6, 7]);
+        let res = m.try_retrieve_all(&[5, 6, 7]).unwrap().values;
         let mut v5 = res[0].clone();
         v5.sort_unstable();
         assert_eq!(v5, vec![10, 11, 12]);
@@ -280,7 +305,7 @@ mod tests {
         let m = map(1024);
         let pairs: Vec<(u32, u32)> = (0..200).map(|i| (42, i)).collect();
         m.insert_pairs(&pairs).unwrap();
-        let (res, _) = m.retrieve_all(&[42]);
+        let res = m.try_retrieve_all(&[42]).unwrap().values;
         let mut vals = res[0].clone();
         vals.sort_unstable();
         assert_eq!(vals, (0..200).collect::<Vec<u32>>());
@@ -292,7 +317,7 @@ mod tests {
         let pairs: Vec<(u32, u32)> = (0..486u32).map(|i| (i % 37, i)).collect(); // α = 0.95
         m.insert_pairs(&pairs).unwrap();
         assert!((m.load_factor() - 0.949).abs() < 0.01);
-        let (res, _) = m.retrieve_all(&[0]);
+        let res = m.try_retrieve_all(&[0]).unwrap().values;
         assert_eq!(res[0].len(), pairs.iter().filter(|p| p.0 == 0).count());
     }
 

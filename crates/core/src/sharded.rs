@@ -19,9 +19,14 @@ use crate::config::Config;
 use crate::errors::{BuildError, InsertError};
 use crate::insert::InsertOutcome;
 use crate::map::GpuHashMap;
+use crate::service::{DeleteResponse, GetResponse, OpError, OpReport, PutResponse};
 use gpu_sim::{Device, FaultPlan, GroupSize, KernelStats, LaunchOptions, RetryPolicy};
 use hashes::PartitionFn;
 use std::sync::Arc;
+
+/// Values, summed launch stats, launch count, and accumulated retry
+/// backoff for one routed query pass.
+type RetrievePass = (Vec<Option<u32>>, KernelStats, u64, f64);
 
 /// A logical hash map backed by `s` sub-2-GB shards on one device.
 #[derive(Debug)]
@@ -185,47 +190,185 @@ impl ShardedHashMap {
         Ok(outcome)
     }
 
-    /// Bulk retrieval in input order.
-    #[must_use]
-    pub fn retrieve(&self, keys: &[u32]) -> (Vec<Option<u32>>, KernelStats) {
-        // route keys (with origin indices), query shards, scatter back
+    /// Buckets `keys` by shard (with origin indices) and bills the
+    /// routing pass.
+    fn route_keys(&self, name: &'static str, keys: &[u32]) -> (Vec<Vec<(usize, u32)>>, KernelStats) {
         let mut buckets: Vec<Vec<(usize, u32)>> = vec![Vec::new(); self.num_shards()];
         for (i, &k) in keys.iter().enumerate() {
             buckets[self.part.part(k) as usize].push((i, k));
         }
         let route = self.dev.launch(
-            "shard_route_query",
+            name,
             keys.len().div_ceil(32).max(1),
             GroupSize::WARP,
             LaunchOptions::default(),
             |ctx| ctx.bill_stream_bytes(32 * 16),
         );
+        (buckets, route)
+    }
+
+    fn retrieve_impl(&self, keys: &[u32]) -> Result<RetrievePass, OpError> {
+        // route keys (with origin indices), query shards, scatter back
+        let (buckets, route) = self.route_keys("shard_route_query", keys);
         let mut out = vec![None; keys.len()];
         let mut stats = route;
+        let mut launches = 1u64;
+        let mut backoff = 0.0f64;
         for (s, bucket) in buckets.iter().enumerate() {
             if bucket.is_empty() {
                 continue;
             }
+            let mut attempt = 0u32;
+            let mut spent = 0.0f64;
+            while self.fault.launch_fails(s, launch_site::SHARD, attempt) {
+                attempt += 1;
+                if !self.retry.may_retry(attempt, spent) {
+                    return Err(OpError::DeviceLost { device: s });
+                }
+                spent += self.retry.backoff_before(attempt);
+            }
+            backoff += spent;
             let shard_keys: Vec<u32> = bucket.iter().map(|b| b.1).collect();
-            let (res, s_stats) = self.shards[s].retrieve(&shard_keys);
+            let (res, s_stats) = self.shards[s].retrieve_impl(&shard_keys)?;
             stats = stats.merged(&s_stats);
+            launches += 1;
             for ((origin, _), r) in bucket.iter().zip(res) {
                 out[*origin] = r;
             }
         }
-        (out, stats)
+        Ok((out, stats, launches, backoff))
     }
 
-    /// Single-key convenience.
+    /// Bulk retrieval in input order, with a typed [`OpReport`]. Under
+    /// an armed [`Config::fault`] plan each shard's query rolls
+    /// transient launch failures at the shard-routing site; retry
+    /// backoff lands in the report's `backoff_time` (and `time`).
+    ///
+    /// # Errors
+    /// [`OpError::OutOfMemory`] if a shard cannot stage its query batch;
+    /// [`OpError::DeviceLost`] if a shard exhausts its launch retry
+    /// budget (one device hosts every shard — there is no failover).
+    pub fn try_retrieve(&self, keys: &[u32]) -> Result<GetResponse, OpError> {
+        let (values, stats, launches, backoff) = self.retrieve_impl(keys)?;
+        let mut report = OpReport::from_kernel(&stats, keys.len() as u64);
+        report.launches = launches;
+        report.backoff_time = backoff;
+        report.time += backoff;
+        Ok(GetResponse { values, report })
+    }
+
+    /// Bulk retrieval in input order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_retrieve` — typed `GetResponse` carrying an `OpReport`"
+    )]
+    #[must_use]
+    pub fn retrieve(&self, keys: &[u32]) -> (Vec<Option<u32>>, KernelStats) {
+        let (values, mut stats, _, backoff) = self.retrieve_impl(keys).expect("scratch for retrieve");
+        if backoff > 0.0 {
+            // fault-injection waits are real wall time; the fault-off
+            // path never reaches this addition, keeping it bit-identical
+            stats.sim_time += backoff;
+        }
+        (values, stats)
+    }
+
+    /// Bulk erase in input order: route, erase shard by shard, scatter
+    /// the per-key hit flags back to input positions.
+    ///
+    /// Takes `&mut self` for the same §IV-A reason as
+    /// [`GpuHashMap::erase`]: deletions must be separated from
+    /// insertions and queries by a global barrier.
+    ///
+    /// Under an armed [`Config::fault`] plan each shard's erase rolls
+    /// transient launch failures at the shard-routing site, exactly like
+    /// [`Self::insert_pairs`]; retries are idempotent (tombstoning a
+    /// tombstone is a no-op).
+    ///
+    /// # Errors
+    /// [`OpError::DeviceLost`] if a shard exhausts its retry budget;
+    /// [`OpError::OutOfMemory`] if a shard cannot stage its batch.
+    pub fn try_erase(&mut self, keys: &[u32]) -> Result<DeleteResponse, OpError> {
+        let (buckets, route) = self.route_keys("shard_route_erase", keys);
+        let mut hits = vec![false; keys.len()];
+        let mut stats = route;
+        let mut launches = 1u64;
+        let mut erased = 0u64;
+        let mut backoff = 0.0f64;
+        for (s, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut attempt = 0u32;
+            let mut spent = 0.0f64;
+            while self.fault.launch_fails(s, launch_site::SHARD, attempt) {
+                attempt += 1;
+                if !self.retry.may_retry(attempt, spent) {
+                    return Err(OpError::DeviceLost { device: s });
+                }
+                spent += self.retry.backoff_before(attempt);
+            }
+            backoff += spent;
+            let shard_keys: Vec<u32> = bucket.iter().map(|b| b.1).collect();
+            let out = self.shards[s].erase_impl(&shard_keys)?;
+            stats = stats.merged(&out.stats);
+            launches += 1;
+            erased += out.erased;
+            for ((origin, _), h) in bucket.iter().zip(out.hits) {
+                hits[*origin] = h;
+            }
+        }
+        let mut report = OpReport::from_kernel(&stats, keys.len() as u64);
+        report.launches = launches;
+        report.backoff_time = backoff;
+        report.time += backoff;
+        Ok(DeleteResponse {
+            hits,
+            erased,
+            report,
+        })
+    }
+
+    /// Single-key convenience. Routed through the same counter/stats
+    /// path as [`Self::try_retrieve`], so device lifetime telemetry
+    /// ([`gpu_sim::LifetimeStats`]) counts it like any batched read.
     #[must_use]
     pub fn get(&self, key: u32) -> Option<u32> {
-        self.retrieve(&[key]).0[0]
+        self.retrieve_impl(&[key]).expect("scratch for get").0[0]
     }
 
     /// Host-side snapshot across all shards.
     #[must_use]
     pub fn snapshot(&self) -> Vec<(u32, u32)> {
         self.shards.iter().flat_map(GpuHashMap::snapshot).collect()
+    }
+}
+
+impl crate::service::MapService for ShardedHashMap {
+    fn put_batch(&mut self, pairs: &[(u32, u32)]) -> Result<PutResponse, OpError> {
+        let o = self.insert_pairs(pairs)?;
+        Ok(PutResponse {
+            new_slots: o.new_slots,
+            updates: o.updates,
+            reclaimed: o.reclaimed,
+            report: OpReport::from_kernel(&o.stats, pairs.len() as u64),
+        })
+    }
+
+    fn get_batch(&mut self, keys: &[u32]) -> Result<GetResponse, OpError> {
+        self.try_retrieve(keys)
+    }
+
+    fn delete_batch(&mut self, keys: &[u32]) -> Result<DeleteResponse, OpError> {
+        self.try_erase(keys)
+    }
+
+    fn live_len(&self) -> u64 {
+        self.len()
+    }
+
+    fn slot_capacity(&self) -> u64 {
+        self.shards.iter().map(GpuHashMap::capacity).sum::<usize>() as u64
     }
 }
 
@@ -245,7 +388,7 @@ mod tests {
         m.insert_pairs(&pairs).unwrap();
         assert_eq!(m.len(), 3500);
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([999_999_999]).collect();
-        let (res, _) = m.retrieve(&keys);
+        let res = m.try_retrieve(&keys).unwrap().values;
         for (i, p) in pairs.iter().enumerate() {
             assert_eq!(res[i], Some(p.1), "key {}", p.0);
         }
@@ -307,7 +450,10 @@ mod tests {
         let o = m.insert_pairs(&pairs).unwrap();
         assert_eq!(o.new_slots, 2000, "retries must apply each pair once");
         assert_eq!(m.len(), 2000);
-        let (res, _) = m.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        let res = m
+            .try_retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>())
+            .unwrap()
+            .values;
         assert!(res.iter().all(Option::is_some));
     }
 
@@ -325,7 +471,51 @@ mod tests {
         let m = map(3, 128);
         assert!(m.is_empty());
         assert!(m.insert_pairs(&[]).is_ok());
-        let (res, _) = m.retrieve(&[]);
+        let res = m.try_retrieve(&[]).unwrap().values;
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn erase_scatters_hits_to_input_order() {
+        let mut m = map(4, 1024);
+        let pairs: Vec<(u32, u32)> = (0..1000u32).map(|i| (i * 3 + 1, i)).collect();
+        m.insert_pairs(&pairs).unwrap();
+        // interleave present and absent victims across shards
+        let victims: Vec<u32> = (0..500u32)
+            .flat_map(|i| [i * 3 + 1, i * 3 + 2])
+            .collect();
+        let out = m.try_erase(&victims).unwrap();
+        assert_eq!(out.erased, 500);
+        for (j, &k) in victims.iter().enumerate() {
+            assert_eq!(out.hits[j], k % 3 == 1, "victim {k}");
+        }
+        assert_eq!(m.len(), 500);
+        assert_eq!(m.get(4), None); // erased
+        assert_eq!(m.get(500 * 3 + 1), Some(500)); // survivor
+    }
+
+    #[test]
+    fn erase_under_transient_faults_retries_idempotently() {
+        let dev = Arc::new(Device::with_words(0, 1 << 16));
+        let cfg = Config::default()
+            .with_fault(FaultPlan::default().with_seed(7).with_launch_fail(0.4));
+        let mut m = ShardedHashMap::new(dev, 1024, 4, cfg).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..1500u32).map(|i| (i * 5 + 1, i)).collect();
+        m.insert_pairs(&pairs).unwrap();
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let out = m.try_erase(&keys).unwrap();
+        assert_eq!(out.erased, 1500);
+        assert!(out.hits.iter().all(|&h| h));
+        assert!(out.report.backoff_time > 0.0, "seed 7 @ 0.4 must roll at least one failure");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn permanent_failure_during_erase_is_typed_device_lost() {
+        let dev = Arc::new(Device::with_words(0, 1 << 16));
+        let cfg = Config::default().with_fault(FaultPlan::default().with_launch_fail(1.0));
+        let mut m = ShardedHashMap::new(dev, 1024, 2, cfg).unwrap();
+        let err = m.try_erase(&[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, OpError::DeviceLost { .. }), "{err:?}");
     }
 }

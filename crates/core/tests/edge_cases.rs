@@ -17,9 +17,9 @@ fn empty_batches_are_noops() {
     let mut map = GpuHashMap::new(device(1 << 12), 256, Config::default()).unwrap();
     let out = map.insert_pairs(&[]).unwrap();
     assert_eq!(out.new_slots, 0);
-    let (res, _) = map.retrieve(&[]);
+    let res = map.try_retrieve(&[]).unwrap().values;
     assert!(res.is_empty());
-    assert_eq!(map.erase(&[]).erased, 0);
+    assert_eq!(map.try_erase(&[]).unwrap().erased, 0);
     assert!(map.is_empty());
 }
 
@@ -65,7 +65,7 @@ fn tiny_p_max_fails_fast_and_recovers() {
             assert!(failed > 0);
             // the placed subset is still fully retrievable
             let placed = map.len();
-            let (res, _) = map.retrieve(&(1..=96).collect::<Vec<u32>>());
+            let res = map.try_retrieve(&(1..=96).collect::<Vec<u32>>()).unwrap().values;
             assert_eq!(res.iter().filter(|r| r.is_some()).count() as u64, placed);
         }
         Err(e) => panic!("unexpected {e}"),
@@ -82,7 +82,7 @@ fn interleaved_erase_insert_query_cycles() {
         if round % 2 == 1 {
             // erase the previous round entirely
             let victims: Vec<u32> = (0..100).map(|i| base - 100 + i + 1).collect();
-            assert_eq!(map.erase(&victims).erased, 100);
+            assert_eq!(map.try_erase(&victims).unwrap().erased, 100);
         }
     }
     // rounds 0,2,4 were erased by 1,3,5 → rounds 1,3,5 + none of 0,2,4?
@@ -108,9 +108,9 @@ fn soa_and_aos_agree_on_everything() {
         let mut map =
             GpuHashMap::new(device(1 << 13), 1024, Config::default().with_layout(layout)).unwrap();
         map.insert_pairs(&pairs).unwrap();
-        map.erase(&[pairs[0].0, pairs[1].0]);
+        map.try_erase(&[pairs[0].0, pairs[1].0]).unwrap();
         map.insert_pairs(&[(pairs[2].0, 777)]).unwrap();
-        let (res, _) = map.retrieve(&keys);
+        let res = map.try_retrieve(&keys).unwrap().values;
         results.push(res);
     }
     assert_eq!(results[0], results[1]);
@@ -119,7 +119,7 @@ fn soa_and_aos_agree_on_everything() {
 #[test]
 fn multimap_empty_and_absent_keys() {
     let map = GpuMultiMap::new(device(1 << 12), 128, Config::default()).unwrap();
-    let (res, _) = map.retrieve_all(&[5]);
+    let res = map.try_retrieve_all(&[5]).unwrap().values;
     assert!(res[0].is_empty());
     assert_eq!(map.count(5), 0);
     map.insert_pairs(&[]).unwrap();
@@ -139,7 +139,7 @@ fn distributed_two_and_three_gpu_nodes() {
         dmap.insert_from_host(&pairs).unwrap();
         assert_eq!(dmap.len(), 2500, "m = {m}");
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (res, _) = dmap.retrieve_from_host(&keys);
+        let res = dmap.try_retrieve_from_host(&keys).unwrap().values;
         assert!(res.iter().all(Option::is_some), "m = {m}");
     }
 }
@@ -160,7 +160,10 @@ fn distributed_handles_empty_and_skewed_gpu_batches() {
     assert!(rep.total_time() > 0.0);
     // query entirely from GPU 3
     let keys: Vec<u32> = (0..1000u32).map(|i| i * 3 + 1).collect();
-    let (res, _) = dmap.retrieve_device_sided(&[Vec::new(), Vec::new(), Vec::new(), keys]);
+    let res = dmap
+        .try_retrieve_device_sided(&[Vec::new(), Vec::new(), Vec::new(), keys])
+        .unwrap()
+        .values;
     assert!(res[3].iter().all(Option::is_some));
 }
 
@@ -170,7 +173,10 @@ fn sharded_map_single_shard_degenerates_to_plain() {
     let pairs: Vec<(u32, u32)> = (0..900u32).map(|i| (i + 1, i)).collect();
     sharded.insert_pairs(&pairs).unwrap();
     assert_eq!(sharded.num_shards(), 1);
-    let (res, _) = sharded.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+    let res = sharded
+        .try_retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>())
+        .unwrap()
+        .values;
     assert!(res.iter().all(Option::is_some));
 }
 
@@ -197,6 +203,9 @@ fn group_size_can_change_between_batches() {
         map.insert_pairs(chunk).unwrap();
     }
     map.set_group_size(gpu_sim::GroupSize::new(2));
-    let (res, _) = map.retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+    let res = map
+        .try_retrieve(&pairs.iter().map(|p| p.0).collect::<Vec<_>>())
+        .unwrap()
+        .values;
     assert!(res.iter().all(Option::is_some));
 }

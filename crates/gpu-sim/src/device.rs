@@ -126,6 +126,22 @@ impl KernelStats {
     }
 }
 
+/// Cumulative per-device counters over every launch since construction.
+///
+/// Unlike the per-launch [`KernelStats`], which callers may drop (e.g. a
+/// convenience single-key `get` discarding its stats), these accumulate
+/// unconditionally inside [`Device::launch`] — a telemetry layer reading
+/// them never undercounts, whatever path issued the kernels.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct LifetimeStats {
+    /// Kernel launches completed on this device.
+    pub launches: u64,
+    /// Element-wise sum of every completed launch's counter snapshot.
+    pub counters: CounterSnapshot,
+    /// Sum of every completed launch's modeled time (seconds).
+    pub sim_time: f64,
+}
+
 /// One simulated CUDA device: global memory, a calibrated spec and a
 /// kernel launcher.
 #[derive(Debug)]
@@ -135,6 +151,8 @@ pub struct Device {
     mem: DeviceMemory,
     timing: TimingModel,
     fault: FaultPlan,
+    /// Cumulative counters over all launches (see [`LifetimeStats`]).
+    lifetime: std::sync::Mutex<LifetimeStats>,
 }
 
 impl Device {
@@ -147,6 +165,7 @@ impl Device {
             mem: DeviceMemory::new(words),
             timing: TimingModel::new(spec),
             fault: FaultPlan::from_env(),
+            lifetime: std::sync::Mutex::new(LifetimeStats::default()),
         }
         .with_env_sanitizer()
     }
@@ -159,8 +178,23 @@ impl Device {
             mem: DeviceMemory::new(words),
             timing: TimingModel::new(DeviceSpec::test_small((words as u64) * 8)),
             fault: FaultPlan::from_env(),
+            lifetime: std::sync::Mutex::new(LifetimeStats::default()),
         }
         .with_env_sanitizer()
+    }
+
+    /// Cumulative counters over every launch completed on this device.
+    ///
+    /// These accumulate inside [`Device::launch`] itself, so they count
+    /// kernels whose per-launch [`KernelStats`] the caller discarded —
+    /// the authoritative source for service-layer telemetry.
+    ///
+    /// # Panics
+    /// Panics if the internal lock was poisoned (a kernel panicked while
+    /// retiring its stats).
+    #[must_use]
+    pub fn lifetime_stats(&self) -> LifetimeStats {
+        *self.lifetime.lock().expect("lifetime stats lock")
     }
 
     /// Replaces the device's fault plan (default: `WD_FAULT` from the
@@ -381,6 +415,12 @@ impl Device {
         if factor > 1.0 || stall > 0.0 {
             breakdown.stall = (factor - 1.0) * breakdown.total() + stall;
         }
+        {
+            let mut lt = self.lifetime.lock().expect("lifetime stats lock");
+            lt.launches += 1;
+            lt.counters = lt.counters.merged(snapshot);
+            lt.sim_time += breakdown.total();
+        }
         KernelStats {
             name: name.to_owned(),
             counters: snapshot,
@@ -414,6 +454,22 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), 500);
         assert_eq!(stats.counters.groups, 500);
         assert!(stats.sim_time > 0.0);
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate_across_launches() {
+        let dev = Device::with_words(0, 1024);
+        assert_eq!(dev.lifetime_stats(), LifetimeStats::default());
+        let s1 = dev.launch("a", 8, GroupSize::new(4), LaunchOptions::default(), |ctx| {
+            ctx.bill_stream_bytes(64);
+        });
+        let s2 = dev.launch("b", 4, GroupSize::new(4), LaunchOptions::default(), |ctx| {
+            ctx.bill_transactions(2);
+        });
+        let lt = dev.lifetime_stats();
+        assert_eq!(lt.launches, 2);
+        assert_eq!(lt.counters, s1.counters.merged(s2.counters));
+        assert!((lt.sim_time - (s1.sim_time + s2.sim_time)).abs() < 1e-15);
     }
 
     #[test]

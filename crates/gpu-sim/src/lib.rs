@@ -42,7 +42,7 @@ pub mod timing;
 
 pub use clock::ResourceTimeline;
 pub use counters::{CounterSnapshot, KernelCounters};
-pub use device::{Device, KernelStats, LaunchOptions};
+pub use device::{Device, KernelStats, LaunchOptions, LifetimeStats};
 pub use fault::{FaultPlan, RetryPolicy};
 pub use mem::{DevSlice, DeviceMemory, OutOfMemory, ScratchGuard};
 pub use sanitizer::{Detector, Report, SanitizerSet};

@@ -1,0 +1,106 @@
+//! Tenant namespaces: key folding and per-tenant accounting.
+//!
+//! A tenant id occupies the top [`TENANT_BITS`] of the backend's 32-bit
+//! key word, giving every tenant a private [`KEY_SPACE`]-key namespace in
+//! one shared table — the multi-GPU partition function then spreads every
+//! tenant across every GPU, so no tenant is pinned to one device's fate.
+//! Folding is a bijection on the admitted domain, which is all the
+//! isolation argument needs: two tenants can never collide on a slot
+//! because they can never produce the same folded key.
+
+use crate::telemetry::LatencyHistogram;
+use std::collections::HashSet;
+use warpdrive::RESERVED_KEY;
+
+/// Bits of the backend key word carrying the tenant id.
+pub const TENANT_BITS: u32 = 8;
+
+/// Tenant-local keys must be `< KEY_SPACE` (2²⁴).
+pub const KEY_SPACE: u32 = 1 << (32 - TENANT_BITS);
+
+/// Folds a tenant-local key into the shared backend key domain.
+///
+/// # Panics
+/// Panics if `key` is outside the tenant domain (callers validate with
+/// [`fits_domain`] first — the server rejects instead of panicking).
+#[must_use]
+pub fn fold(tenant: u8, key: u32) -> u32 {
+    assert!(fits_domain(tenant, key), "key {key} outside tenant domain");
+    (u32::from(tenant) << (32 - TENANT_BITS)) | key
+}
+
+/// Recovers `(tenant, key)` from a folded backend key.
+#[must_use]
+pub fn unfold(folded: u32) -> (u8, u32) {
+    ((folded >> (32 - TENANT_BITS)) as u8, folded & (KEY_SPACE - 1))
+}
+
+/// Whether `key` is admissible for `tenant`: inside the 2²⁴ namespace
+/// and not folding onto the backend's reserved key (`u32::MAX`, which
+/// tenant 255's top key would hit).
+#[must_use]
+pub fn fits_domain(tenant: u8, key: u32) -> bool {
+    key < KEY_SPACE && ((u32::from(tenant) << (32 - TENANT_BITS)) | key) != RESERVED_KEY
+}
+
+/// Per-tenant request/reject counters (all since service start).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Puts admitted.
+    pub puts: u64,
+    /// Gets admitted.
+    pub gets: u64,
+    /// Deletes admitted.
+    pub deletes: u64,
+    /// Requests rejected at admission (any reason).
+    pub rejects: u64,
+    /// Completions delivered.
+    pub completed: u64,
+}
+
+/// The server-side state of one tenant: the exact host shadow of its
+/// live key set (admission order equals execution order, and coalesced
+/// execution is response-identical to sequential execution, so the
+/// shadow is not an approximation) plus its telemetry.
+#[derive(Debug, Default)]
+pub struct TenantState {
+    /// Folded keys currently live under the sequential model.
+    pub shadow: HashSet<u32>,
+    /// Admission/completion counters.
+    pub counters: TenantCounters,
+    /// Reject counts keyed by [`crate::ServeError::reason`].
+    pub rejects_by_reason: std::collections::BTreeMap<&'static str, u64>,
+    /// End-to-end modeled latency (arrival → flush end) of completions.
+    pub latency: LatencyHistogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_is_a_bijection_on_the_domain() {
+        for tenant in [0u8, 1, 17, 254, 255] {
+            for key in [0u32, 1, 12345, KEY_SPACE - 1] {
+                if !fits_domain(tenant, key) {
+                    continue;
+                }
+                assert_eq!(unfold(fold(tenant, key)), (tenant, key));
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_tenants_never_collide() {
+        assert_ne!(fold(1, 42), fold(2, 42));
+        assert_eq!(fold(1, 42) & (KEY_SPACE - 1), 42);
+    }
+
+    #[test]
+    fn reserved_key_is_excluded() {
+        assert!(!fits_domain(255, KEY_SPACE - 1)); // folds to u32::MAX
+        assert!(fits_domain(255, KEY_SPACE - 2));
+        assert!(fits_domain(254, KEY_SPACE - 1));
+        assert!(!fits_domain(0, KEY_SPACE)); // out of namespace
+    }
+}

@@ -50,16 +50,16 @@ fn run(plan: FaultPlan) -> Row {
     let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
     let t0 = Instant::now();
     let ins = d.insert_from_host(&pairs).expect("insert");
-    let (hits, ret) = d.retrieve_from_host(&keys);
+    let ret = d.try_retrieve_from_host(&keys).expect("retrieve");
     let wall = t0.elapsed().as_secs_f64();
-    assert!(hits.iter().all(Option::is_some), "all keys must be found");
+    assert!(ret.values.iter().all(Option::is_some), "all keys must be found");
     Row {
         wall,
-        modeled: ins.total_time() + ret.total_time(),
+        modeled: ins.total_time() + ret.report.time,
         stage_bits: ins
             .stages
             .iter()
-            .chain(&ret.stages)
+            .chain(&ret.report.stages)
             .map(|s| (s.stage, s.time.to_bits()))
             .collect(),
         stats: d.degraded_stats(),

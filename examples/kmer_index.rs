@@ -54,7 +54,8 @@ fn main() {
 
     // motif lookup: all occurrence positions of a few k-mers
     let motifs: Vec<u32> = (0..5).map(|i| pairs[i * 1000].0).collect();
-    let (hits, qstats) = index.retrieve_all(&motifs);
+    let q = index.try_retrieve_all(&motifs).expect("motif lookup");
+    let hits = q.values;
     for (m, positions) in motifs.iter().zip(&hits) {
         println!(
             "motif {m:#010x}: {} occurrence(s), first at {:?}",
@@ -67,13 +68,13 @@ fn main() {
     }
     println!(
         "queries probed {:.2} windows/motif",
-        qstats.counters.steps_per_group()
+        q.report.counters.steps_per_group()
     );
 
     // absent motif
     let absent = encode_kmer(b"AAAAAAAAAAA", 0, K);
     let truth = pairs.iter().filter(|p| p.0 == absent).count();
-    let (res, _) = index.retrieve_all(&[absent]);
+    let res = index.try_retrieve_all(&[absent]).unwrap().values;
     assert_eq!(res[0].len(), truth);
     println!("poly-A motif occurs {truth} time(s) — index agrees");
 }

@@ -36,16 +36,16 @@ fn main() {
         .map(|p| p.0)
         .chain([999_999_999])
         .collect();
-    let (results, _) = map.retrieve(&keys);
+    let results = map.try_retrieve(&keys).unwrap().values;
     println!("lookups: {results:?}");
 
     // rates only mean something on bulk launches — query everything
     let all_keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-    let (_, stats) = map.retrieve(&all_keys);
+    let stats = map.try_retrieve(&all_keys).unwrap().report;
     println!(
         "bulk retrieval probed {:.2} windows per key at a simulated {:.2} G ops/s",
         stats.counters.steps_per_group(),
-        stats.ops_per_sec(all_keys.len() as u64) / 1e9
+        stats.ops_per_sec() / 1e9
     );
 
     // Duplicate keys update in place (last writer wins).
@@ -55,7 +55,7 @@ fn main() {
     // Deletion needs exclusive access (the paper's global barrier,
     // enforced by &mut).
     let mut map = map;
-    let erased = map.erase(&[pairs[1].0]);
+    let erased = map.try_erase(&[pairs[1].0]).expect("erase");
     assert_eq!(erased.erased, 1);
     assert_eq!(map.get(pairs[1].0), None);
     println!(

@@ -37,10 +37,10 @@ fn run(set: SanitizerSet) -> (f64, CounterSnapshot) {
     let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
     let t0 = Instant::now();
     map.insert_pairs(&pairs).expect("insert");
-    let (hits, stats) = map.retrieve(&keys);
+    let ret = map.try_retrieve(&keys).unwrap();
     let dt = t0.elapsed().as_secs_f64();
-    assert!(hits.iter().all(Option::is_some), "all keys must be found");
-    (dt, stats.counters)
+    assert!(ret.values.iter().all(Option::is_some), "all keys must be found");
+    (dt, ret.report.counters)
 }
 
 fn main() {

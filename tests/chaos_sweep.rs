@@ -110,12 +110,12 @@ proptest! {
                     "conservation broken; replay: {}",
                     replay
                 );
-                if let Ok((res, _)) = d.try_retrieve_from_host(
+                if let Ok(resp) = d.try_retrieve_from_host(
                     &pairs.iter().map(|p| p.0).collect::<Vec<_>>(),
                 ) {
                     for (i, p) in pairs.iter().enumerate() {
                         prop_assert_eq!(
-                            res[i], Some(p.1),
+                            resp.values[i], Some(p.1),
                             "key {} lost; replay: {}", p.0, replay
                         );
                     }
@@ -147,7 +147,7 @@ proptest! {
             return Ok(()); // node died before the experiment started
         }
         let victims: Vec<u32> = keys.iter().step_by(erase_every).copied().collect();
-        let (erased, _) = d.erase_from_host(&victims);
+        let erased = d.try_erase_from_host(&victims).unwrap().erased;
         prop_assert_eq!(
             erased as usize, victims.len(),
             "erase count; replay: {}", replay
@@ -233,7 +233,7 @@ fn one_dead_gpu_of_four_degrades_gracefully() {
     assert!(stats.migrated_keys > 0, "GPU 2 held a partition before dying");
 
     let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-    let (res, _) = d.retrieve_from_host(&keys);
+    let res = d.try_retrieve_from_host(&keys).unwrap().values;
     for (i, p) in pairs.iter().enumerate() {
         assert_eq!(res[i], Some(p.1), "key {} lost after quarantine", p.0);
     }
@@ -250,7 +250,7 @@ fn fault_off_is_byte_identical() {
     let run = |cfg: Config| {
         let d = node(4, cfg);
         let ins = d.insert_from_host(&pairs).unwrap();
-        let (_, ret) = d.retrieve_from_host(&keys);
+        let ret = d.try_retrieve_from_host(&keys).unwrap().report;
         assert_eq!(d.degraded_stats(), warpdrive::DegradedStats::default());
         assert!(d.quarantined().is_empty());
         (ins, ret)
@@ -260,9 +260,12 @@ fn fault_off_is_byte_identical() {
     assert!(!seeded_but_disarmed.armed());
     let (ins_a, ret_a) = run(Config::default());
     let (ins_b, ret_b) = run(Config::default().with_fault(seeded_but_disarmed));
-    for (a, b) in [(&ins_a, &ins_b), (&ret_a, &ret_b)] {
-        assert_eq!(a.stages.len(), b.stages.len());
-        for (x, y) in a.stages.iter().zip(&b.stages) {
+    for (a, b) in [
+        (&ins_a.stages[..], &ins_b.stages[..]),
+        (&ret_a.stages[..], &ret_b.stages[..]),
+    ] {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
             assert_eq!(x.stage, y.stage);
             assert!(
                 x.stage != CascadeStage::Backoff,
@@ -302,9 +305,9 @@ fn env_armed_round_trip_conserves() {
                 d.replay_hint()
             );
             let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-            if let Ok((res, _)) = d.try_retrieve_from_host(&keys) {
+            if let Ok(resp) = d.try_retrieve_from_host(&keys) {
                 for (i, p) in pairs.iter().enumerate() {
-                    assert_eq!(res[i], Some(p.1), "key {}; replay: {}", p.0, d.replay_hint());
+                    assert_eq!(resp.values[i], Some(p.1), "key {}; replay: {}", p.0, d.replay_hint());
                 }
             }
         }
@@ -370,7 +373,7 @@ fn broken_forget_quarantined_partition_is_caught_by_round_trip() {
         d.set_fault_plan(FaultPlan::default().with_kill((seed % 4) as u32));
         d.insert_from_host(&[(base + 999_983, 42)]).unwrap();
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (res, _) = d.retrieve_from_host(&keys);
+        let res = d.try_retrieve_from_host(&keys).unwrap().values;
         res.iter().filter(|r| r.is_none()).count()
     };
     let mut caught = None;

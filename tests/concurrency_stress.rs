@@ -55,7 +55,7 @@ fn concurrent_insert_and_query_never_yield_garbage() {
         std::thread::spawn(move || {
             let keys: Vec<u32> = (1..=4000).collect();
             for _ in 0..5 {
-                let (res, _) = map.retrieve(&keys);
+                let res = map.try_retrieve(&keys).unwrap().values;
                 for (i, r) in res.iter().enumerate() {
                     if let Some(v) = r {
                         assert_eq!(*v, i as u32 + 1_000_000, "garbage value");
@@ -67,7 +67,7 @@ fn concurrent_insert_and_query_never_yield_garbage() {
     writer.join().unwrap();
     reader.join().unwrap();
     // after quiescence everything is visible
-    let (res, _) = map.retrieve(&(1..=4000).collect::<Vec<u32>>());
+    let res = map.try_retrieve(&(1..=4000).collect::<Vec<u32>>()).unwrap().values;
     assert!(res.iter().all(Option::is_some));
 }
 

@@ -182,7 +182,7 @@ proptest! {
         let pairs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k)).collect();
         d.insert_from_host(&pairs).unwrap();
         let victims: Vec<u32> = keys.iter().step_by(erase_every).copied().collect();
-        let (erased, _) = d.erase_from_host(&victims);
+        let erased = d.try_erase_from_host(&victims).unwrap().erased;
         prop_assert_eq!(erased as usize, victims.len());
 
         let mut stored: Vec<u32> = d

@@ -66,6 +66,10 @@ fn run_pass(schedule: Schedule) -> (Fingerprint, Fingerprint) {
     let map = GpuHashMap::new(dev, CAPACITY, Config::default().with_schedule(schedule)).unwrap();
     let ins = map.insert_pairs(&pairs).unwrap();
     let keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+    // Deliberately exercises the deprecated tuple shim: the fingerprint
+    // needs the raw `KernelStats.breakdown`, which the typed `OpReport`
+    // abstracts away — this doubles as shim regression coverage.
+    #[allow(deprecated)]
     let (_, ret) = map.retrieve(&keys);
     (Fingerprint::of(&ins.stats), Fingerprint::of(&ret))
 }
@@ -118,6 +122,7 @@ fn modeled_results_are_bit_equal_across_worker_counts() {
     let mut baseline = None;
     for workers in sweeps {
         std::env::set_var("RAYON_NUM_THREADS", workers);
+        #[allow(deprecated)]
         let (_, stats) = map.retrieve(&keys);
         let got = Fingerprint::of(&stats);
         match &baseline {

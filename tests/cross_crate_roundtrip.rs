@@ -69,7 +69,7 @@ fn host_and_device_cascades_agree() {
     dmap.insert_from_host(&pairs).unwrap();
 
     let keys: Vec<u32> = pairs.iter().map(|p| p.0).chain([1, 2, 3]).collect();
-    let (host_res, _) = dmap.retrieve_from_host(&keys);
+    let host_res = dmap.try_retrieve_from_host(&keys).unwrap().values;
 
     // device-sided query of the same keys, spread arbitrarily
     let per = keys.len() / 4;
@@ -82,7 +82,7 @@ fn host_and_device_cascades_agree() {
                 .collect()
         })
         .collect();
-    let (dev_res, _) = dmap.retrieve_device_sided(&per_gpu);
+    let dev_res = dmap.try_retrieve_device_sided(&per_gpu).unwrap().values;
     let dev_flat: Vec<Option<u32>> = dev_res.into_iter().flatten().collect();
     assert_eq!(host_res, dev_flat);
 }
@@ -115,7 +115,7 @@ fn overlap_is_functionally_transparent() {
     assert_eq!(a.len(), b.len());
     let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
     let (ra, _) = a.retrieve_overlapped(&keys, 999, 2);
-    let (rb, _) = b.retrieve_from_host(&keys);
+    let rb = b.try_retrieve_from_host(&keys).unwrap().values;
     assert_eq!(ra, rb);
 }
 
@@ -161,16 +161,16 @@ fn baselines_agree_with_warpdrive() {
     let dev = Arc::new(gpu_sim::Device::with_words(0, 1 << 16));
     let wd = GpuHashMap::new(Arc::clone(&dev), 4096, Config::default()).unwrap();
     wd.insert_pairs(&pairs).unwrap();
-    let (wd_res, _) = wd.retrieve(&keys);
+    let wd_res = wd.try_retrieve(&keys).unwrap().values;
 
     let cuckoo = baselines::CuckooHash::new(Arc::clone(&dev), 4096, 1).unwrap();
     let out = cuckoo.insert_pairs(&pairs);
     assert_eq!(out.failed, 0);
-    let (ck_res, _) = cuckoo.retrieve(&keys);
+    let ck_res = cuckoo.try_retrieve(&keys).unwrap().values;
 
     let rh = baselines::RobinHoodMap::new(Arc::clone(&dev), 4096, 2).unwrap();
     assert_eq!(rh.insert_pairs(&pairs).failed, 0);
-    let (rh_res, _) = rh.retrieve(&keys);
+    let rh_res = rh.try_retrieve(&keys).unwrap().values;
 
     let st = baselines::StadiumHash::new(
         Arc::clone(&dev),
@@ -180,10 +180,10 @@ fn baselines_agree_with_warpdrive() {
     )
     .unwrap();
     assert_eq!(st.insert_pairs(&pairs).failed, 0);
-    let (st_res, _) = st.retrieve(&keys);
+    let st_res = st.try_retrieve(&keys).unwrap().values;
 
     let (sc, _) = baselines::SortCompressStore::build(Arc::clone(&dev), &pairs).unwrap();
-    let (sc_res, _) = sc.retrieve(&keys);
+    let sc_res = sc.try_retrieve(&keys).unwrap().values;
 
     let fl = baselines::FolkloreMap::new(4096);
     assert_eq!(fl.insert_bulk(&pairs).failed, 0);

@@ -21,10 +21,10 @@ fn single_rates(load: f64, g: u32, n: usize) -> (f64, f64) {
     let pairs = Distribution::Unique.generate(n, 1);
     let ins = map.insert_pairs(&pairs).unwrap();
     let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-    let (_, ret) = map.retrieve(&keys);
+    let ret = map.try_retrieve(&keys).unwrap().report;
     (
         n as f64 / (ins.stats.sim_time - 6e-6),
-        n as f64 / (ret.sim_time - 6e-6),
+        n as f64 / (ret.time - 6e-6),
     )
 }
 

@@ -30,11 +30,11 @@ use wd_apps::{mutation_seeds, sweep_seeds};
 fn drive(map: &mut GpuHashMap) {
     let pairs: Vec<(u32, u32)> = (0..16u32).map(|i| (i % 4 + 1, i * 7)).collect();
     map.insert_pairs(&pairs).unwrap();
-    let (_, _) = map.retrieve(&[1, 2, 3, 4, 5, 6]);
-    map.erase(&[2, 4, 6]);
-    let (_, _) = map.retrieve(&[1, 2, 3, 4]);
+    let _ = map.try_retrieve(&[1, 2, 3, 4, 5, 6]).unwrap();
+    map.try_erase(&[2, 4, 6]).unwrap();
+    let _ = map.try_retrieve(&[1, 2, 3, 4]).unwrap();
     map.insert_pairs(&[(2, 999), (4, 1000)]).unwrap();
-    let (_, _) = map.retrieve(&[2, 4]);
+    let _ = map.try_retrieve(&[2, 4]).unwrap();
 }
 
 #[test]
@@ -97,10 +97,10 @@ fn multimap_histories_are_linearizable() {
             let rec = Arc::new(HistoryRecorder::new());
             mm.set_recorder(Some(Arc::clone(&rec)));
             mm.insert_pairs(&pairs).unwrap();
-            let (_, _) = mm.retrieve_all(&[1, 2, 3, 4, 5]);
+            let _ = mm.try_retrieve_all(&[1, 2, 3, 4, 5]).unwrap();
             // second wave overlaps existing content
             mm.insert_pairs(&[(1, 100), (5, 101)]).unwrap();
-            let (_, _) = mm.retrieve_all(&[1, 5]);
+            let _ = mm.try_retrieve_all(&[1, 5]).unwrap();
             check_linearizable_multi(&rec.events())
                 .unwrap_or_else(|v| panic!("{cell}: {v}"));
         }
@@ -121,9 +121,9 @@ fn distributed_histories_are_linearizable() {
         d.set_recorder(Some(Arc::clone(&rec)));
         let pairs: Vec<(u32, u32)> = (0..32u32).map(|i| (i % 8 + 1, i)).collect();
         d.insert_from_host(&pairs).unwrap();
-        let (_, _) = d.retrieve_from_host(&(1..=10).collect::<Vec<u32>>());
-        let (_, _) = d.erase_from_host(&[1, 3, 5]);
-        let (_, _) = d.retrieve_from_host(&(1..=6).collect::<Vec<u32>>());
+        let _ = d.try_retrieve_from_host(&(1..=10).collect::<Vec<u32>>()).unwrap();
+        let _ = d.try_erase_from_host(&[1, 3, 5]);
+        let _ = d.try_retrieve_from_host(&(1..=6).collect::<Vec<u32>>()).unwrap();
         check_linearizable(&rec.events()).unwrap_or_else(|v| panic!("{cell}: {v}"));
     }
 }
@@ -157,8 +157,8 @@ fn distributed_histories_stay_linearizable_under_faults() {
         if d.insert_from_host(&pairs).is_err() {
             continue; // the whole node died under this plan — nothing to check
         }
-        if let Ok((_, _)) = d.try_retrieve_from_host(&(1..=14).collect::<Vec<u32>>()) {
-            let (_, _) = d.erase_from_host(&[1, 3, 5]);
+        if d.try_retrieve_from_host(&(1..=14).collect::<Vec<u32>>()).is_ok() {
+            let _ = d.try_erase_from_host(&[1, 3, 5]);
             let _ = d.try_retrieve_from_host(&(1..=6).collect::<Vec<u32>>());
         }
         check_linearizable(&rec.events()).unwrap_or_else(|v| panic!("{cell}: {v}"));
@@ -229,7 +229,7 @@ fn broken_cas_recheck_is_flagged_non_linearizable() {
         let rec = Arc::new(HistoryRecorder::new());
         map.set_recorder(Some(Arc::clone(&rec)));
         map.insert_pairs(&pairs).unwrap();
-        let (_, _) = map.retrieve(&[42]);
+        let _ = map.try_retrieve(&[42]).unwrap();
         check_linearizable(&rec.events())
     };
     let mut caught = None;

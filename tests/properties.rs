@@ -32,7 +32,7 @@ proptest! {
             }
         }
         let keys: Vec<u32> = model.keys().copied().collect();
-        let (res, _) = map.retrieve(&keys);
+        let res = map.try_retrieve(&keys).unwrap().values;
         for (i, k) in keys.iter().enumerate() {
             prop_assert_eq!(res[i], model.get(k).copied());
         }
@@ -52,9 +52,9 @@ proptest! {
         let pairs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k ^ 0xabcd)).collect();
         map.insert_pairs(&pairs).unwrap();
         let victims: Vec<u32> = keys.iter().step_by(erase_every).copied().collect();
-        let out = map.erase(&victims);
+        let out = map.try_erase(&victims).unwrap();
         prop_assert_eq!(out.erased as usize, victims.len());
-        let (res, _) = map.retrieve(&keys);
+        let res = map.try_retrieve(&keys).unwrap().values;
         for (i, k) in keys.iter().enumerate() {
             if victims.contains(k) {
                 prop_assert_eq!(res[i], None);
@@ -77,7 +77,7 @@ proptest! {
             model.entry(k).or_default().push(v);
         }
         for (k, vs) in &model {
-            let (res, _) = map.retrieve_all(&[*k]);
+            let res = map.try_retrieve_all(&[*k]).unwrap().values;
             let mut got = res[0].clone();
             let mut want = vs.clone();
             got.sort_unstable();
@@ -120,8 +120,8 @@ proptest! {
         dmap.insert_device_sided(&per_gpu).unwrap();
 
         let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-        let (s_res, _) = single.retrieve(&keys);
-        let (d_res, _) = dmap.retrieve_device_sided(&[keys.clone(), vec![], vec![], vec![]]);
+        let s_res = single.try_retrieve(&keys).unwrap().values;
+        let d_res = dmap.try_retrieve_device_sided(&[keys.clone(), vec![], vec![], vec![]]).unwrap().values;
         prop_assert_eq!(&s_res, &d_res[0]);
         prop_assert!(s_res.iter().all(Option::is_some));
     }

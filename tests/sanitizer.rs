@@ -163,7 +163,7 @@ fn memcheck_catches_window_overrun() {
             // insert is unmutated; the overrun reads one query past the
             // staged input slice in retrieve
             let _ = map.insert_pairs(&[(1, 10), (2, 20), (3, 30)]);
-            let _ = map.retrieve(&[1, 2, 3]);
+            let _ = map.try_retrieve(&[1, 2, 3]);
         },
     );
 }
@@ -204,9 +204,9 @@ fn sanitizer_does_not_change_billed_counters() {
         let pairs: Vec<(u32, u32)> = (0..32u32).map(|i| (i + 1, i)).collect();
         let ins = map.insert_pairs(&pairs).expect("insert");
         let keys: Vec<u32> = (1..=32).collect();
-        let (hits, q) = map.retrieve(&keys);
-        assert!(hits.iter().all(Option::is_some));
-        (ins.stats.counters, q.counters)
+        let q = map.try_retrieve(&keys).unwrap();
+        assert!(q.values.iter().all(Option::is_some));
+        (ins.stats.counters, q.report.counters)
     };
     assert_eq!(
         run(false),

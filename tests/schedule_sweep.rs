@@ -45,8 +45,8 @@ fn run_case(
         .with_schedule(schedule);
     let map = GpuHashMap::new(dev, 64, cfg).unwrap();
     let ins = map.insert_pairs(&pairs()).unwrap();
-    let (res, ret_stats) = map.retrieve(&query_keys());
-    (res, map.len(), ins.stats.counters, ret_stats.counters)
+    let ret = map.try_retrieve(&query_keys()).unwrap();
+    (ret.values, map.len(), ins.stats.counters, ret.report.counters)
 }
 
 fn check_model(res: &[Option<u32>], len: u64, cell: &str) {
@@ -155,7 +155,7 @@ fn multimap_sweep_preserves_multiplicity() {
             let mm = GpuMultiMap::new(dev, 64, cfg).unwrap();
             mm.insert_pairs(&pairs).unwrap();
             assert_eq!(mm.len(), pairs.len() as u64, "{cell}: lost pairs");
-            let (res, _) = mm.retrieve_all(&[1, 2, 3, 4, 5]);
+            let res = mm.try_retrieve_all(&[1, 2, 3, 4, 5]).unwrap().values;
             for (i, key) in (1u32..=5).enumerate() {
                 let mut got = res[i].clone();
                 got.sort_unstable();

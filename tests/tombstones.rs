@@ -46,7 +46,7 @@ proptest! {
         let slots_before = map.len();
 
         let victims: Vec<u32> = keys.iter().step_by(erase_every).copied().collect();
-        let out = map.erase(&victims);
+        let out = map.try_erase(&victims).unwrap();
         prop_assert_eq!(out.erased as usize, victims.len());
         prop_assert_eq!(map.tombstones() as usize, victims.len());
 
@@ -59,7 +59,7 @@ proptest! {
         prop_assert_eq!(map.tombstones(), 0, "unreclaimed tombstones remain");
         prop_assert_eq!(map.len(), slots_before);
 
-        let (res, _) = map.retrieve(&keys);
+        let res = map.try_retrieve(&keys).unwrap().values;
         for (i, k) in keys.iter().enumerate() {
             let want = if victims.contains(k) { k.wrapping_mul(3) } else { k ^ 0x5a5a };
             prop_assert_eq!(res[i], Some(want), "key {}", k);
@@ -89,7 +89,7 @@ proptest! {
                 let mut victims = batch.clone();
                 victims.sort_unstable();
                 victims.dedup();
-                let out = map.erase(&victims);
+                let out = map.try_erase(&victims).unwrap();
                 let hits = victims.iter().filter(|k| model.remove(k).is_some()).count();
                 prop_assert_eq!(out.erased as usize, hits, "step {}", step);
                 total_erased += out.erased;
@@ -110,7 +110,7 @@ proptest! {
         }
         // final content check
         let keys: Vec<u32> = (1..600).collect();
-        let (res, _) = map.retrieve(&keys);
+        let res = map.try_retrieve(&keys).unwrap().values;
         for (i, k) in keys.iter().enumerate() {
             prop_assert_eq!(res[i], model.get(k).copied(), "key {}", k);
         }
@@ -133,7 +133,7 @@ proptest! {
                 panic!("round {round}: capacity leaked across cycles: {e}")
             });
             prop_assert_eq!(map.len() as usize, n, "round {}", round);
-            let out = map.erase(&keys);
+            let out = map.try_erase(&keys).unwrap();
             prop_assert_eq!(out.erased as usize, n, "round {}", round);
             prop_assert_eq!(map.len(), 0, "round {}", round);
         }
