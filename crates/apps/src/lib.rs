@@ -36,6 +36,22 @@ pub fn mutation_seeds() -> u64 {
     env_u64("WD_MUTATION_SEEDS", sweep_seeds())
 }
 
+/// Global sweep-breadth multiplier: seed counts and workload sizes in
+/// the schedule/chaos/equivalence sweeps scale linearly with it.
+/// Override with `WD_SWEEP_SCALE` (default 1) — the instrument-speed
+/// overhaul (epoch racecheck, chunked dispatch, parallel checker) is
+/// what makes `WD_SWEEP_SCALE=10` affordable. `0` is clamped to 1.
+#[must_use]
+pub fn sweep_scale() -> u64 {
+    env_u64("WD_SWEEP_SCALE", 1).max(1)
+}
+
+/// Scales a baseline count by [`sweep_scale`].
+#[must_use]
+pub fn scaled(baseline: u64) -> u64 {
+    baseline.saturating_mul(sweep_scale())
+}
+
 /// Builds a simulated quad-P100 node sized for experiments of `n`
 /// elements per GPU: per-GPU pool = table capacity + staging room.
 #[must_use]

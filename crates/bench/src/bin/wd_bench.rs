@@ -13,7 +13,7 @@
 //!   wd-bench --validate <report.json>
 //!   wd-bench --compare <new.json> <baseline.json>
 //!
-//! `--validate` checks a report against the `wd-bench-perf/v2` schema
+//! `--validate` checks a report against the `wd-bench-perf/v3` schema
 //! (exit 1 on violation). `--compare` prints host-rate deltas between two
 //! reports and always exits 0 — wall-clock on shared CI runners is noisy,
 //! so the delta is advisory, never a gate.
@@ -101,6 +101,111 @@ fn serve_scenario(quick: bool, seed: u64) -> Json {
         ("occupancy", Json::Num(srv.backend().occupancy())),
         ("rejects", Json::Num(run.rejects.len() as f64)),
         ("host_wall_s", Json::Num(host_wall_s)),
+    ])
+}
+
+/// The checker scenario: linearizability-check throughput (histories/s)
+/// over synthetic recorded histories, serial vs parallel. Histories are
+/// generated legal-by-construction with concurrency clusters per key, so
+/// the Wing–Gong search takes its accepting (full-exploration) path —
+/// the expensive case the parallel fan-out exists for. Both paths verify
+/// every history accepts, so the numbers compare equal work.
+fn checker_scenario(quick: bool, seed: u64) -> Json {
+    use warpdrive::{check_linearizable, check_linearizable_serial, OpEvent, OpKind, OpResponse};
+
+    let histories_n = if quick { 16 } else { 64 };
+    let keys_per_history = 6u32;
+    let ops_per_key = 4u64;
+
+    // xorshift over a seeded state: deterministic across runs and hosts
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let histories: Vec<Vec<OpEvent>> = (0..histories_n)
+        .map(|_| {
+            let mut h = Vec::new();
+            for key in 0..keys_per_history {
+                let mut t = u64::from(key) % 7;
+                // A cluster of concurrent same-key inserts with distinct
+                // values (index 0 claims, the rest update) plus a
+                // concurrent retrieve that observed the *claimed* value.
+                // The witness must slot the retrieve right after the
+                // claim, but the depth-first search tries the updates
+                // first and only learns they were wrong at the bottom —
+                // ~w·2^w memoized (mask, register) configurations of real
+                // backtracking per key, the accepting-path worst case the
+                // parallel fan-out exists for.
+                let cluster = 10 + next() % 3;
+                for c in 0..cluster {
+                    h.push(OpEvent {
+                        key,
+                        kind: OpKind::Insert { value: c as u32 },
+                        response: OpResponse::Inserted { new_slot: c == 0 },
+                        invoked: t,
+                        responded: t + 40,
+                    });
+                }
+                h.push(OpEvent {
+                    key,
+                    kind: OpKind::Retrieve,
+                    response: OpResponse::Found { value: 0 },
+                    invoked: t + 1,
+                    responded: t + 40,
+                });
+                t += 41;
+                // sequential epilogue, legal regardless of update order:
+                // erase, miss, re-claim, hit
+                for _ in 0..ops_per_key {
+                    let v = (next() % 100) as u32;
+                    let steps = [
+                        (OpKind::Erase, OpResponse::Erased { hit: true }),
+                        (OpKind::Retrieve, OpResponse::NotFound),
+                        (OpKind::Insert { value: v }, OpResponse::Inserted { new_slot: true }),
+                        (OpKind::Retrieve, OpResponse::Found { value: v }),
+                    ];
+                    for (kind, response) in steps {
+                        h.push(OpEvent {
+                            key,
+                            kind,
+                            response,
+                            invoked: t,
+                            responded: t + 1,
+                        });
+                        t += 2;
+                    }
+                }
+            }
+            h
+        })
+        .collect();
+    let ops_per_history = histories[0].len();
+
+    let serial_wall = Instant::now();
+    for h in &histories {
+        check_linearizable_serial(h).expect("generated history must linearize");
+    }
+    let serial_s = serial_wall.elapsed().as_secs_f64();
+
+    let parallel_wall = Instant::now();
+    for h in &histories {
+        check_linearizable(h).expect("generated history must linearize");
+    }
+    let parallel_s = parallel_wall.elapsed().as_secs_f64();
+
+    let hps = |wall: f64| histories_n as f64 / wall.max(1e-12);
+    Json::obj(vec![
+        ("histories", Json::Num(histories_n as f64)),
+        ("ops_per_history", Json::Num(ops_per_history as f64)),
+        ("threads", Json::Num(rayon::current_num_threads() as f64)),
+        ("serial_s", Json::Num(serial_s)),
+        ("parallel_s", Json::Num(parallel_s)),
+        ("serial_histories_s", Json::Num(hps(serial_s))),
+        ("parallel_histories_s", Json::Num(hps(parallel_s))),
+        ("speedup", Json::Num(serial_s / parallel_s.max(1e-12))),
     ])
 }
 
@@ -216,6 +321,10 @@ fn main() {
     // host wall time rides along like everywhere else.
     let serve = serve_scenario(quick, seed);
 
+    // Checker scenario: linearizability-check throughput, serial vs
+    // parallel — the instrument the big test sweeps lean on.
+    let checker = checker_scenario(quick, seed);
+
     let doc = Json::obj(vec![
         ("schema", Json::Str(PERF_SCHEMA.into())),
         (
@@ -261,6 +370,7 @@ fn main() {
             ]),
         ),
         ("serve", serve),
+        ("checker", checker),
     ]);
 
     validate_perf(&doc).expect("self-emitted report must satisfy the schema");

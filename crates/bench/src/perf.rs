@@ -5,7 +5,7 @@
 //! pipeline needs: a [`Json`] value tree with a deterministic pretty
 //! printer, a recursive-descent parser for reading reports back (CI
 //! validation and baseline comparison), and [`validate_perf`], the
-//! structural check for the `wd-bench-perf/v2` schema emitted by the
+//! structural check for the `wd-bench-perf/v3` schema emitted by the
 //! `wd-bench` binary.
 //!
 //! Printer determinism matters: object keys keep insertion order and
@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema identifier emitted in — and required of — every perf report.
-pub const PERF_SCHEMA: &str = "wd-bench-perf/v2";
+pub const PERF_SCHEMA: &str = "wd-bench-perf/v3";
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,7 +317,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
         .ok_or_else(|| format!("bad number at byte {start}"))
 }
 
-/// Required numeric fields per section of the `wd-bench-perf/v2` schema.
+/// Required numeric fields per section of the `wd-bench-perf/v3` schema.
 const SECTIONS: &[(&str, &[&str])] = &[
     ("machine", &["threads"]),
     ("run", &["n", "modeled_n", "seed"]),
@@ -336,9 +336,22 @@ const SECTIONS: &[(&str, &[&str])] = &[
             "host_wall_s",
         ],
     ),
+    (
+        "checker",
+        &[
+            "histories",
+            "ops_per_history",
+            "threads",
+            "serial_s",
+            "parallel_s",
+            "serial_histories_s",
+            "parallel_histories_s",
+            "speedup",
+        ],
+    ),
 ];
 
-/// Structurally validates a `wd-bench-perf/v2` report.
+/// Structurally validates a `wd-bench-perf/v3` report.
 ///
 /// # Errors
 /// Returns every violation found (missing sections, wrong types, negative
@@ -495,6 +508,19 @@ mod tests {
                     ("occupancy", Json::Num(0.3)),
                     ("rejects", Json::Num(0.0)),
                     ("host_wall_s", Json::Num(0.2)),
+                ]),
+            ),
+            (
+                "checker",
+                Json::obj(vec![
+                    ("histories", Json::Num(64.0)),
+                    ("ops_per_history", Json::Num(96.0)),
+                    ("threads", Json::Num(4.0)),
+                    ("serial_s", Json::Num(0.4)),
+                    ("parallel_s", Json::Num(0.1)),
+                    ("serial_histories_s", Json::Num(160.0)),
+                    ("parallel_histories_s", Json::Num(640.0)),
+                    ("speedup", Json::Num(4.0)),
                 ]),
             ),
         ])

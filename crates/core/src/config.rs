@@ -63,6 +63,16 @@ pub struct Config {
     /// [`gpu_sim::Schedule::from_env`]), so any test can be replayed
     /// under a recorded schedule without code changes.
     pub schedule: Schedule,
+    /// Forces per-op stepwise dispatch (`Some(true)`) or chunked lane
+    /// dispatch (`Some(false)`) for this map's kernel launches. `None`
+    /// (the default) defers to the process-wide `WD_SCHED_CHUNK`
+    /// environment knob (see [`gpu_sim::chunked_dispatch_default`]),
+    /// which defaults to chunked. Only meaningful under a stepwise
+    /// [`Schedule`]; pool mode ignores it. The two paths produce
+    /// bit-identical modeled counters and schedule decisions — this knob
+    /// exists for differential testing and for replaying per-op traces.
+    #[serde(default)]
+    pub per_op_dispatch: Option<bool>,
     /// Deterministic fault-injection plan for the multi-GPU cascades:
     /// link degradation, transfer drops, transient launch failures,
     /// stragglers and killed devices. `Config::default()` honors the
@@ -145,6 +155,7 @@ impl Default for Config {
             seed: 0,
             modeled_capacity_bytes: None,
             schedule: Schedule::from_env(),
+            per_op_dispatch: None,
             fault: FaultPlan::from_env(),
             retry: RetryPolicy::default(),
             broken_cas_recheck: false,
@@ -199,6 +210,23 @@ impl Config {
     pub fn with_schedule(mut self, s: Schedule) -> Self {
         self.schedule = s;
         self
+    }
+
+    /// Forces per-op (`true`) or chunked (`false`) stepwise dispatch for
+    /// this map's kernel launches (see [`Config::per_op_dispatch`]).
+    #[must_use]
+    pub fn with_per_op_dispatch(mut self, per_op: bool) -> Self {
+        self.per_op_dispatch = Some(per_op);
+        self
+    }
+
+    /// Applies the dispatch override (if any) to a built
+    /// [`gpu_sim::LaunchOptions`].
+    pub(crate) fn apply_dispatch(&self, opts: gpu_sim::LaunchOptions) -> gpu_sim::LaunchOptions {
+        match self.per_op_dispatch {
+            Some(per_op) => opts.with_per_op_dispatch(per_op),
+            None => opts,
+        }
     }
 
     /// Sets the fault-injection plan (see [`Config::fault`]).

@@ -66,7 +66,10 @@ pub use distributed::DistributedHashMap;
 pub use entry::{key_of, pack, value_of, EMPTY, RESERVED_KEY, TOMBSTONE};
 pub use errors::{BuildError, InsertError, RetrieveError};
 pub use history::{HistoryRecorder, OpEvent, OpKind, OpResponse};
-pub use linearize::{check_linearizable, check_linearizable_multi, Violation};
+pub use linearize::{
+    check_linearizable, check_linearizable_multi, check_linearizable_multi_serial,
+    check_linearizable_serial, Violation,
+};
 pub use map::GpuHashMap;
 pub use multimap::GpuMultiMap;
 pub use service::{

@@ -23,11 +23,31 @@
 //! histories of concurrent identical ops don't explode factorially. At
 //! most 128 operations per key are supported — recorded test histories
 //! stay far below that.
+//!
+//! # Parallelism
+//!
+//! Per-key sub-histories are independent by construction, so
+//! [`check_linearizable`] and [`check_linearizable_multi`] fan the
+//! per-key searches across the rayon pool once a history is large enough
+//! to amortize the spawn cost ([`PARALLEL_THRESHOLD`] operations).
+//! Verdicts are **identical** to the serial path: every key is checked
+//! regardless of other keys' outcomes and the reported violation is
+//! always the smallest offending key's (the same deterministic choice the
+//! serial scan makes). The always-serial entry points
+//! [`check_linearizable_serial`] / [`check_linearizable_multi_serial`]
+//! exist for differential testing and for callers already saturating the
+//! thread pool.
 
 use crate::history::{OpEvent, OpKind, OpResponse};
+use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::Hash;
+
+/// Histories with fewer total operations than this are checked serially
+/// even via the parallel entry points: scoped-thread spawn costs more
+/// than the whole search at this size.
+const PARALLEL_THRESHOLD: usize = 64;
 
 /// Evidence that a history is not linearizable.
 #[derive(Debug, Clone)]
@@ -56,20 +76,48 @@ impl fmt::Display for Violation {
 
 impl std::error::Error for Violation {}
 
-/// Checks a single-value map history (LWW register per key).
+/// Checks a single-value map history (LWW register per key), fanning the
+/// independent per-key searches across the rayon pool for large
+/// histories.
 ///
 /// # Errors
-/// Returns the offending key's sub-history when no linearization exists.
+/// Returns the smallest offending key's sub-history when no
+/// linearization exists.
 pub fn check_linearizable(history: &[OpEvent]) -> Result<(), Violation> {
-    check_by_key(history, &None::<u32>, apply_single)
+    check_by_key(history, &None::<u32>, apply_single, history.len() >= PARALLEL_THRESHOLD)
 }
 
-/// Checks a multi-map history (multiset register per key).
+/// Checks a multi-map history (multiset register per key), fanning the
+/// independent per-key searches across the rayon pool for large
+/// histories.
 ///
 /// # Errors
-/// Returns the offending key's sub-history when no linearization exists.
+/// Returns the smallest offending key's sub-history when no
+/// linearization exists.
 pub fn check_linearizable_multi(history: &[OpEvent]) -> Result<(), Violation> {
-    check_by_key(history, &Vec::<u32>::new(), apply_multi)
+    check_by_key(history, &Vec::<u32>::new(), apply_multi, history.len() >= PARALLEL_THRESHOLD)
+}
+
+/// [`check_linearizable`], forced onto the calling thread. Verdicts are
+/// identical to the parallel path by construction; this entry point
+/// exists for differential testing and for callers that are themselves
+/// a rayon worker.
+///
+/// # Errors
+/// Returns the smallest offending key's sub-history when no
+/// linearization exists.
+pub fn check_linearizable_serial(history: &[OpEvent]) -> Result<(), Violation> {
+    check_by_key(history, &None::<u32>, apply_single, false)
+}
+
+/// [`check_linearizable_multi`], forced onto the calling thread (see
+/// [`check_linearizable_serial`]).
+///
+/// # Errors
+/// Returns the smallest offending key's sub-history when no
+/// linearization exists.
+pub fn check_linearizable_multi_serial(history: &[OpEvent]) -> Result<(), Violation> {
+    check_by_key(history, &Vec::<u32>::new(), apply_multi, false)
 }
 
 /// Sequential LWW-register step; `None` means the (op, response) pair is
@@ -109,35 +157,62 @@ fn apply_multi(state: &Vec<u32>, op: &OpEvent) -> Option<Vec<u32>> {
     }
 }
 
-fn check_by_key<S, F>(history: &[OpEvent], initial: &S, apply: F) -> Result<(), Violation>
+fn check_by_key<S, F>(
+    history: &[OpEvent],
+    initial: &S,
+    apply: F,
+    parallel: bool,
+) -> Result<(), Violation>
 where
-    S: Clone + Eq + Hash,
-    F: Fn(&S, &OpEvent) -> Option<S>,
+    S: Clone + Eq + Hash + Send + Sync,
+    F: Fn(&S, &OpEvent) -> Option<S> + Sync,
 {
     let mut per_key: HashMap<u32, Vec<OpEvent>> = HashMap::new();
     for ev in history {
         per_key.entry(ev.key).or_default().push(ev.clone());
     }
-    let mut keys: Vec<u32> = per_key.keys().copied().collect();
-    keys.sort_unstable(); // deterministic violation choice
-    for key in keys {
-        let mut ops = per_key.remove(&key).unwrap();
+    // sorted keys: the smallest offending key is the deterministic
+    // violation choice on both the serial and the parallel path
+    let mut buckets: Vec<(u32, Vec<OpEvent>)> = per_key.into_iter().collect();
+    buckets.sort_unstable_by_key(|(key, _)| *key);
+    for (key, ops) in &mut buckets {
         ops.sort_by_key(|op| op.invoked);
         assert!(
             ops.len() <= 128,
             "linearizability checker supports at most 128 ops per key (key {key} has {})",
             ops.len()
         );
-        if !search(&ops, initial.clone(), &apply) {
-            return Err(Violation {
-                key,
-                ops,
+    }
+    let check_one = |(key, ops): &(u32, Vec<OpEvent>)| -> Option<Violation> {
+        if search(ops, initial.clone(), &apply) {
+            None
+        } else {
+            Some(Violation {
+                key: *key,
+                ops: ops.clone(),
                 detail: "no operation order consistent with real time yields these responses"
                     .to_owned(),
-            });
+            })
         }
+    };
+    let first = if parallel && buckets.len() > 1 {
+        // every key is checked (no early exit) — the verdict and the
+        // chosen violation still match the serial scan because the
+        // order-preserving collect lets us take the smallest key's
+        buckets
+            .par_iter()
+            .map(check_one)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .next()
+    } else {
+        buckets.iter().map(check_one).find(Option::is_some).flatten()
+    };
+    match first {
+        Some(v) => Err(v),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// Wing–Gong search: DFS over linearization prefixes. A remaining op may

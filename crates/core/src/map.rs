@@ -198,9 +198,11 @@ impl GpuHashMap {
     /// Launch options shared by this map's kernels: billed working set
     /// plus the configured group schedule.
     fn launch_opts(&self) -> LaunchOptions {
-        LaunchOptions::default()
-            .with_working_set(self.working_set())
-            .with_schedule(self.cfg.schedule)
+        self.cfg.apply_dispatch(
+            LaunchOptions::default()
+                .with_working_set(self.working_set())
+                .with_schedule(self.cfg.schedule),
+        )
     }
 
     // ---- device-sided operations ----------------------------------------

@@ -108,9 +108,11 @@ impl GpuMultiMap {
             "multimap_insert",
             words.len(),
             self.cfg.group_size,
-            LaunchOptions::default()
-                .with_working_set(table.bytes())
-                .with_schedule(self.cfg.schedule),
+            self.cfg.apply_dispatch(
+                LaunchOptions::default()
+                    .with_working_set(table.bytes())
+                    .with_schedule(self.cfg.schedule),
+            ),
             |ctx: &GroupCtx| {
                 let invoked = recorder.map(HistoryRecorder::invoke);
                 let word = ctx.read_stream(input, ctx.group_id());
@@ -208,9 +210,11 @@ impl GpuMultiMap {
             "multimap_retrieve_all",
             words.len(),
             self.cfg.group_size,
-            LaunchOptions::default()
-                .with_working_set(table.bytes())
-                .with_schedule(self.cfg.schedule),
+            self.cfg.apply_dispatch(
+                LaunchOptions::default()
+                    .with_working_set(table.bytes())
+                    .with_schedule(self.cfg.schedule),
+            ),
             |ctx: &GroupCtx| {
                 let invoked = recorder.map(HistoryRecorder::invoke);
                 let gid = ctx.group_id();

@@ -1,0 +1,192 @@
+//! Differential oracle for the parallel linearizability checker: the
+//! rayon fan-out over per-key sub-histories must return the *same
+//! verdict* as the serial scan — accept for accept, reject for reject,
+//! and the same (smallest) offending key with the same sub-history — on
+//! arbitrary histories, legal or garbage, at every worker count.
+//!
+//! Histories are decoded from raw entropy tuples, so they cover illegal
+//! kind/response pairings and causally impossible response patterns as
+//! well as legal traces. Sizes straddle the checker's internal
+//! serial/parallel threshold so both code paths run; total length stays
+//! under the 128-ops-per-key checker bound even if every op lands on one
+//! key.
+
+use proptest::prelude::*;
+use warpdrive::{
+    check_linearizable, check_linearizable_multi, check_linearizable_multi_serial,
+    check_linearizable_serial, OpEvent, OpKind, OpResponse, Violation,
+};
+
+/// Verdict normalized for comparison: `Ok` or the offending key plus its
+/// sub-history (the `detail` string is static).
+fn verdict(r: &Result<(), Violation>) -> Result<(), (u32, Vec<OpEvent>)> {
+    match r {
+        Ok(()) => Ok(()),
+        Err(v) => Err((v.key, v.ops.clone())),
+    }
+}
+
+/// Raw entropy for one generated op: key, kind/response selector, value,
+/// invocation jitter, response span.
+type RawOp = (u32, u64, u32, u64, u64);
+
+/// Decodes entropy into a single-map op — kind and response drawn
+/// independently, so illegal pairings occur and must be rejected
+/// identically on both paths.
+fn decode_single(i: usize, &(key, sel, value, jitter, span): &RawOp) -> OpEvent {
+    let kind = match sel % 3 {
+        0 => OpKind::Insert { value },
+        1 => OpKind::Retrieve,
+        _ => OpKind::Erase,
+    };
+    let response = match (sel / 3) % 5 {
+        0 => OpResponse::Inserted {
+            new_slot: sel & 1 == 0,
+        },
+        1 => OpResponse::InsertFailed,
+        2 => OpResponse::Found { value },
+        3 => OpResponse::NotFound,
+        _ => OpResponse::Erased { hit: sel & 1 == 0 },
+    };
+    let invoked = (i as u64) * 2 + jitter;
+    OpEvent {
+        key,
+        kind,
+        response,
+        invoked,
+        responded: invoked + 1 + span,
+    }
+}
+
+/// Decodes entropy into a multi-map op.
+fn decode_multi(i: usize, &(key, sel, value, jitter, span): &RawOp) -> OpEvent {
+    let kind = match sel % 2 {
+        0 => OpKind::InsertMulti { value: value % 4 },
+        _ => OpKind::RetrieveAll,
+    };
+    let response = match (sel / 2) % 3 {
+        0 => OpResponse::Inserted {
+            new_slot: sel & 1 == 0,
+        },
+        1 => OpResponse::InsertFailed,
+        _ => {
+            let mut values: Vec<u32> = (0..(sel / 8) % 4).map(|k| (value + k as u32) % 4).collect();
+            values.sort_unstable();
+            OpResponse::FoundAll { values }
+        }
+    };
+    let invoked = (i as u64) * 2 + jitter;
+    OpEvent {
+        key,
+        kind,
+        response,
+        invoked,
+        responded: invoked + 1 + span,
+    }
+}
+
+proptest! {
+    /// Single-map verdicts: serial == parallel on arbitrary histories.
+    #[test]
+    fn single_map_serial_and_parallel_verdicts_agree(
+        raw in proptest::collection::vec((0u32..10, 0u64..1024, 0u32..6, 0u64..4, 0u64..12), 0..120),
+    ) {
+        let history: Vec<OpEvent> =
+            raw.iter().enumerate().map(|(i, op)| decode_single(i, op)).collect();
+        let serial = check_linearizable_serial(&history);
+        let parallel = check_linearizable(&history);
+        prop_assert_eq!(
+            verdict(&serial),
+            verdict(&parallel),
+            "serial and parallel verdicts diverged on {} ops",
+            history.len()
+        );
+    }
+
+    /// Multi-map verdicts: serial == parallel on arbitrary histories.
+    #[test]
+    fn multi_map_serial_and_parallel_verdicts_agree(
+        raw in proptest::collection::vec((0u32..10, 0u64..1024, 0u32..6, 0u64..4, 0u64..12), 0..120),
+    ) {
+        let history: Vec<OpEvent> =
+            raw.iter().enumerate().map(|(i, op)| decode_multi(i, op)).collect();
+        let serial = check_linearizable_multi_serial(&history);
+        let parallel = check_linearizable_multi(&history);
+        prop_assert_eq!(
+            verdict(&serial),
+            verdict(&parallel),
+            "serial and parallel verdicts diverged on {} ops",
+            history.len()
+        );
+    }
+}
+
+/// Worker-count sweep: the verdict is invariant under
+/// `RAYON_NUM_THREADS` ∈ {1, 2, 4, 8} (the shim reads the variable per
+/// call, so each check below runs at exactly the set width). Env
+/// mutation is confined to this one test; the verdict-equality invariant
+/// keeps it harmless to any concurrently running property above.
+#[test]
+fn verdicts_invariant_across_thread_counts() {
+    // deterministic pseudo-random histories, sized past the parallel
+    // threshold, with a violation planted in half of them
+    let mut histories: Vec<(bool, Vec<OpEvent>)> = Vec::new();
+    for seed in 0u64..8 {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut h = Vec::new();
+        for i in 0..96u64 {
+            let key = (next() % 12) as u32;
+            let value = (next() % 6) as u32;
+            let invoked = i + next() % 4;
+            let responded = invoked + 1 + next() % 9;
+            let (kind, response) = match next() % 4 {
+                0 => (OpKind::Insert { value }, OpResponse::Inserted { new_slot: next() % 2 == 0 }),
+                1 => (OpKind::Retrieve, OpResponse::Found { value }),
+                2 => (OpKind::Retrieve, OpResponse::NotFound),
+                _ => (OpKind::Erase, OpResponse::Erased { hit: next() % 2 == 0 }),
+            };
+            h.push(OpEvent { key, kind, response, invoked, responded });
+        }
+        let plant_violation = seed % 2 == 1;
+        if plant_violation {
+            // two sequential inserts both claiming fresh slots: never legal
+            h.push(OpEvent {
+                key: 3,
+                kind: OpKind::Insert { value: 1 },
+                response: OpResponse::Inserted { new_slot: true },
+                invoked: 200,
+                responded: 201,
+            });
+            h.push(OpEvent {
+                key: 3,
+                kind: OpKind::Insert { value: 2 },
+                response: OpResponse::Inserted { new_slot: true },
+                invoked: 202,
+                responded: 203,
+            });
+        }
+        histories.push((plant_violation, h));
+    }
+    for threads in ["1", "2", "4", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        for (i, (planted, h)) in histories.iter().enumerate() {
+            let serial = check_linearizable_serial(h);
+            let parallel = check_linearizable(h);
+            assert_eq!(
+                verdict(&serial),
+                verdict(&parallel),
+                "history {i}: verdicts diverged at RAYON_NUM_THREADS={threads}"
+            );
+            if *planted {
+                assert!(parallel.is_err(), "history {i}: planted violation missed");
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

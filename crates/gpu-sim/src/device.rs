@@ -39,6 +39,13 @@ pub struct LaunchOptions {
     /// Transient launch *failures* are decided by the orchestration layer
     /// before any kernel runs, so `launch` itself never fails.
     pub fault: Option<FaultPlan>,
+    /// Force per-op dispatch (`Some(true)`) or chunked dispatch
+    /// (`Some(false)`) for stepwise schedules on this launch. `None`
+    /// falls back to the process default (`WD_SCHED_CHUNK`, chunked
+    /// unless set to `0`). Both modes produce bit-identical
+    /// interleavings, counters and reports; the knob exists so
+    /// equivalence tests can A/B them within one process.
+    pub per_op_dispatch: Option<bool>,
 }
 
 impl LaunchOptions {
@@ -76,6 +83,15 @@ impl LaunchOptions {
     #[must_use]
     pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Forces a scheduling decision at every counted op for stepwise
+    /// schedules (see the field docs on
+    /// [`LaunchOptions::per_op_dispatch`]).
+    #[must_use]
+    pub fn with_per_op_dispatch(mut self, per_op: bool) -> Self {
+        self.per_op_dispatch = Some(per_op);
         self
     }
 
@@ -386,14 +402,20 @@ impl Device {
                 });
             }
             stepwise => {
-                sched::run_stepwise(stepwise, num_groups, |gid, step| {
+                let chunked = opts
+                    .per_op_dispatch
+                    .map_or_else(sched::chunked_dispatch_default, |per_op| !per_op);
+                sched::run_stepwise(stepwise, num_groups, chunked, |gid, step, lease| {
                     let local = LocalCounters::new();
-                    let ctx =
-                        GroupCtx::new_stepped(&self.mem, &local, gid, group_size, step, san);
+                    let ctx = GroupCtx::new_stepped(
+                        &self.mem, &local, gid, group_size, step, lease, san,
+                    );
                     kernel(&ctx);
+                    let unused = ctx.retire();
                     drop(ctx);
                     local.flush_into(&counters);
                     counters.add_group();
+                    unused
                 });
             }
         }

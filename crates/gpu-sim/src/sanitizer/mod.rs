@@ -12,10 +12,13 @@
 //! * **racecheck** ([`racecheck`]) — FastTrack-style happens-before
 //!   detection of plain-load/write and write/write races between SIMT
 //!   groups. CAS/atomic operations create release/acquire edges through a
-//!   per-word sync vector clock; group epochs advance at every access and
-//!   at collectives (ballots), so an unsynchronized plain publish store
-//!   racing an annotated shared store is flagged even when the outcome
-//!   happens to look correct.
+//!   per-word sync vector clock; group epochs advance at releases (after
+//!   the epoch is published) and at collectives (ballots) — per-access
+//!   ticking buys no extra precision, see the [`racecheck`] module docs —
+//!   so an unsynchronized plain publish store racing an annotated shared
+//!   store is flagged even when the outcome happens to look correct.
+//!   Under stepwise schedules release publication is batched and flushed
+//!   at schedule-quantum boundaries.
 //! * **initcheck** ([`initcheck`]) — a valid-bit shadow per device word,
 //!   set by `h2d`/`fill`/`d2d`/kernel stores and cleared on (re)allocation,
 //!   flags reads of never-written words (e.g. probing a table whose
@@ -333,6 +336,9 @@ pub(crate) struct LaunchSanitizer<'a> {
     set: SanitizerSet,
     kernel: &'a str,
     schedule: String,
+    /// Stepwise launches batch release publication (see [`racecheck`]);
+    /// pool/sequential launches publish eagerly.
+    stepwise: bool,
     race: Option<RaceState>,
     baseline: usize,
 }
@@ -349,6 +355,7 @@ impl<'a> LaunchSanitizer<'a> {
             set,
             kernel,
             schedule: format!("{schedule} [replay: {}]", schedule.replay_hint()),
+            stepwise: schedule.is_stepwise(),
             race: set.race().then(RaceState::new),
             baseline: dev.len(),
         }
@@ -364,11 +371,23 @@ impl<'a> LaunchSanitizer<'a> {
         }
     }
 
-    /// A fresh vector clock for one group, iff racecheck is on.
+    /// A fresh vector clock for one group, iff racecheck is on. Under a
+    /// stepwise schedule the clock buffers release publication until the
+    /// group yields (see [`LaunchSanitizer::flush_releases`]).
     pub(crate) fn group_clock(&self, group: usize) -> Option<RefCell<GroupClock>> {
-        self.race
-            .as_ref()
-            .map(|_| RefCell::new(GroupClock::new(group as u32)))
+        self.race.as_ref().map(|_| {
+            let clock = GroupClock::new(group as u32);
+            RefCell::new(if self.stepwise { clock.with_batching() } else { clock })
+        })
+    }
+
+    /// Publishes any buffered release edge of `clock`. Called before a
+    /// group yields the schedule token and at group retirement — the
+    /// points where another group could next observe the release.
+    pub(crate) fn flush_releases(&self, clock: Option<&RefCell<GroupClock>>) {
+        if let (Some(rs), Some(clock)) = (self.race.as_ref(), clock) {
+            rs.flush_releases(&mut clock.borrow_mut());
+        }
     }
 
     fn report(
@@ -501,6 +520,74 @@ impl<'a> LaunchSanitizer<'a> {
                         slice.len
                     ),
                 );
+            }
+        }
+    }
+
+    /// Checks a coalesced window read of `count` consecutive slots
+    /// starting at `slice[start]`, wrapping at `slice.len` — the batched
+    /// fast path behind [`crate::GroupCtx::read_window`]. Initcheck
+    /// walks the words in lane order, exactly as per-lane
+    /// [`LaunchSanitizer::on_read`] calls would; racecheck hands each
+    /// contiguous absolute run to [`RaceState::on_window_reads`] so the
+    /// whole window costs one shard lock + one page lookup instead of
+    /// `count` of each. Verdicts and reports are identical to the
+    /// per-word path.
+    pub(crate) fn on_window_read(
+        &self,
+        slice: DevSlice,
+        start: usize,
+        count: usize,
+        group: usize,
+        clock: Option<&RefCell<GroupClock>>,
+    ) {
+        if self.valid().is_some() {
+            let mut idx = start;
+            for lane in 0..count {
+                self.on_read(
+                    slice,
+                    idx,
+                    AccessKind::RelaxedRead,
+                    group,
+                    Some(lane as u32),
+                    None, // racecheck handled batched below
+                );
+                idx += 1;
+                if idx == slice.len {
+                    idx = 0;
+                }
+            }
+        }
+        if let (Some(rs), Some(clock)) = (self.race.as_ref(), clock) {
+            let mut clk = clock.borrow_mut();
+            // at most two contiguous runs: before and after the wrap
+            let first = count.min(slice.len - start);
+            for (run_start, lane0, run_count) in
+                [(start, 0usize, first), (0, first, count - first)]
+            {
+                if run_count == 0 {
+                    continue;
+                }
+                for (off, prior) in
+                    rs.on_window_reads(slice.offset + run_start, run_count, &mut clk)
+                {
+                    let idx = run_start + off as usize;
+                    self.report(
+                        Detector::Race,
+                        group,
+                        Some((lane0 + off as usize) as u32),
+                        Some(slice.offset + idx),
+                        format!(
+                            "{} races with {} by group {} (no happens-before edge; \
+                             slice offset={} len={}, idx={idx})",
+                            AccessKind::RelaxedRead.describe(),
+                            prior.kind.describe(),
+                            prior.gid,
+                            slice.offset,
+                            slice.len
+                        ),
+                    );
+                }
             }
         }
     }

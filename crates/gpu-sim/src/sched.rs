@@ -30,6 +30,26 @@
 //! deterministic. Failing interleavings replay from environment
 //! variables via [`Schedule::from_env`] (`WD_SCHED_MODE`,
 //! `WD_SCHED_SEED`, `WD_SCHED_QUANTUM`, `WD_SCHED_WAVE`).
+//!
+//! # Chunked dispatch
+//!
+//! Naively, every counted operation takes the scheduler lock, updates
+//! the runnable set and possibly draws from the RNG — per-*op* dispatch
+//! overhead that dominates stepwise wall-clock. The executor therefore
+//! hands out **leases**: when a group is elected, the scheduler computes
+//! *up front* how many consecutive operations that election covers (for
+//! a seeded schedule, by pre-drawing the RNG while it keeps re-electing
+//! the same group and rewinding the first non-matching draw; for
+//! round-robin, the quantum; for the adversarial modes, a closed form).
+//! The group then runs that many ops on a thread-local countdown with no
+//! locking at all, and comes back for a real decision when the lease
+//! expires. Because each pre-drawn decision is exactly the decision the
+//! per-op path would have made, the op-level interleaving — and hence
+//! every modeled counter and replay hint — is **bit-identical** to
+//! per-op dispatch (asserted by the equivalence tests below). A group
+//! retiring mid-lease rewinds its unused pre-drawn decisions, keeping
+//! the RNG stream aligned. `WD_SCHED_CHUNK=0` forces the per-op path
+//! (the default is chunked).
 
 use std::sync::{Condvar, Mutex};
 
@@ -115,26 +135,67 @@ impl Schedule {
     /// `delay`, `reverse`, `rr`. Unknown modes fall back to `Pool`.
     #[must_use]
     pub fn from_env() -> Schedule {
-        let seed = env_u64("WD_SCHED_SEED").unwrap_or(0);
-        match std::env::var("WD_SCHED_MODE").as_deref() {
-            Ok("sequential" | "seq") => Schedule::Sequential,
-            Ok("seeded") => Schedule::Seeded(seed),
-            Ok("delay" | "delay-one") => Schedule::Adversarial {
+        let mode = std::env::var("WD_SCHED_MODE").unwrap_or_default();
+        Schedule::from_parts(
+            &mode,
+            env_u64("WD_SCHED_SEED").unwrap_or(0),
+            env_u64("WD_SCHED_QUANTUM"),
+        )
+        .unwrap_or(Schedule::Pool)
+    }
+
+    /// Parses a replay-hint string back into the schedule it describes —
+    /// the inverse of [`Schedule::replay_hint`]. Accepts any string
+    /// containing `WD_SCHED_MODE=…` (and optionally `WD_SCHED_SEED=…` /
+    /// `WD_SCHED_QUANTUM=…`) tokens, e.g. a full sanitizer report line;
+    /// foreign `KEY=VALUE` tokens (`WD_FAULT=…`) are ignored. Returns
+    /// `None` when no parseable mode token is present, so a replay test
+    /// can reconstruct a printed schedule without mutating the process
+    /// environment.
+    #[must_use]
+    pub fn parse_hint(hint: &str) -> Option<Schedule> {
+        let mut mode: Option<&str> = None;
+        let mut seed = 0u64;
+        let mut quantum = None;
+        for tok in hint.split_whitespace() {
+            if let Some((k, v)) = tok.split_once('=') {
+                // report lines wrap the hint in brackets/parens, which
+                // stick to the last token: `… WD_SCHED_SEED=7])`
+                let v = v.trim_end_matches([']', ')', ',', '.', ';', '"', '\'']);
+                match k {
+                    "WD_SCHED_MODE" => mode = Some(v),
+                    "WD_SCHED_SEED" => seed = v.parse().ok()?,
+                    "WD_SCHED_QUANTUM" => quantum = Some(v.parse().ok()?),
+                    _ => {} // foreign settings (WD_FAULT, …) ride along
+                }
+            }
+        }
+        Schedule::from_parts(mode?, seed, quantum)
+    }
+
+    /// Shared token decoder behind [`Schedule::from_env`] and
+    /// [`Schedule::parse_hint`].
+    fn from_parts(mode: &str, seed: u64, quantum: Option<u64>) -> Option<Schedule> {
+        Some(match mode {
+            "pool" => Schedule::Pool,
+            "sequential" | "seq" => Schedule::Sequential,
+            "seeded" => Schedule::Seeded(seed),
+            "delay" | "delay-one" => Schedule::Adversarial {
                 mode: AdversarialMode::DelayOne,
                 seed,
             },
-            Ok("reverse") => Schedule::Adversarial {
+            "reverse" => Schedule::Adversarial {
                 mode: AdversarialMode::Reverse,
                 seed,
             },
-            Ok("rr" | "round-robin") => Schedule::Adversarial {
+            "rr" | "round-robin" => Schedule::Adversarial {
                 mode: AdversarialMode::RoundRobin {
-                    quantum: env_u64("WD_SCHED_QUANTUM").map_or(1, |q| q.max(1) as u32),
+                    quantum: quantum.map_or(1, |q| q.max(1) as u32),
                 },
                 seed,
             },
-            _ => Schedule::Pool,
-        }
+            _ => return None,
+        })
     }
 }
 
@@ -170,9 +231,14 @@ pub fn wave_size() -> usize {
     env_u64("WD_SCHED_WAVE").map_or(DEFAULT_WAVE, |w| w.clamp(1, 1024) as usize)
 }
 
+/// SplitMix64 additive state increment. The state advances by pure
+/// addition, so one draw is un-consumed by subtracting it back — the
+/// property chunked dispatch relies on to rewind pre-drawn decisions.
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// SplitMix64 step — the scheduler's only source of randomness.
 fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    *state = state.wrapping_add(GOLDEN_GAMMA);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -200,8 +266,22 @@ struct StepState {
     policy: Policy,
     rng: u64,
     /// Memory operations the current group has run this turn
-    /// (round-robin quantum accounting).
+    /// (round-robin quantum accounting, per-op mode only).
     steps_in_turn: u32,
+    /// Whether elections hand out multi-op leases (chunked dispatch) or
+    /// a fresh decision happens at every counted op.
+    chunked: bool,
+    /// Ops the most recent election entitles its electee to run before
+    /// the next real scheduling decision (1 in per-op mode; 0 for a
+    /// group that has not reached its first preemption point yet).
+    lease_grant: u64,
+    /// RNG draws pre-consumed for the current lease's re-elections;
+    /// rewound draw-for-op if the group retires mid-lease.
+    lease_draws: u64,
+    /// Per-group flag: has this group executed its first preemption
+    /// point? A fresh group makes a full decision there (exactly as the
+    /// per-op path does), so electing it grants no ops yet.
+    started: Vec<bool>,
 }
 
 impl StepState {
@@ -230,8 +310,69 @@ impl StepState {
                 None => 0,
             },
         };
-        self.current = Some(self.runnable.remove(idx));
+        let gid = self.runnable.remove(idx);
+        self.current = Some(gid);
         self.steps_in_turn = 0;
+        if !self.chunked {
+            (self.lease_grant, self.lease_draws) = (1, 0);
+        } else if !self.started[gid] {
+            // the electee has not reached its first preemption point.
+            // Under round-robin that point only counts toward the
+            // quantum (the per-op path early-returns until it fills),
+            // so the election covers the quantum remainder; under every
+            // other policy it performs a full decision, so it covers
+            // no ops yet.
+            let grant = match self.policy {
+                Policy::RoundRobin { quantum } => u64::from(quantum) - 1,
+                _ => 0,
+            };
+            (self.lease_grant, self.lease_draws) = (grant, 0);
+        } else {
+            (self.lease_grant, self.lease_draws) = self.lookahead(gid);
+        }
+    }
+
+    /// Computes how many consecutive ops electing `e` covers before the
+    /// next decision could pick someone else. Only `e` retiring can
+    /// change the runnable set while it holds the token, so every
+    /// future decision draws over exactly `runnable ∪ {e}` — each
+    /// re-election can be resolved now instead of per op.
+    fn lookahead(&mut self, e: usize) -> (u64, u64) {
+        if self.runnable.is_empty() {
+            // sole runner: nothing can preempt it until it retires, and
+            // the per-op path draws nothing while runnable is empty
+            return (u64::MAX, 0);
+        }
+        match self.policy {
+            Policy::Seeded => {
+                let pos = self.runnable.partition_point(|&g| g < e) as u64;
+                let n = self.runnable.len() as u64 + 1;
+                let mut m = 0u64;
+                while splitmix(&mut self.rng) % n == pos {
+                    m += 1;
+                }
+                // the breaking draw belongs to the future decision that
+                // elects a different group — rewind it so that decision
+                // replays it when the lease expires
+                self.rng = self.rng.wrapping_sub(GOLDEN_GAMMA);
+                (m + 1, m)
+            }
+            Policy::Reverse => {
+                if self.runnable.last().is_some_and(|&g| g < e) {
+                    (u64::MAX, 0) // stays the highest until it retires
+                } else {
+                    (1, 0)
+                }
+            }
+            Policy::DelayOne { victim } => {
+                if e != victim && self.runnable.iter().all(|&g| g == victim || g > e) {
+                    (u64::MAX, 0) // stays the lowest non-victim until it retires
+                } else {
+                    (1, 0)
+                }
+            }
+            Policy::RoundRobin { quantum } => (u64::from(quantum), 0),
+        }
     }
 
     fn insert_runnable(&mut self, gid: usize) {
@@ -249,7 +390,7 @@ pub struct StepSched {
 }
 
 impl StepSched {
-    fn new(schedule: Schedule, num_groups: usize, wave: usize) -> Self {
+    fn new(schedule: Schedule, num_groups: usize, wave: usize, chunked: bool) -> Self {
         let (policy, seed) = match schedule {
             Schedule::Seeded(seed) => (Policy::Seeded, seed),
             Schedule::Adversarial { mode, seed } => (
@@ -276,6 +417,10 @@ impl StepSched {
             policy,
             rng: seed ^ 0x0057_a7e5_c4ed_01e5_u64.rotate_left(17),
             steps_in_turn: 0,
+            chunked,
+            lease_grant: 0,
+            lease_draws: 0,
+            started: vec![false; num_groups],
         };
         if !state.runnable.is_empty() {
             state.pick_next();
@@ -294,24 +439,36 @@ impl StepSched {
 
     /// Preemption point: possibly hands the token to another group and
     /// blocks until it is `gid`'s turn again. Called by [`crate::GroupCtx`]
-    /// before every counted device-memory operation.
-    pub(crate) fn yield_point(&self, gid: usize) {
+    /// when its lease runs out before a counted device-memory operation
+    /// (per-op mode leases are always one op, so that is every op).
+    /// Returns the ops the new lease covers, **including** the op about
+    /// to execute — the caller keeps `grant - 1` on its local countdown.
+    pub(crate) fn yield_point(&self, gid: usize) -> u64 {
         let mut st = self.lock();
         debug_assert_eq!(st.current, Some(gid), "yield from a group without the token");
-        st.steps_in_turn += 1;
-        if let Policy::RoundRobin { quantum } = st.policy {
-            if st.steps_in_turn < quantum {
-                return;
+        if !st.chunked {
+            st.steps_in_turn += 1;
+            if let Policy::RoundRobin { quantum } = st.policy {
+                if st.steps_in_turn < quantum {
+                    return 1;
+                }
             }
-        }
-        if st.runnable.is_empty() {
-            st.steps_in_turn = 0;
-            return; // nobody to switch to
+            if st.runnable.is_empty() {
+                st.steps_in_turn = 0;
+                return 1; // nobody to switch to
+            }
+        } else if st.runnable.is_empty() {
+            // sole runner: the wave cannot grow until this group
+            // retires, so the whole remainder is one lease (the per-op
+            // path draws nothing here either, so the RNG stays aligned)
+            st.lease_grant = u64::MAX;
+            st.lease_draws = 0;
+            return u64::MAX;
         }
         st.insert_runnable(gid);
         st.pick_next();
         if st.current == Some(gid) {
-            return; // re-elected; no handoff needed
+            return st.lease_grant; // re-elected; no handoff needed
         }
         self.cv.notify_all();
         while st.current != Some(gid) {
@@ -320,10 +477,13 @@ impl StepSched {
                 .wait(st)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+        st.lease_grant
     }
 
-    /// Blocks until it is `gid`'s turn to start executing.
-    fn wait_for_turn(&self, gid: usize) {
+    /// Blocks until it is `gid`'s turn to start executing and returns
+    /// the lease its election granted (always 0 in per-op mode, so the
+    /// first op yields exactly as the legacy path did).
+    fn wait_for_turn(&self, gid: usize) -> u64 {
         let mut st = self.lock();
         while st.current != Some(gid) {
             st = self
@@ -331,14 +491,28 @@ impl StepSched {
                 .wait(st)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+        // from its first preemption point onward, electing this group
+        // grants real ops (see `StepState::pick_next`)
+        st.started[gid] = true;
+        if st.chunked {
+            st.lease_grant
+        } else {
+            0
+        }
     }
 
     /// Retires `gid` and, in the same critical section, admits the next
     /// unstarted group to the wave (keeping the schedule deterministic).
-    /// Returns the group this worker thread should run next, if any.
-    fn finish_group(&self, gid: usize) -> Option<usize> {
+    /// `unused` is the retiring group's leftover lease; re-elections
+    /// pre-drawn for ops it never ran are rewound so the RNG stream
+    /// matches the per-op path exactly. Returns the group this worker
+    /// thread should run next, if any.
+    fn finish_group(&self, gid: usize, unused: u64) -> Option<usize> {
         let mut st = self.lock();
         debug_assert_eq!(st.current, Some(gid), "finish from a group without the token");
+        let rollback = unused.min(st.lease_draws);
+        st.rng = st.rng.wrapping_sub(GOLDEN_GAMMA.wrapping_mul(rollback));
+        st.lease_draws = 0;
         let claimed = if st.next_unstarted < st.num_groups {
             let g = st.next_unstarted;
             st.next_unstarted += 1;
@@ -357,19 +531,33 @@ impl StepSched {
     }
 }
 
-/// Runs `body(gid, sched)` for every group id in `0..num_groups` under
-/// the stepwise deterministic scheduler. `body` must route all
+/// Whether stepwise launches default to chunked dispatch. `WD_SCHED_CHUNK=0`
+/// forces per-op dispatch process-wide; anything else (including unset)
+/// keeps chunking on. Per-launch overrides go through
+/// `LaunchOptions::with_per_op_dispatch`.
+#[must_use]
+pub fn chunked_dispatch_default() -> bool {
+    env_u64("WD_SCHED_CHUNK") != Some(0)
+}
+
+/// Runs `body(gid, sched, lease)` for every group id in `0..num_groups`
+/// under the stepwise deterministic scheduler. `body` must route all
 /// device-memory operations through a [`crate::GroupCtx`] built with the
-/// provided [`StepSched`] so preemption points fire.
-pub(crate) fn run_stepwise<F>(schedule: Schedule, num_groups: usize, body: F)
+/// provided [`StepSched`] so preemption points fire, seed the context's
+/// lease countdown with the `lease` argument, and return the unused
+/// lease at the end (0 when it tracks no lease) so mid-lease retirement
+/// can rewind pre-drawn decisions. `chunked` selects multi-op leases vs
+/// a scheduling decision at every op; both produce the identical
+/// op-level interleaving.
+pub(crate) fn run_stepwise<F>(schedule: Schedule, num_groups: usize, chunked: bool, body: F)
 where
-    F: Fn(usize, &StepSched) + Sync,
+    F: Fn(usize, &StepSched, u64) -> u64 + Sync,
 {
     if num_groups == 0 {
         return;
     }
     let wave = wave_size().min(num_groups);
-    let sched = StepSched::new(schedule, num_groups, wave);
+    let sched = StepSched::new(schedule, num_groups, wave, chunked);
     let sched = &sched;
     let body = &body;
     std::thread::scope(|scope| {
@@ -377,9 +565,9 @@ where
             scope.spawn(move || {
                 let mut gid = t;
                 loop {
-                    sched.wait_for_turn(gid);
-                    body(gid, sched);
-                    match sched.finish_group(gid) {
+                    let lease = sched.wait_for_turn(gid);
+                    let unused = body(gid, sched, lease);
+                    match sched.finish_group(gid, unused) {
                         Some(next) => gid = next,
                         None => break,
                     }
@@ -395,22 +583,56 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Mutex as StdMutex;
 
-    fn trace(schedule: Schedule, num_groups: usize, ops_per_group: usize) -> Vec<usize> {
+    /// Per-op dispatch: a scheduling decision at every op, the legacy
+    /// reference behavior the chunked path must reproduce bit-for-bit.
+    fn per_op_trace<O>(schedule: Schedule, num_groups: usize, ops: O) -> Vec<usize>
+    where
+        O: Fn(usize) -> usize + Sync,
+    {
         let log = StdMutex::new(Vec::new());
-        run_stepwise(schedule, num_groups, |gid, sched| {
-            for _ in 0..ops_per_group {
+        run_stepwise(schedule, num_groups, false, |gid, sched, _| {
+            for _ in 0..ops(gid) {
                 sched.yield_point(gid);
                 log.lock().unwrap().push(gid);
             }
+            0
         });
         log.into_inner().unwrap()
+    }
+
+    /// Chunked dispatch driven exactly the way [`crate::GroupCtx::pace`]
+    /// drives it: a local lease countdown, a real yield only on expiry,
+    /// leftover lease returned for rewind on retirement.
+    fn leased_trace<O>(schedule: Schedule, num_groups: usize, ops: O) -> Vec<usize>
+    where
+        O: Fn(usize) -> usize + Sync,
+    {
+        let log = StdMutex::new(Vec::new());
+        run_stepwise(schedule, num_groups, true, |gid, sched, lease0| {
+            let mut lease = lease0;
+            for _ in 0..ops(gid) {
+                if lease > 0 {
+                    lease -= 1;
+                } else {
+                    lease = sched.yield_point(gid) - 1;
+                }
+                log.lock().unwrap().push(gid);
+            }
+            lease
+        });
+        log.into_inner().unwrap()
+    }
+
+    fn trace(schedule: Schedule, num_groups: usize, ops_per_group: usize) -> Vec<usize> {
+        per_op_trace(schedule, num_groups, |_| ops_per_group)
     }
 
     #[test]
     fn every_group_runs_exactly_once() {
         let count = AtomicU64::new(0);
-        run_stepwise(Schedule::Seeded(1), 100, |_, _| {
+        run_stepwise(Schedule::Seeded(1), 100, true, |_, _, _| {
             count.fetch_add(1, Ordering::Relaxed);
+            0
         });
         assert_eq!(count.load(Ordering::Relaxed), 100);
     }
@@ -484,12 +706,104 @@ mod tests {
     }
 
     #[test]
+    fn chunked_matches_per_op_seeded() {
+        // variable op counts exercise mid-lease retirement (the RNG
+        // rewind path) at many different offsets
+        for seed in 0..24u64 {
+            let ops = |gid: usize| 1 + (gid * 7 + seed as usize) % 11;
+            let a = per_op_trace(Schedule::Seeded(seed), 24, ops);
+            let b = leased_trace(Schedule::Seeded(seed), 24, ops);
+            assert_eq!(a, b, "seed {seed}: chunked dispatch changed the interleaving");
+        }
+    }
+
+    #[test]
+    fn chunked_matches_per_op_past_wave() {
+        // more groups than the wave: lease rewinds interact with
+        // retirement-time admission
+        for seed in [0, 3, 17, 255, u64::MAX] {
+            let ops = |gid: usize| 2 + gid % 7;
+            let a = per_op_trace(Schedule::Seeded(seed), 64, ops);
+            let b = leased_trace(Schedule::Seeded(seed), 64, ops);
+            assert_eq!(a, b, "seed {seed}: chunked dispatch changed the interleaving");
+        }
+    }
+
+    #[test]
+    fn chunked_matches_per_op_adversarial() {
+        let schedules = [
+            Schedule::Adversarial {
+                mode: AdversarialMode::DelayOne,
+                seed: 3,
+            },
+            Schedule::Adversarial {
+                mode: AdversarialMode::Reverse,
+                seed: 0,
+            },
+            Schedule::Adversarial {
+                mode: AdversarialMode::RoundRobin { quantum: 1 },
+                seed: 0,
+            },
+            Schedule::Adversarial {
+                mode: AdversarialMode::RoundRobin { quantum: 3 },
+                seed: 0,
+            },
+            Schedule::Adversarial {
+                mode: AdversarialMode::RoundRobin { quantum: 7 },
+                seed: 0,
+            },
+        ];
+        for schedule in schedules {
+            let ops = |gid: usize| 2 + gid % 6;
+            let a = per_op_trace(schedule, 12, ops);
+            let b = leased_trace(schedule, 12, ops);
+            assert_eq!(a, b, "{schedule}: chunked dispatch changed the interleaving");
+        }
+    }
+
+    #[test]
+    fn replay_hint_round_trips() {
+        let schedules = [
+            Schedule::Sequential,
+            Schedule::Seeded(7),
+            Schedule::Seeded(u64::MAX),
+            Schedule::Adversarial {
+                mode: AdversarialMode::DelayOne,
+                seed: 5,
+            },
+            Schedule::Adversarial {
+                mode: AdversarialMode::Reverse,
+                seed: 0,
+            },
+            Schedule::Adversarial {
+                mode: AdversarialMode::RoundRobin { quantum: 3 },
+                seed: 9,
+            },
+        ];
+        for s in schedules {
+            assert_eq!(Schedule::parse_hint(&s.replay_hint()), Some(s), "{s}");
+        }
+        // hints embedded in a full sanitizer report line parse too
+        let line = format!(
+            "racecheck: PlainWrite races with Atomic by group 3 \
+             (schedule=seeded(seed=7) [replay: {}])",
+            Schedule::Seeded(7).replay_hint()
+        );
+        assert_eq!(Schedule::parse_hint(&line), Some(Schedule::Seeded(7)));
+        // the pool hint's `WD_SCHED_SEED=<n>` placeholder is not a
+        // schedule, and plain prose has no mode token at all
+        assert_eq!(Schedule::parse_hint(&Schedule::Pool.replay_hint()), None);
+        assert_eq!(Schedule::parse_hint("no tokens here"), None);
+    }
+
+    #[test]
     fn wave_bounds_resident_groups() {
         // groups > wave: later groups must not start before an earlier
         // one retires
         let started = StdMutex::new(Vec::new());
-        run_stepwise(Schedule::Seeded(9), 64, |gid, _| {
+        run_stepwise(Schedule::Seeded(9), 64, true, |gid, _, _| {
             started.lock().unwrap().push(gid);
+            0
         });
         let order = started.into_inner().unwrap();
         assert_eq!(order.len(), 64);

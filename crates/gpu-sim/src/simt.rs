@@ -137,6 +137,11 @@ pub struct GroupCtx<'a> {
     san: Option<&'a LaunchSanitizer<'a>>,
     /// Racecheck vector clock of this group (iff racecheck is active).
     clock: Option<RefCell<GroupClock>>,
+    /// Remaining ops of this group's scheduler lease (chunked dispatch):
+    /// counted ops decrement it lock-free and only a zero crosses into
+    /// [`StepSched::yield_point`] for a real scheduling decision. Stays 0
+    /// under per-op dispatch, so every op yields, as the legacy path did.
+    lease: Cell<u64>,
     /// Running collective-site counter (synccheck report labels).
     sites: Cell<u32>,
 }
@@ -157,6 +162,7 @@ impl<'a> GroupCtx<'a> {
             sched: None,
             san,
             clock: san.and_then(|s| s.group_clock(group_id)),
+            lease: Cell::new(0),
             sites: Cell::new(0),
         }
     }
@@ -167,6 +173,7 @@ impl<'a> GroupCtx<'a> {
         group_id: usize,
         size: GroupSize,
         sched: &'a StepSched,
+        lease: u64,
         san: Option<&'a LaunchSanitizer<'a>>,
     ) -> Self {
         Self {
@@ -177,6 +184,7 @@ impl<'a> GroupCtx<'a> {
             sched: Some(sched),
             san,
             clock: san.and_then(|s| s.group_clock(group_id)),
+            lease: Cell::new(lease),
             sites: Cell::new(0),
         }
     }
@@ -221,11 +229,37 @@ impl<'a> GroupCtx<'a> {
     /// execution to another group. Free (one `None` check) on the pool
     /// and sequential paths. Called at the top of every counted
     /// device-memory operation — the places where groups interact.
+    ///
+    /// Chunked dispatch: while the lease countdown is positive the op is
+    /// already covered by a pre-computed scheduling decision, so no lock
+    /// is taken. On expiry, any buffered racecheck release edges flush
+    /// first — another group may run next and must observe them — then
+    /// the scheduler makes a real decision and hands back a fresh lease
+    /// (minus the op about to execute).
     #[inline]
     fn pace(&self) {
         if let Some(s) = self.sched {
-            s.yield_point(self.group_id);
+            let left = self.lease.get();
+            if left > 0 {
+                self.lease.set(left - 1);
+            } else {
+                if let Some(san) = self.san {
+                    san.flush_releases(self.clock.as_ref());
+                }
+                self.lease.set(s.yield_point(self.group_id).saturating_sub(1));
+            }
         }
+    }
+
+    /// End-of-kernel bookkeeping for stepwise launches: publishes any
+    /// still-buffered racecheck release edges (a later group may acquire
+    /// them after this group retires) and returns the unused lease so
+    /// the scheduler can rewind its pre-drawn decisions.
+    pub(crate) fn retire(&self) -> u64 {
+        if let Some(san) = self.san {
+            san.flush_releases(self.clock.as_ref());
+        }
+        self.lease.get()
     }
 
     /// Identifier of this group within the launch (like
@@ -351,24 +385,24 @@ impl<'a> GroupCtx<'a> {
             // common case: the window does not wrap — straight-line
             // indices, no per-lane reduction at all
             for (r, val) in vals.iter_mut().enumerate().take(g) {
-                let idx = start + r;
-                *val = self.mem.word(slice, idx).load(Ordering::Relaxed);
-                // window loads are *relaxed by design*: probing tolerates
-                // racing CAS claims and annotated shared stores (stale
-                // data is re-balloted), so racecheck only flags plain
-                // writes
-                self.san_read(slice, idx, AccessKind::RelaxedRead, Some(r as u32));
+                *val = self.mem.word(slice, start + r).load(Ordering::Relaxed);
             }
         } else {
             let mut idx = start;
-            for (r, val) in vals.iter_mut().enumerate().take(g) {
+            for val in vals.iter_mut().take(g) {
                 *val = self.mem.word(slice, idx).load(Ordering::Relaxed);
-                self.san_read(slice, idx, AccessKind::RelaxedRead, Some(r as u32));
                 idx += 1;
                 if idx == len {
                     idx = 0; // wrap to the front of the table (mod len)
                 }
             }
+        }
+        // window loads are *relaxed by design*: probing tolerates racing
+        // CAS claims and annotated shared stores (stale data is
+        // re-balloted), so racecheck only flags plain writes. The whole
+        // window is checked in one batched call (one shadow lock).
+        if let Some(s) = self.san {
+            s.on_window_read(slice, start, g, self.group_id, self.clock.as_ref());
         }
         self.local
             .add_transactions(window_transactions(slice, start, g));

@@ -22,6 +22,19 @@ use warpdrive::{
 };
 use wd_serve::{generate, Completion, ServeConfig, ServeError, Server, TraceConfig};
 
+/// Sweep-breadth multiplier (`WD_SWEEP_SCALE`, default 1) — mirrors
+/// `wd_apps::sweep_scale`, re-read here because wd-serve sits below
+/// wd-apps in the dependency graph. `PROPTEST_CASES` still overrides the
+/// scaled default outright.
+fn scaled_cases(baseline: u32) -> u32 {
+    let scale = std::env::var("WD_SWEEP_SCALE")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1);
+    baseline.saturating_mul(scale)
+}
+
 fn single_gpu(capacity: usize, cfg: Config) -> GpuHashMap {
     let dev = Arc::new(Device::with_words(0, capacity * 8 + (1 << 13)));
     GpuHashMap::new(dev, capacity, cfg).unwrap()
@@ -68,7 +81,7 @@ fn assert_equivalent<A: MapService, B: MapService>(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(scaled_cases(12)))]
 
     /// Single-GPU backend: any batch size serves the same answers as
     /// no batching at all, for arbitrary seeds and kernel schedules.

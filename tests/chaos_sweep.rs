@@ -31,7 +31,7 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use warpdrive::{CascadeStage, Config, DistributedHashMap};
-use wd_apps::mutation_seeds;
+use wd_apps::{mutation_seeds, scaled};
 
 fn node(m: usize, cfg: Config) -> DistributedHashMap {
     let devices: Vec<Arc<Device>> = (0..m)
@@ -69,7 +69,7 @@ fn fault_plan(seed: u64, knobs: (u32, u32, u32, u32), straggler: (u32, u32)) -> 
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(wd_apps::scaled(24) as u32))]
 
     /// Whatever the plan injects, recovery preserves the key multiset:
     /// a successful insert leaves exactly the input in the live tables,
@@ -321,7 +321,7 @@ fn env_armed_round_trip_conserves() {
 /// while the correct implementation stays clean on every hunted seed.
 #[test]
 fn broken_double_apply_on_retry_is_caught_by_conservation() {
-    let budget = mutation_seeds();
+    let budget = scaled(mutation_seeds());
     let pairs: Vec<(u32, u32)> = (0..1200u32).map(|i| (i * 7 + 1, i)).collect();
     let want = multiset(pairs.iter().copied());
     let run = |seed: u64, broken: bool| -> Option<BTreeMap<(u32, u32), u32>> {
@@ -359,7 +359,7 @@ fn broken_double_apply_on_retry_is_caught_by_conservation() {
 /// implementation returns every key on every hunted seed.
 #[test]
 fn broken_forget_quarantined_partition_is_caught_by_round_trip() {
-    let budget = mutation_seeds();
+    let budget = scaled(mutation_seeds());
     let run = |seed: u64, broken: bool| -> usize {
         let mut cfg = Config::default();
         if broken {

@@ -19,7 +19,7 @@ use interconnect::Topology;
 use std::collections::HashMap;
 use std::sync::Arc;
 use warpdrive::{Config, DistributedHashMap, GpuHashMap, GpuMultiMap, Layout};
-use wd_apps::sweep_seeds;
+use wd_apps::{scaled, sweep_seeds};
 
 /// One deterministic workload: 24 pairs over 8 distinct keys (3-way
 /// same-key contention), retrieved together with 4 absent keys.
@@ -70,7 +70,7 @@ fn check_model(res: &[Option<u32>], len: u64, cell: &str) {
 
 #[test]
 fn seeded_schedules_are_model_correct_and_replayable() {
-    let seeds = sweep_seeds();
+    let seeds = scaled(sweep_seeds());
     for layout in [Layout::Aos, Layout::Soa] {
         for g in GroupSize::ALL {
             for seed in 0..seeds {
@@ -137,7 +137,7 @@ fn different_seeds_reach_different_interleavings() {
 
 #[test]
 fn multimap_sweep_preserves_multiplicity() {
-    let seeds = sweep_seeds().min(16);
+    let seeds = scaled(sweep_seeds().min(16));
     let pairs: Vec<(u32, u32)> = (0..24u32).map(|i| (i % 4 + 1, i)).collect();
     let mut model: HashMap<u32, Vec<u32>> = HashMap::new();
     for &(k, v) in &pairs {
@@ -168,7 +168,7 @@ fn multimap_sweep_preserves_multiplicity() {
 
 #[test]
 fn distributed_sweep_is_deterministic_and_complete() {
-    let seeds = sweep_seeds().min(8);
+    let seeds = scaled(sweep_seeds().min(8));
     let pairs: Vec<(u32, u32)> = (0..64u32).map(|i| (i + 1, i * 3)).collect();
     for seed in 0..seeds {
         let run = |schedule: Schedule| {
