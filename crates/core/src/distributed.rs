@@ -498,7 +498,9 @@ impl DistributedHashMap {
                 Err(Abort::Fatal(e)) => return Err(e),
             }
         }
-        unreachable!("every failed round quarantines one GPU; at most m rounds")
+        Err(InsertError::Internal {
+            detail: "every failed round quarantines one GPU; at most m rounds",
+        })
     }
 
     /// One insertion round under a fixed router/plan snapshot.
@@ -683,7 +685,9 @@ impl DistributedHashMap {
                 Err(Abort::Fatal(e)) => return Err(e.into()),
             }
         }
-        unreachable!("every failed round quarantines one GPU; at most m rounds")
+        Err(OpError::Internal {
+            detail: "every failed round quarantines one GPU; at most m rounds",
+        })
     }
 
     /// One retrieval round; results are in effective (re-spread) order.
@@ -906,7 +910,9 @@ impl DistributedHashMap {
                 Err(Abort::Fatal(e)) => return Err(e.into()),
             }
         }
-        unreachable!("every failed round quarantines one GPU; at most m rounds")
+        Err(OpError::Internal {
+            detail: "every failed round quarantines one GPU; at most m rounds",
+        })
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -61,6 +61,14 @@ pub enum InsertError {
         /// The lost device's index.
         device: usize,
     },
+    /// A cascade invariant broke (e.g. a retry loop exhausted its
+    /// round budget without a quarantine). This is a bug in WarpDrive,
+    /// not an environmental failure — but a fault path that promised a
+    /// typed error must not panic a serving process over it.
+    Internal {
+        /// The violated invariant, verbatim.
+        detail: &'static str,
+    },
 }
 
 impl std::fmt::Display for InsertError {
@@ -73,6 +81,9 @@ impl std::fmt::Display for InsertError {
             InsertError::Transfer(e) => write!(f, "unrecoverable transfer failure: {e}"),
             InsertError::DeviceLost { device } => {
                 write!(f, "GPU {device} lost: launch retry budget exhausted, no failover target")
+            }
+            InsertError::Internal { detail } => {
+                write!(f, "internal invariant violated: {detail}")
             }
         }
     }

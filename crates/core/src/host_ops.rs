@@ -81,7 +81,9 @@ impl DistributedHashMap {
                 }
             }
         }
-        unreachable!("every failed round quarantines one GPU; at most m rounds")
+        Err(InsertError::Internal {
+            detail: "every failed round quarantines one GPU; at most m rounds",
+        })
     }
 
     /// Books a budget-exhausted PCIe transfer's retries and backoff into
@@ -175,7 +177,9 @@ impl DistributedHashMap {
                 }
             }
         }
-        let per_gpu = upload.expect("every failed round quarantines one GPU; at most m rounds");
+        let per_gpu = upload.ok_or(OpError::Internal {
+            detail: "every failed round quarantines one GPU; at most m rounds",
+        })?;
 
         let (per_gpu_results, device) = self.retrieve_device_sided_impl(&per_gpu)?;
         report.absorb(&CascadeReport {
@@ -215,7 +219,9 @@ impl DistributedHashMap {
                 }
             }
         }
-        unreachable!("every failed round quarantines one GPU; at most m rounds")
+        Err(OpError::Internal {
+            detail: "every failed round quarantines one GPU; at most m rounds",
+        })
     }
 }
 

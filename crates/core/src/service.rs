@@ -224,6 +224,13 @@ pub enum OpError {
     },
     /// Re-homing a quarantined GPU's partition failed.
     Migration(InsertError),
+    /// A cascade invariant broke (a WarpDrive bug, not an
+    /// environmental failure). Typed so a serving process can fail the
+    /// one op and keep serving instead of panicking.
+    Internal {
+        /// The violated invariant, verbatim.
+        detail: &'static str,
+    },
 }
 
 impl std::fmt::Display for OpError {
@@ -238,6 +245,7 @@ impl std::fmt::Display for OpError {
                 write!(f, "GPU {device} lost: launch retry budget exhausted, no failover target")
             }
             OpError::Migration(e) => write!(f, "partition migration failed: {e}"),
+            OpError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),
         }
     }
 }
@@ -259,6 +267,7 @@ impl From<InsertError> for OpError {
             InsertError::OutOfMemory(o) => OpError::OutOfMemory(o),
             InsertError::Transfer(t) => OpError::Transfer(t),
             InsertError::DeviceLost { device } => OpError::DeviceLost { device },
+            InsertError::Internal { detail } => OpError::Internal { detail },
         }
     }
 }

@@ -1,0 +1,16 @@
+//! Negative fixture: WD-D001 — modeled time and test-only wall time.
+
+fn measure(clock: &Clock, counter: &mut u64) {
+    // modeled time from the deterministic clock, not the wall
+    let t0 = clock.now();
+    *counter += 1;
+    let _ = t0;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_time_in_tests_is_fine() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,11 @@
+//! Positive fixture: WD-D001 (wall-clock reads break seed replay).
+
+fn measure(counter: &mut u64) {
+    let t0 = Instant::now();
+    *counter += 1;
+    let _ = t0.elapsed();
+}
+
+fn stamp() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).as_secs()
+}

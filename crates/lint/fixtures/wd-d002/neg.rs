@@ -1,0 +1,7 @@
+//! Negative fixture: WD-D002 — seeded RNG replays from the schedule
+//! or fault seed.
+
+fn shuffle(items: &mut [u64], seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    items.sort_by_key(|_| rng.next_u64());
+}

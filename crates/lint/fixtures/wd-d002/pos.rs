@@ -1,0 +1,6 @@
+//! Positive fixture: WD-D002 (ambient RNG breaks seed replay).
+
+fn shuffle(items: &mut [u64]) {
+    let mut rng = thread_rng();
+    items.sort_by_key(|_| rng.next_u64());
+}

@@ -1,0 +1,20 @@
+//! Negative fixture: WD-D003 — ordered containers, point lookups, and
+//! sorted materialization are all replay-safe.
+
+struct Telemetry {
+    buckets: BTreeMap<u64, u64>,
+    hot: HashMap<u64, u64>,
+}
+
+fn report(t: &Telemetry) -> String {
+    let mut out = String::new();
+    // BTreeMap iterates in key order: deterministic
+    for (k, v) in &t.buckets {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    // point lookups on a HashMap are fine; only iteration order is not
+    if let Some(v) = t.hot.get(&0) {
+        out.push_str(&format!("hot={v}\n"));
+    }
+    out
+}

@@ -1,0 +1,22 @@
+//! Positive fixture: WD-D003 (hash iteration order is
+//! nondeterministic; anything derived from it won't replay).
+
+struct Telemetry {
+    buckets: HashMap<u64, u64>,
+}
+
+fn report(t: &Telemetry) -> String {
+    let mut out = String::new();
+    for (k, v) in &t.buckets {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+fn tally(seen: &mut HashSet<u32>) -> u32 {
+    let mut acc = 0;
+    for k in seen.iter() {
+        acc ^= k;
+    }
+    acc
+}

@@ -1,0 +1,23 @@
+//! Negative fixture: WD-F001 — panicking wrappers that don't promise
+//! a typed error, non-panicking unwrap_* variants, and test code.
+
+/// The documented panicking convenience wrapper: no typed promise.
+fn put(&mut self, pairs: &[(u32, u32)]) -> PutResponse {
+    self.try_put(pairs).unwrap()
+}
+
+fn put_batch(&mut self, pairs: &[(u32, u32)]) -> Result<PutResponse, OpError> {
+    // unwrap_or / unwrap_or_else / unwrap_or_default never panic
+    let budget = self.budget.unwrap_or_default();
+    let quantum = self.quantum.unwrap_or(64);
+    run(budget, quantum, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_idiomatic() -> Result<(), OpError> {
+        setup().unwrap();
+        Ok(())
+    }
+}

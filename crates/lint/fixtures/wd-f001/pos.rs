@@ -1,0 +1,8 @@
+//! Positive fixture: WD-F001 (unwrap/expect inside a fn that promises
+//! a typed fault error).
+
+fn put_batch(&mut self, pairs: &[(u32, u32)]) -> Result<PutResponse, OpError> {
+    let scratch = self.arena.lock().unwrap();
+    let plan = self.plan.as_ref().expect("armed");
+    run(scratch, plan, pairs)
+}

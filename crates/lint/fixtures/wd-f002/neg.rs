@@ -1,0 +1,27 @@
+//! Negative fixture: WD-F002 — typed degradation on fault paths;
+//! panics confined to infallible fns and tests.
+
+fn submit_at(&mut self, op: Op, now: f64) -> Result<Ticket, ServeError> {
+    if now < self.last {
+        return Err(ServeError::TimeRegressed { now, last: self.last });
+    }
+    self.enqueue(op, now)
+}
+
+/// Infallible by signature: a panic here is a documented contract.
+fn reserved_key_guard(key: u32) {
+    if key == RESERVED {
+        panic!("reserved key");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_are_fine() -> Result<(), ServeError> {
+        if bad() {
+            unreachable!("test-only");
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: WD-F002 (panic!-family macros inside a fn that
+//! promises a typed fault error — the process dies instead of the op).
+
+fn submit_at(&mut self, op: Op, now: f64) -> Result<Ticket, ServeError> {
+    if now < self.last {
+        panic!("time went backwards");
+    }
+    self.enqueue(op, now)
+}

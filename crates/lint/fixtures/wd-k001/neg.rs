@@ -1,0 +1,23 @@
+//! Negative fixture: WD-K001 — convergent collectives stay clean.
+
+fn kernel(ctx: &GroupCtx, data: DevSlice, base: usize) {
+    // full-mask masked collective: every lane participates
+    let _ = ctx.ballot_where(ctx.full_mask(), |rr| rr == 0);
+    // plain collectives at kernel scope, outside any divergent branch
+    let dup = ctx.ballot(|r| key_of(window.lane(r)) == key);
+    // uniform condition (a ballot result is group-uniform): a window
+    // reload inside it is the Fig. 3 lines 19-21 shape, not divergence
+    if let Some(r) = GroupCtx::ffs(dup) {
+        let window = ctx.reload_window(data, base);
+        let _ = (r, window);
+    }
+    // loops are uniform iteration, not a divergence source
+    for _p in 0..4 {
+        let _ = ctx.any(|r| r == 0);
+    }
+}
+
+fn host_helper(masks: &MaskSet, active: u32) {
+    // not kernel scope (no GroupCtx): the rule does not apply
+    let _ = masks.ballot_where(active, |x| x);
+}

@@ -1,0 +1,20 @@
+//! Negative fixture: WD-K002 — legal publication protocols.
+
+fn publish(ctx: &GroupCtx, keys: DevSlice, values: DevSlice, idx: usize) {
+    if ctx.cas(keys, idx, expected, word).is_ok() {
+        // publish via CAS from the sentinel: the release edge exists
+        let _ = ctx.cas(values, idx, EMPTY, value);
+        // deliberate LWW word: write_shared is the annotated escape
+        ctx.write_shared(values, idx, value);
+    }
+    // a plain write *outside* a CAS-success arm is an ordinary store
+    ctx.write(values, idx, value);
+}
+
+fn host_bookkeeping(ctx: &GroupCtx, state: &Shared) {
+    if ctx.cas(keys, idx, expected, word).is_ok() {
+        // lock-guard `.write()` takes no (slice, idx, val) triple —
+        // not a device store
+        state.lock.write().push(idx);
+    }
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: WD-K003 — counted device ops in kernels, and raw
+//! atomics outside kernel scope (the Folklore-CPU-baseline shape).
+
+fn kernel(ctx: &GroupCtx, data: DevSlice, idx: usize) {
+    // the counted, sanitizer-checked entry points
+    let _ = ctx.cas(data, idx, expected, word);
+    let _ = ctx.exchange(data, idx, word);
+    let _ = ctx.atomic_add(data, idx, 1);
+}
+
+fn cpu_baseline_core(word: &AtomicU64) {
+    // no GroupCtx in scope: a CPU baseline's raw CAS is out of the
+    // rule's jurisdiction (clippy's disallowed-list governs per-crate)
+    let _ = word.compare_exchange(0, 1, SeqCst, SeqCst);
+}

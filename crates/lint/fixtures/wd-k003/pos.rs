@@ -1,0 +1,8 @@
+//! Positive fixture: WD-K003 (raw CAS-class atomics / unchecked access
+//! inside kernel code bypass the counted GroupCtx/window APIs).
+
+fn kernel(ctx: &GroupCtx, word: &AtomicU64, backing: &[u64], idx: usize) {
+    let _ = word.compare_exchange(EMPTY, key, SeqCst, SeqCst);
+    let v = unsafe { backing.get_unchecked(idx) };
+    let _ = (ctx, v);
+}

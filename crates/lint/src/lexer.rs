@@ -1,0 +1,343 @@
+//! A hand-rolled Rust lexer: just enough token structure for lexical
+//! rule passes. Comments, string/char/byte literals, and lifetimes are
+//! consumed (they can never trigger a rule or open a scope); what
+//! survives is identifiers, number literals (opaque), and punctuation,
+//! each tagged with its 1-based source line.
+//!
+//! The lexer is deliberately forgiving: on malformed input it never
+//! panics, it just keeps scanning. wd-lint runs on code that `cargo
+//! build` already accepted, so unterminated literals only ever come
+//! from fixture typos — and a truncated token stream there shows up as
+//! a fixture test failure, not a silent pass.
+
+/// One surviving token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `if`, `ballot_where`, ...).
+    Ident(String),
+    /// Integer/float literal, kept opaque (`0x3f`, `1_000`, `1.5e3`).
+    Num(String),
+    /// Punctuation: multi-char operators that matter structurally are
+    /// kept fused (`->`, `=>`, `::`, `..`, `..=`, `&&`, `||`, `<<`,
+    /// `>>`); everything else is a single char.
+    Sym(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl SpannedTok {
+    /// The token's text, for joining into header/argument strings.
+    pub fn text(&self) -> &str {
+        match &self.tok {
+            Tok::Ident(s) | Tok::Num(s) | Tok::Sym(s) => s,
+        }
+    }
+
+    /// True when the token is exactly the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+
+    /// True when the token is exactly the symbol `s`.
+    pub fn is_sym(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Sym(i) if i == s)
+    }
+}
+
+/// Multi-char operators kept fused; longest match wins. `->`/`=>`
+/// drive scope classification, `::` keeps paths tight, the rest exist
+/// so that joining tokens back into text stays readable.
+const FUSED: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "->", "=>", "::", "..", "&&", "||", "<<", ">>", "==", "!=", "<=",
+    ">=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+];
+
+/// Tokenize `src`. Never fails; see module docs for the error policy.
+pub fn lex(src: &str) -> Vec<SpannedTok> {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(src.len() / 6);
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // block comments nest in Rust
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = skip_string(b, i, &mut line),
+            b'r' | b'b' if starts_raw_or_byte_literal(b, i) => {
+                i = skip_raw_or_byte_literal(b, i, &mut line)
+            }
+            b'\'' => i = skip_char_or_lifetime(b, i, &mut line),
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                // opaque numeric scan: digits, radix prefixes, `_`, `.`
+                // between digits, exponent signs
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    let ok = d.is_ascii_alphanumeric()
+                        || d == b'_'
+                        || (d == b'.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()))
+                        || ((d == b'+' || d == b'-')
+                            && matches!(b[i - 1], b'e' | b'E')
+                            && src[start..i].chars().any(|x| x.is_ascii_digit()));
+                    if !ok {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Num(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let fused = FUSED.iter().find(|op| rest.starts_with(**op));
+                let text = match fused {
+                    Some(op) => (*op).to_string(),
+                    None => (c as char).to_string(),
+                };
+                i += text.len();
+                out.push(SpannedTok {
+                    tok: Tok::Sym(text),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Is `b[i..]` the start of a raw string (`r"`, `r#"`), byte string
+/// (`b"`, `br"`, `br#"`), or byte char (`b'`)? Plain identifiers
+/// starting with r/b fall through to ident lexing.
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'\'') {
+            return true;
+        }
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+    }
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"') && j > i
+}
+
+/// Skip a raw/byte string or byte-char literal starting at `i`.
+fn skip_raw_or_byte_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let raw = {
+        let mut j = i;
+        if b[j] == b'b' {
+            j += 1;
+        }
+        b.get(j) == Some(&b'r')
+    };
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if raw {
+        i += 1; // 'r'
+        let mut hashes = 0usize;
+        while b.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        loop {
+            match b.get(i) {
+                None => return i,
+                Some(b'\n') => {
+                    *line += 1;
+                    i += 1;
+                }
+                Some(b'"') => {
+                    let mut k = 0usize;
+                    while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                        k += 1;
+                    }
+                    i += 1 + k;
+                    if k == hashes {
+                        return i;
+                    }
+                }
+                Some(_) => i += 1,
+            }
+        }
+    } else if b.get(i) == Some(&b'\'') {
+        // byte char b'x'
+        skip_char_body(b, i + 1, line)
+    } else {
+        // byte string b"..."
+        skip_string(b, i, line)
+    }
+}
+
+/// Skip a `"..."` string (handles escapes and embedded newlines);
+/// `i` points at the opening quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// `'` is ambiguous: char literal (`'a'`, `'\n'`) or lifetime (`'a`,
+/// `'static`). A lifetime has ident chars after the quote and no
+/// closing quote right after them. Lifetimes are dropped; char
+/// literals are skipped.
+fn skip_char_or_lifetime(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let next = b.get(i + 1).copied();
+    match next {
+        Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+            // scan ident run
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'\'') {
+                j + 1 // 'a' — single-char literal
+            } else {
+                j // 'lifetime — consumed, not emitted
+            }
+        }
+        _ => skip_char_body(b, i + 1, line),
+    }
+}
+
+/// Skip the body of a char literal after its opening quote.
+fn skip_char_body(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Join a token slice back into compact text: a space is inserted only
+/// between two word-ish tokens, so `ctx . cas ( data , idx )` renders
+/// as `ctx.cas(data,idx)` and substring probes like `.cas(` work.
+pub fn join(toks: &[SpannedTok]) -> String {
+    let mut s = String::new();
+    let mut prev_wordish = false;
+    for t in toks {
+        let text = t.text();
+        let wordish = matches!(t.tok, Tok::Ident(_) | Tok::Num(_));
+        if wordish && prev_wordish {
+            s.push(' ');
+        }
+        s.push_str(text);
+        prev_wordish = wordish;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).iter().map(|t| t.text().to_string()).collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let toks = lex("fn f() {\n  x.y();\n}");
+        assert!(toks[0].is_ident("fn"));
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn comments_strings_lifetimes_dropped() {
+        let t = texts("// ballot\n/* any /* nested */ */ \"cas(\" 'a' x: &'a str b\"z\" r#\"w\"#");
+        assert_eq!(t, vec!["x", ":", "&", "str"]);
+    }
+
+    #[test]
+    fn fused_ops_and_join() {
+        let toks = lex("fn f(x: u32) -> Result<(), OpError> { a => b; c::d }");
+        let s = join(&toks);
+        assert!(s.contains("->Result<(),OpError>"));
+        assert!(s.contains("=>"));
+        assert!(s.contains("c::d"));
+    }
+
+    #[test]
+    fn join_probe_shapes() {
+        let toks = lex("if ctx.cas(keys, idx, expected, w).is_ok() { }");
+        let s = join(&toks);
+        assert!(s.contains(".cas("));
+        assert!(s.contains(").is_ok()"));
+    }
+
+    #[test]
+    fn multiline_raw_string_line_tracking() {
+        let toks = lex("let s = r\"a\nb\";\nmarker");
+        let m = toks.iter().find(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(m.line, 3);
+    }
+}

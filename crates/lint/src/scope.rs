@@ -1,0 +1,399 @@
+//! Brace/scope tracker: turns the flat token stream into a tree of
+//! lexical scopes, classifying each `{...}` block by the "header" that
+//! precedes it (everything since the last `{`, `}`, or statement-level
+//! `;`). Rules then ask questions like "is this call site inside a
+//! kernel fn?", "is some enclosing conditional's condition reading
+//! per-lane state?", or "does the nearest enclosing fn return a
+//! fault-typed Result?" — all without a real parser.
+//!
+//! Classification is deliberately conservative: anything the header
+//! heuristics don't recognize (struct literals, bare blocks, `unsafe`,
+//! `impl`/`mod` bodies...) becomes a neutral [`ScopeKind::Other`] that
+//! never triggers or suppresses a rule by itself.
+
+use crate::lexer::{join, SpannedTok};
+
+/// What kind of construct opened a scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// `fn name(...) -> Ret {`; also captures closures' enclosing fn.
+    Fn {
+        name: String,
+        /// Return-type text after the depth-0 `->` (empty when none).
+        ret: String,
+        /// Full signature text (params included) for kernel detection.
+        sig: String,
+    },
+    /// `|params| {` or `move |params| {`.
+    Closure { params: String },
+    /// `if cond {`, `else if cond {`, `while cond {` — a conditional
+    /// body; `cond` is the header text after the keyword.
+    Cond { cond: String },
+    /// `match head { ... }` — the whole body is treated as one
+    /// conditional region with the match head as its condition.
+    Match { head: String },
+    /// `for pat in iter {`, `loop {` — uniform iteration, not a
+    /// divergence source by itself.
+    Loop,
+    /// `else {` — conditionally executed, but with no condition text
+    /// of its own.
+    Else,
+    /// Anything else: struct literals, `impl`/`mod`/`trait` bodies,
+    /// bare and `unsafe` blocks, match arms...
+    Other,
+}
+
+/// One lexical scope: a `{...}` region.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    pub kind: ScopeKind,
+    /// Index into `Scopes::scopes` of the parent (self for the root).
+    pub parent: usize,
+    /// True when this scope's header carries `#[test]` or
+    /// `#[cfg(test)]` — all findings inside are suppressed.
+    pub is_test: bool,
+}
+
+/// The scope tree plus a per-token scope id.
+pub struct Scopes {
+    pub scopes: Vec<Scope>,
+    /// `scope_of[i]` = innermost scope containing token `i`.
+    pub scope_of: Vec<usize>,
+}
+
+impl Scopes {
+    /// Build the scope tree for a token stream.
+    pub fn build(toks: &[SpannedTok]) -> Scopes {
+        let mut scopes = vec![Scope {
+            kind: ScopeKind::Other,
+            parent: 0,
+            is_test: false,
+        }];
+        let mut stack: Vec<usize> = vec![0];
+        let mut scope_of = vec![0usize; toks.len()];
+        // header = tokens since the last `{`, `}`, or depth-0 `;`
+        let mut header_start = 0usize;
+        // non-brace bracket depth inside the current header, so `;`
+        // inside `for i in 0..f(a; b)`-ish positions or generics don't
+        // truncate it (only depth-0 `;` resets)
+        let mut hdr_paren = 0i32;
+        for (i, t) in toks.iter().enumerate() {
+            scope_of[i] = *stack.last().unwrap();
+            match t.text() {
+                "{" => {
+                    let header = &toks[header_start..i];
+                    let kind = classify(header);
+                    let is_test = header_is_test(header);
+                    let parent = *stack.last().unwrap();
+                    let id = scopes.len();
+                    scopes.push(Scope {
+                        kind,
+                        parent,
+                        is_test,
+                    });
+                    stack.push(id);
+                    header_start = i + 1;
+                    hdr_paren = 0;
+                }
+                "}" => {
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                    header_start = i + 1;
+                    hdr_paren = 0;
+                }
+                "(" | "[" => hdr_paren += 1,
+                ")" | "]" => hdr_paren -= 1,
+                ";" if hdr_paren <= 0 => {
+                    header_start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        Scopes { scopes, scope_of }
+    }
+
+    /// Iterate the scope chain from the innermost scope containing
+    /// token `i` outwards (root last).
+    pub fn chain_at(&self, i: usize) -> impl Iterator<Item = &Scope> + '_ {
+        let mut cur = self.scope_of[i];
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let s = &self.scopes[cur];
+            if s.parent == cur {
+                done = true;
+            }
+            cur = s.parent;
+            Some(s)
+        })
+    }
+
+    /// True when token `i` sits inside test code (`#[test]` fn or
+    /// `#[cfg(test)]` mod).
+    pub fn in_test(&self, i: usize) -> bool {
+        self.chain_at(i).any(|s| s.is_test)
+    }
+
+    /// The nearest enclosing `fn` scope's (name, ret, sig), looking
+    /// through closures and blocks.
+    pub fn enclosing_fn(&self, i: usize) -> Option<(&str, &str, &str)> {
+        self.chain_at(i).find_map(|s| match &s.kind {
+            ScopeKind::Fn { name, ret, sig } => {
+                Some((name.as_str(), ret.as_str(), sig.as_str()))
+            }
+            _ => None,
+        })
+    }
+
+    /// True when token `i` is inside kernel code: a fn whose signature
+    /// mentions `GroupCtx`, or a closure whose parameter list does.
+    /// Walks the whole chain so helpers nested inside a kernel closure
+    /// still count.
+    pub fn in_kernel(&self, i: usize) -> bool {
+        self.chain_at(i).any(|s| match &s.kind {
+            ScopeKind::Fn { sig, .. } => sig.contains("GroupCtx"),
+            ScopeKind::Closure { params } => params.contains("GroupCtx"),
+            _ => false,
+        })
+    }
+
+    /// Conditions of all enclosing conditional scopes (innermost
+    /// first), stopping at the kernel boundary when `stop_at_kernel`
+    /// (conditions outside the kernel fn can't make its collectives
+    /// divergent).
+    pub fn enclosing_conds(&self, i: usize, stop_at_kernel: bool) -> Vec<&str> {
+        let mut out = Vec::new();
+        for s in self.chain_at(i) {
+            match &s.kind {
+                ScopeKind::Cond { cond } => out.push(cond.as_str()),
+                ScopeKind::Match { head } => out.push(head.as_str()),
+                ScopeKind::Fn { sig, .. } if stop_at_kernel && sig.contains("GroupCtx") => break,
+                ScopeKind::Closure { params }
+                    if stop_at_kernel && params.contains("GroupCtx") =>
+                {
+                    break
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Does the header carry a `#[test]` or `#[cfg(test)]` attribute?
+fn header_is_test(header: &[SpannedTok]) -> bool {
+    let s = join(header);
+    s.contains("#[test]") || s.contains("#[cfg(test)]")
+}
+
+/// Classify the block opened after `header` tokens.
+fn classify(header: &[SpannedTok]) -> ScopeKind {
+    // closure? header ends with `|...|` (possibly followed by `-> T`)
+    if let Some(params) = closure_params(header) {
+        return ScopeKind::Closure { params };
+    }
+    // find the *last* structural keyword at bracket depth 0; headers
+    // like `} else if cond` or `#[inline] pub(crate) fn f(...)` carry
+    // leading noise we must skip, and `if let Some(x) = m.get(k)`
+    // must key on `if`, not on idents inside the condition
+    let mut depth = 0i32;
+    let mut key: Option<(usize, &str)> = None;
+    for (i, t) in header.iter().enumerate() {
+        match t.text() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            k @ ("fn" | "if" | "while" | "match" | "for" | "loop" | "else" | "struct" | "enum"
+            | "impl" | "trait" | "mod" | "union" | "unsafe")
+                if depth <= 0 =>
+            {
+                // `else if` keys on the `if`; keep scanning so the
+                // last structural keyword wins (`match x` after an
+                // earlier `if` belongs to the `match` body)
+                key = Some((i, k));
+                if k == "fn" {
+                    // nothing after `fn name(...)` can reclassify it;
+                    // idents named like keywords can't appear at depth
+                    // 0 before the brace in a valid signature
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some((ki, kw)) = key else {
+        return ScopeKind::Other;
+    };
+    let after = &header[ki + 1..];
+    match kw {
+        "fn" => {
+            let name = after.first().map(|t| t.text().to_string()).unwrap_or_default();
+            let sig = join(after);
+            ScopeKind::Fn {
+                name,
+                ret: ret_type(after),
+                sig,
+            }
+        }
+        "if" | "while" => ScopeKind::Cond { cond: join(after) },
+        "match" => ScopeKind::Match { head: join(after) },
+        "for" | "loop" => ScopeKind::Loop,
+        "else" => ScopeKind::Else,
+        _ => ScopeKind::Other,
+    }
+}
+
+/// If the header ends in a closure parameter list — `|a, b|`, `move
+/// |ctx: &GroupCtx|`, optionally `-> T` after — return the param text.
+fn closure_params(header: &[SpannedTok]) -> Option<String> {
+    // walk back over an optional `-> Type` suffix
+    let mut end = header.len();
+    if let Some(arrow) = rfind_sym(header, "->") {
+        // only treat as return suffix when a `|` closes right before
+        if arrow > 0 && header[arrow - 1].is_sym("|") {
+            end = arrow;
+        }
+    }
+    if end == 0 || !header[end - 1].is_sym("|") {
+        return None;
+    }
+    // find the opening `|`: scan back, skipping nothing fancy — a `||`
+    // empty-params closure lexes as a fused `||` token
+    if header[end - 1].is_sym("||") {
+        return Some(String::new());
+    }
+    let mut depth = 0i32;
+    for j in (0..end - 1).rev() {
+        match header[j].text() {
+            ")" | "]" | ">" => depth += 1,
+            "(" | "[" | "<" => depth -= 1,
+            "|" if depth == 0 => {
+                // require closure position: `|` at header start, or
+                // preceded by `,`/`(`/`=`/`move`/`=>`  — otherwise it
+                // was a bitwise-or
+                let prev_ok = j == 0
+                    || matches!(
+                        header[j - 1].text(),
+                        "," | "(" | "=" | "move" | "=>" | "{" | "return"
+                    );
+                if prev_ok {
+                    return Some(join(&header[j + 1..end - 1]));
+                }
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Last index of symbol `s` in `header`.
+fn rfind_sym(header: &[SpannedTok], s: &str) -> Option<usize> {
+    header.iter().rposition(|t| t.is_sym(s))
+}
+
+/// Return-type text of a fn signature (tokens after the depth-0 `->`,
+/// truncated at a depth-0 `where`).
+fn ret_type(sig: &[SpannedTok]) -> String {
+    let mut depth = 0i32;
+    let mut arrow = None;
+    for (i, t) in sig.iter().enumerate() {
+        match t.text() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "->" if depth == 0 => {
+                arrow = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(a) = arrow else {
+        return String::new();
+    };
+    let rest = &sig[a + 1..];
+    let end = rest
+        .iter()
+        .position(|t| t.is_ident("where"))
+        .unwrap_or(rest.len());
+    join(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scopes(src: &str) -> (Vec<SpannedTok>, Scopes) {
+        let toks = lex(src);
+        let s = Scopes::build(&toks);
+        (toks, s)
+    }
+
+    fn idx_of(toks: &[SpannedTok], ident: &str) -> usize {
+        toks.iter().position(|t| t.is_ident(ident)).unwrap()
+    }
+
+    #[test]
+    fn fn_scope_with_ret() {
+        let (toks, s) = scopes("fn put(&mut self, k: u32) -> Result<(), OpError> { body } ");
+        let i = idx_of(&toks, "body");
+        let (name, ret, _) = s.enclosing_fn(i).unwrap();
+        assert_eq!(name, "put");
+        assert!(ret.contains("OpError"));
+    }
+
+    #[test]
+    fn kernel_detection_fn_and_closure() {
+        let (toks, s) =
+            scopes("fn k(ctx: &GroupCtx) { inker } fn host() { dev.launch(|ctx: &GroupCtx| { inclo }); outside }");
+        assert!(s.in_kernel(idx_of(&toks, "inker")));
+        assert!(s.in_kernel(idx_of(&toks, "inclo")));
+        assert!(!s.in_kernel(idx_of(&toks, "outside")));
+    }
+
+    #[test]
+    fn conditional_chain_and_kernel_boundary() {
+        let src = "fn host() { if hostcond { dev.launch(|ctx: &GroupCtx| { if window.lane(r) == 0 { probe } }) } }";
+        let (toks, s) = scopes(src);
+        let i = idx_of(&toks, "probe");
+        let conds = s.enclosing_conds(i, true);
+        assert_eq!(conds.len(), 1);
+        assert!(conds[0].contains(".lane("));
+    }
+
+    #[test]
+    fn else_if_and_match_classification() {
+        let (toks, s) = scopes("fn f() { if a { } else if b.lane(x) { here } match y { _ => { arm } } }");
+        let conds = s.enclosing_conds(idx_of(&toks, "here"), false);
+        assert!(conds.iter().any(|c| c.contains(".lane(")));
+        let conds = s.enclosing_conds(idx_of(&toks, "arm"), false);
+        assert!(conds.iter().any(|c| c.contains('y')));
+    }
+
+    #[test]
+    fn struct_literal_is_neutral() {
+        let (toks, s) = scopes("fn f() { return Foo { bar } ; }");
+        let i = idx_of(&toks, "bar");
+        // enclosing fn still resolves through the neutral literal scope
+        assert_eq!(s.enclosing_fn(i).unwrap().0, "f");
+    }
+
+    #[test]
+    fn test_scopes_suppress() {
+        let (toks, s) =
+            scopes("#[cfg(test)] mod tests { fn helper() { x } } fn real() { y }");
+        assert!(s.in_test(idx_of(&toks, "x")));
+        assert!(!s.in_test(idx_of(&toks, "y")));
+    }
+
+    #[test]
+    fn let_else_is_neutral() {
+        let (toks, s) = scopes("fn f() { let Some(r) = ffs(m) else { brk }; after }");
+        assert_eq!(s.enclosing_fn(idx_of(&toks, "brk")).unwrap().0, "f");
+        // a let-else divergence block is not an `if` condition
+        assert!(s.enclosing_conds(idx_of(&toks, "brk"), false).is_empty());
+    }
+}
