@@ -13,7 +13,7 @@
 //!   wd-bench --validate <report.json>
 //!   wd-bench --compare <new.json> <baseline.json>
 //!
-//! `--validate` checks a report against the `wd-bench-perf/v3` schema
+//! `--validate` checks a report against the `wd-bench-perf/v4` schema
 //! (exit 1 on violation). `--compare` prints host-rate deltas between two
 //! reports and always exits 0 — wall-clock on shared CI runners is noisy,
 //! so the delta is advisory, never a gate.
@@ -100,6 +100,99 @@ fn serve_scenario(quick: bool, seed: u64) -> Json {
         ),
         ("occupancy", Json::Num(srv.backend().occupancy())),
         ("rejects", Json::Num(run.rejects.len() as f64)),
+        ("host_wall_s", Json::Num(host_wall_s)),
+    ])
+}
+
+/// The dynamic-tables scenario: steady-state modeled throughput of a
+/// table that *grew itself* through its load-factor watermark versus a
+/// table born at the final capacity, both holding the same live keys.
+/// The modeled clocks are deterministic, so the comparison is a hard
+/// gate (unlike the host wall-clock deltas): once migration finalizes,
+/// a grown table must serve inserts and retrieves as fast as one that
+/// never resized — any steady-state tax from the dynamic machinery
+/// fails the run.
+fn resize_scenario(quick: bool, seed: u64) -> Json {
+    use std::sync::Arc;
+    use wd_bench::scaled_rate;
+    use warpdrive::{Config, GpuHashMap, ResizePolicy};
+
+    let start_capacity: usize = if quick { 1 << 12 } else { 1 << 14 };
+    // 7/8 of the start capacity crosses the default 0.85 watermark
+    let live = start_capacity * 7 / 8;
+    let batch = if quick { 512 } else { 2048 };
+
+    // one unique pool, split into the resident set and the fresh
+    // steady-state insert batch (unique ⇒ no in-batch key races)
+    let pairs = Distribution::Unique.generate(live + batch, seed);
+    let (resident, fresh) = pairs.split_at(live);
+    let query_keys: Vec<u32> = resident.iter().take(batch).map(|p| p.0).collect();
+
+    let device = |id: usize, capacity: usize| {
+        Arc::new(gpu_sim::Device::with_words(id, 8 * capacity + (1 << 14)))
+    };
+
+    let wall = Instant::now();
+    // managed path: starts small, the watermark fires mid-fill, chunked
+    // migration interleaves with the remaining waves, finalize completes
+    let mut managed = GpuHashMap::new(device(0, start_capacity), start_capacity, Config::default())
+        .expect("managed table");
+    managed.set_resize_policy(Some(ResizePolicy::default()));
+    for wave in resident.chunks(512) {
+        let out = managed.insert_pairs(wave).expect("managed fill");
+        assert_eq!(out.failed, 0, "managed fill must not exhaust probing");
+    }
+    managed.finish_resize().expect("finalize grow");
+    let final_capacity = managed.capacity();
+    assert!(
+        final_capacity > start_capacity,
+        "watermark never fired at {live}/{start_capacity}"
+    );
+
+    // fixed path: born at the managed table's final capacity with the
+    // same live keys — the equal-live-load control
+    let fixed = GpuHashMap::new(device(1, final_capacity), final_capacity, Config::default())
+        .expect("fixed table");
+    for wave in resident.chunks(512) {
+        let out = fixed.insert_pairs(wave).expect("fixed fill");
+        assert_eq!(out.failed, 0, "fixed fill must not exhaust probing");
+    }
+
+    let overhead = managed.device().spec().launch_overhead;
+    let steady = |map: &GpuHashMap| -> (f64, f64) {
+        let ret = map.try_retrieve(&query_keys).expect("steady retrieve");
+        let ins = map.insert_pairs(fresh).expect("steady insert");
+        (
+            scaled_rate(ins.stats.sim_time, overhead, batch, PAPER_N_SINGLE),
+            scaled_rate(ret.report.time, overhead, batch, PAPER_N_SINGLE),
+        )
+    };
+    let (managed_ins, managed_ret) = steady(&managed);
+    let (fixed_ins, fixed_ret) = steady(&fixed);
+    let host_wall_s = wall.elapsed().as_secs_f64();
+
+    let insert_ratio = managed_ins / fixed_ins.max(1e-12);
+    let retrieve_ratio = managed_ret / fixed_ret.max(1e-12);
+    assert!(
+        insert_ratio >= 0.9,
+        "steady-state insert regressed after grow: {insert_ratio:.3}x of fixed-capacity"
+    );
+    assert!(
+        retrieve_ratio >= 0.9,
+        "steady-state retrieve regressed after grow: {retrieve_ratio:.3}x of fixed-capacity"
+    );
+
+    Json::obj(vec![
+        ("capacity_before", Json::Num(start_capacity as f64)),
+        ("capacity_after", Json::Num(final_capacity as f64)),
+        ("live_keys", Json::Num(live as f64)),
+        ("steady_batch", Json::Num(batch as f64)),
+        ("managed_insert_modeled_ops_s", Json::Num(managed_ins)),
+        ("managed_retrieve_modeled_ops_s", Json::Num(managed_ret)),
+        ("fixed_insert_modeled_ops_s", Json::Num(fixed_ins)),
+        ("fixed_retrieve_modeled_ops_s", Json::Num(fixed_ret)),
+        ("insert_ratio", Json::Num(insert_ratio)),
+        ("retrieve_ratio", Json::Num(retrieve_ratio)),
         ("host_wall_s", Json::Num(host_wall_s)),
     ])
 }
@@ -325,6 +418,10 @@ fn main() {
     // parallel — the instrument the big test sweeps lean on.
     let checker = checker_scenario(quick, seed);
 
+    // Dynamic-tables scenario: a grown table vs a fixed-capacity twin at
+    // equal live load — the deterministic no-steady-state-regression gate.
+    let resize = resize_scenario(quick, seed);
+
     let doc = Json::obj(vec![
         ("schema", Json::Str(PERF_SCHEMA.into())),
         (
@@ -371,6 +468,7 @@ fn main() {
         ),
         ("serve", serve),
         ("checker", checker),
+        ("resize", resize),
     ]);
 
     validate_perf(&doc).expect("self-emitted report must satisfy the schema");

@@ -5,7 +5,7 @@
 //! pipeline needs: a [`Json`] value tree with a deterministic pretty
 //! printer, a recursive-descent parser for reading reports back (CI
 //! validation and baseline comparison), and [`validate_perf`], the
-//! structural check for the `wd-bench-perf/v3` schema emitted by the
+//! structural check for the `wd-bench-perf/v4` schema emitted by the
 //! `wd-bench` binary.
 //!
 //! Printer determinism matters: object keys keep insertion order and
@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema identifier emitted in — and required of — every perf report.
-pub const PERF_SCHEMA: &str = "wd-bench-perf/v3";
+pub const PERF_SCHEMA: &str = "wd-bench-perf/v4";
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,7 +317,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
         .ok_or_else(|| format!("bad number at byte {start}"))
 }
 
-/// Required numeric fields per section of the `wd-bench-perf/v3` schema.
+/// Required numeric fields per section of the `wd-bench-perf/v4` schema.
 const SECTIONS: &[(&str, &[&str])] = &[
     ("machine", &["threads"]),
     ("run", &["n", "modeled_n", "seed"]),
@@ -349,9 +349,25 @@ const SECTIONS: &[(&str, &[&str])] = &[
             "speedup",
         ],
     ),
+    (
+        "resize",
+        &[
+            "capacity_before",
+            "capacity_after",
+            "live_keys",
+            "steady_batch",
+            "managed_insert_modeled_ops_s",
+            "managed_retrieve_modeled_ops_s",
+            "fixed_insert_modeled_ops_s",
+            "fixed_retrieve_modeled_ops_s",
+            "insert_ratio",
+            "retrieve_ratio",
+            "host_wall_s",
+        ],
+    ),
 ];
 
-/// Structurally validates a `wd-bench-perf/v3` report.
+/// Structurally validates a `wd-bench-perf/v4` report.
 ///
 /// # Errors
 /// Returns every violation found (missing sections, wrong types, negative
@@ -521,6 +537,22 @@ mod tests {
                     ("serial_histories_s", Json::Num(160.0)),
                     ("parallel_histories_s", Json::Num(640.0)),
                     ("speedup", Json::Num(4.0)),
+                ]),
+            ),
+            (
+                "resize",
+                Json::obj(vec![
+                    ("capacity_before", Json::Num(4096.0)),
+                    ("capacity_after", Json::Num(8192.0)),
+                    ("live_keys", Json::Num(3584.0)),
+                    ("steady_batch", Json::Num(512.0)),
+                    ("managed_insert_modeled_ops_s", Json::Num(1e9)),
+                    ("managed_retrieve_modeled_ops_s", Json::Num(2e9)),
+                    ("fixed_insert_modeled_ops_s", Json::Num(1e9)),
+                    ("fixed_retrieve_modeled_ops_s", Json::Num(2e9)),
+                    ("insert_ratio", Json::Num(1.0)),
+                    ("retrieve_ratio", Json::Num(1.0)),
+                    ("host_wall_s", Json::Num(0.1)),
                 ]),
             ),
         ])

@@ -131,6 +131,21 @@ pub struct Config {
     /// degraded-mode round-trip exists to catch exactly this. Never
     /// enable outside tests.
     pub broken_forget_quarantined_partition: bool,
+    /// **Mutation double — test-only.** When `true`, the incremental
+    /// resize's migration scan skips the live-entry check and replays the
+    /// table contents *snapshotted at migration start*, so a key deleted
+    /// after the resize began is migrated back to life in the new table —
+    /// the classic stale-scan bug of online migration. The resize sweeps'
+    /// conservation and linearizability checks exist to catch exactly
+    /// this. Never enable outside tests.
+    pub broken_migrate_skips_tombstone_check: bool,
+    /// **Mutation double — test-only.** When `true`, a read issued during
+    /// migration ignores old-table hits for keys whose home window lies
+    /// inside the chunk currently being moved — the read races the
+    /// in-flight chunk and reports `NotFound` for a live key. The resize
+    /// sweeps' full-retrieval and linearizability checks exist to catch
+    /// exactly this. Never enable outside tests.
+    pub broken_read_misses_migrating_window: bool,
 }
 
 /// The full set of mutation-double switches, bundled so kernel entry
@@ -165,6 +180,8 @@ impl Default for Config {
             broken_divergent_ballot: false,
             broken_double_apply_on_retry: false,
             broken_forget_quarantined_partition: false,
+            broken_migrate_skips_tombstone_check: false,
+            broken_read_misses_migrating_window: false,
         }
     }
 }
@@ -296,6 +313,22 @@ impl Config {
     #[must_use]
     pub fn with_broken_forget_quarantined_partition(mut self) -> Self {
         self.broken_forget_quarantined_partition = true;
+        self
+    }
+
+    /// Enables the stale-migration-scan mutation double (test-only; see
+    /// [`Config::broken_migrate_skips_tombstone_check`]).
+    #[must_use]
+    pub fn with_broken_migrate_skips_tombstone_check(mut self) -> Self {
+        self.broken_migrate_skips_tombstone_check = true;
+        self
+    }
+
+    /// Enables the migrating-window read-race mutation double (test-only;
+    /// see [`Config::broken_read_misses_migrating_window`]).
+    #[must_use]
+    pub fn with_broken_read_misses_migrating_window(mut self) -> Self {
+        self.broken_read_misses_migrating_window = true;
         self
     }
 

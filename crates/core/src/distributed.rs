@@ -244,6 +244,69 @@ impl DistributedHashMap {
         self.len() as f64 / cap as f64
     }
 
+    // ---- dynamic tables ---------------------------------------------------
+
+    /// Grows every live (non-quarantined) GPU's local table, driving each
+    /// migration to completion before returning: the device-sided
+    /// cascades address one fixed table per GPU, so the distributed map
+    /// never exposes a mid-migration local. Growth is per-GPU and
+    /// independent — the partition function is capacity-independent, so
+    /// no key ever moves between GPUs during a resize and per-partition
+    /// key conservation holds trivially. Returns whether any table grew.
+    ///
+    /// # Errors
+    /// Target-allocation failure or migration-insert failure on any GPU;
+    /// already-resized GPUs keep their new tables (retry is safe).
+    pub fn request_grow(&mut self) -> Result<bool, OpError> {
+        self.resize_locals(crate::ResizeMode::Grow)
+    }
+
+    /// Compacts every live GPU's local table at unchanged capacity
+    /// (tombstone purge), run to completion like
+    /// [`Self::request_grow`]. Returns whether any table was compacted.
+    ///
+    /// # Errors
+    /// Same contract as [`Self::request_grow`].
+    pub fn request_compact(&mut self) -> Result<bool, OpError> {
+        self.resize_locals(crate::ResizeMode::Compact)
+    }
+
+    fn resize_locals(&mut self, mode: crate::ResizeMode) -> Result<bool, OpError> {
+        let mask = self.chaos.read().mask;
+        let mut any = false;
+        for (j, map) in self.maps.iter_mut().enumerate() {
+            if mask & (1 << j) != 0 {
+                continue; // quarantined: drained into survivors already
+            }
+            let started = match mode {
+                crate::ResizeMode::Grow => map.request_grow()?,
+                crate::ResizeMode::Compact => map.request_compact()?,
+            };
+            map.finish_resize()?;
+            debug_assert!(map.resize_state() == crate::ResizeState::Stable);
+            any |= started;
+        }
+        Ok(any)
+    }
+
+    /// Aggregate slot occupancy over the live (non-quarantined) GPUs.
+    #[must_use]
+    pub fn occupancy_split(&self) -> crate::Occupancy {
+        let mask = self.chaos.read().mask;
+        self.maps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) == 0)
+            .fold(crate::Occupancy::default(), |acc, (_, m)| {
+                let o = m.occupancy_split();
+                crate::Occupancy {
+                    live: acc.live + o.live,
+                    tombstones: acc.tombstones + o.tombstones,
+                    capacity: acc.capacity + o.capacity,
+                }
+            })
+    }
+
     // ---- chaos control ----------------------------------------------------
 
     /// Replaces the active fault plan at runtime (e.g. to kill a GPU
@@ -1224,6 +1287,18 @@ impl crate::service::MapService for DistributedHashMap {
 
     fn degraded(&self) -> DegradedStats {
         self.degraded_stats()
+    }
+
+    fn occupancy_split(&self) -> crate::Occupancy {
+        DistributedHashMap::occupancy_split(self)
+    }
+
+    fn request_grow(&mut self) -> Result<bool, OpError> {
+        DistributedHashMap::request_grow(self)
+    }
+
+    fn request_compact(&mut self) -> Result<bool, OpError> {
+        DistributedHashMap::request_compact(self)
     }
 }
 

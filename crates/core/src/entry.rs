@@ -76,6 +76,14 @@ pub fn is_occupied(word: u64) -> bool {
     key_of(word) != RESERVED_KEY
 }
 
+/// The live `(key, value)` pair of a slot word, or `None` for either
+/// sentinel. The migration scan uses this to collect movable entries.
+#[inline]
+#[must_use]
+pub fn live_pair(word: u64) -> Option<(u32, u32)> {
+    is_occupied(word).then(|| (key_of(word), value_of(word)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +117,13 @@ mod tests {
             prop_assert_eq!(value_of(w), value);
             prop_assert!(is_occupied(w));
             prop_assert!(!is_vacant(w));
+            prop_assert_eq!(live_pair(w), Some((key, value)));
         }
+    }
+
+    #[test]
+    fn live_pair_rejects_both_sentinels() {
+        assert_eq!(live_pair(EMPTY), None);
+        assert_eq!(live_pair(TOMBSTONE), None);
     }
 }

@@ -43,7 +43,11 @@ pub enum InsertError {
     /// One or more pairs exhausted `p_max` probing attempts (Fig. 3,
     /// line 26). The paper's remedy is invalidation and reconstruction
     /// with a distinct hash function — see
-    /// [`crate::GpuHashMap::rebuild_with_fresh_hash`].
+    /// [`crate::GpuHashMap::rebuild_with_fresh_hash`]. With a
+    /// [`crate::ResizePolicy`] armed, the load-factor watermark
+    /// normally triggers incremental growth or compaction *before* the
+    /// probing scheme can saturate, so this error marks either a
+    /// disabled policy or a table whose growth allocation failed.
     ProbingExhausted {
         /// Number of pairs that could not be placed.
         failed: u64,

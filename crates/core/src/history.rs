@@ -134,6 +134,25 @@ impl HistoryRecorder {
         });
     }
 
+    /// Records one migrated key as a legal erase→insert pair: an
+    /// `Erase { hit: true }` on the source table immediately followed by
+    /// an `Insert { new_slot }` of the same value into the target, with
+    /// adjacent timestamps. Incremental resize (and the chaos `Router`'s
+    /// quarantine migration) use this so the Wing–Gong checker validates
+    /// table movement like any other history: the pair preserves the
+    /// key's last-written value across the move.
+    pub fn record_migration_pair(&self, key: u32, value: u32, new_slot: bool) {
+        let erase_inv = self.invoke();
+        self.complete(key, OpKind::Erase, OpResponse::Erased { hit: true }, erase_inv);
+        let insert_inv = self.invoke();
+        self.complete(
+            key,
+            OpKind::Insert { value },
+            OpResponse::Inserted { new_slot },
+            insert_inv,
+        );
+    }
+
     /// Number of recorded events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -181,6 +200,25 @@ mod tests {
         assert!(ev[0].responded < ev[1].invoked);
         assert!(ev[0].precedes(&ev[1]));
         assert!(!ev[1].precedes(&ev[0]));
+    }
+
+    #[test]
+    fn migration_pair_is_erase_then_insert_of_same_value() {
+        let rec = HistoryRecorder::new();
+        let i = rec.invoke();
+        rec.complete(
+            5,
+            OpKind::Insert { value: 42 },
+            OpResponse::Inserted { new_slot: true },
+            i,
+        );
+        rec.record_migration_pair(5, 42, true);
+        let ev = rec.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[1].kind, OpKind::Erase);
+        assert_eq!(ev[1].response, OpResponse::Erased { hit: true });
+        assert_eq!(ev[2].kind, OpKind::Insert { value: 42 });
+        assert!(ev[1].precedes(&ev[2]), "erase must precede the re-insert");
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod linearize;
 pub mod map;
 pub mod multimap;
 pub mod probing;
+pub mod resize;
 pub mod retrieve;
 pub mod service;
 pub mod sharded;
@@ -76,8 +77,9 @@ pub use service::{
     DeleteResponse, GetAllResponse, GetResponse, MapService, Op, OpError, OpReport,
     PerGpuDeleteResponse, PerGpuGetResponse, PutResponse, Response,
 };
+pub use resize::{ResizeMode, ResizePolicy, ResizeState};
 pub use sharded::ShardedHashMap;
-pub use stats::{CascadeReport, CascadeStage, DegradedStats};
+pub use stats::{CascadeReport, CascadeStage, DegradedStats, Occupancy};
 
 /// Re-export of the group-size type used throughout the public API.
 pub use gpu_sim::GroupSize;

@@ -61,17 +61,19 @@ impl TableRef {
 /// See the crate docs for a usage example.
 #[derive(Debug)]
 pub struct GpuHashMap {
-    dev: Arc<Device>,
-    table: TableRef,
-    cfg: Config,
-    dh: DoubleHash,
-    /// Live (non-tombstone) entries.
-    occupied: AtomicU64,
-    /// Tombstoned slots (they still lengthen probe chains until rebuild
-    /// or until an insertion reclaims them).
-    tombstones: AtomicU64,
+    pub(crate) dev: Arc<Device>,
+    pub(crate) table: TableRef,
+    pub(crate) cfg: Config,
+    pub(crate) dh: DoubleHash,
+    /// Live (non-tombstone) entries in the primary table.
+    pub(crate) occupied: AtomicU64,
+    /// Tombstoned slots (they still lengthen probe chains until rebuild,
+    /// compaction, or until an insertion reclaims them).
+    pub(crate) tombstones: AtomicU64,
     /// Optional per-operation history recorder (linearizability testing).
-    recorder: Option<Arc<HistoryRecorder>>,
+    pub(crate) recorder: Option<Arc<HistoryRecorder>>,
+    /// Incremental-resize control block (see [`crate::resize`]).
+    pub(crate) resize: parking_lot::Mutex<crate::resize::ResizeCtl>,
 }
 
 impl GpuHashMap {
@@ -115,6 +117,7 @@ impl GpuHashMap {
             occupied: AtomicU64::new(0),
             tombstones: AtomicU64::new(0),
             recorder: None,
+            resize: parking_lot::Mutex::new(crate::resize::ResizeCtl::default()),
         })
     }
 
@@ -125,10 +128,11 @@ impl GpuHashMap {
     }
 
     /// Live entries (exact after quiescence; approximate while kernels for
-    /// the same map race, like any concurrent size counter).
+    /// the same map race, like any concurrent size counter). Counts keys
+    /// wherever they live while a resize migration is in flight.
     #[must_use]
     pub fn len(&self) -> u64 {
-        self.occupied.load(Relaxed)
+        self.occupancy_split().live
     }
 
     /// Whether the map holds no live entries.
@@ -143,10 +147,13 @@ impl GpuHashMap {
         self.len() as f64 / self.table.capacity as f64
     }
 
-    /// Tombstoned slots awaiting a rebuild.
+    /// Tombstoned slots awaiting a rebuild or compaction. During a resize
+    /// migration this reports the *target* table's tombstones — the source
+    /// table's (including the transient ones migration itself leaves
+    /// behind) vanish wholesale at the finalize swap.
     #[must_use]
     pub fn tombstones(&self) -> u64 {
-        self.tombstones.load(Relaxed)
+        self.occupancy_split().tombstones
     }
 
     /// The device this map lives on.
@@ -289,9 +296,18 @@ impl GpuHashMap {
     /// PCIe time is *not* billed here — use the `host_ops` cascades for
     /// transfer-inclusive experiments).
     ///
+    /// With a [`crate::ResizePolicy`] armed this is also the trigger
+    /// point of incremental resize: crossing the effective-load watermark
+    /// starts a migration, and writes during one land in the new table
+    /// (the device-sided [`GpuHashMap::insert_device`] stays fixed-table —
+    /// callers managing device buffers manage capacity themselves).
+    ///
     /// # Errors
     /// Propagates probing exhaustion and scratch OOM.
     pub fn insert_pairs(&self, pairs: &[(u32, u32)]) -> Result<InsertOutcome, InsertError> {
+        if self.resize_engaged(pairs.len()) {
+            return self.migrating_insert_pairs(pairs);
+        }
         let words: Vec<u64> = pairs.iter().map(|&(k, v)| pack(k, v)).collect();
         let staging = self.dev.alloc_scratch(words.len().max(1))?;
         self.dev
@@ -306,6 +322,9 @@ impl GpuHashMap {
         &self,
         keys: &[u32],
     ) -> Result<(Vec<Option<u32>>, KernelStats), OpError> {
+        if self.resize_active() {
+            return self.migrating_retrieve(keys);
+        }
         let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
         let n = words.len();
         let staging = self.dev.alloc_scratch(2 * n.max(1))?;
@@ -361,6 +380,9 @@ impl GpuHashMap {
 
     /// Shared body of the host-resident erase paths.
     pub(crate) fn erase_impl(&mut self, keys: &[u32]) -> Result<EraseOutcome, OpError> {
+        if self.resize_active() {
+            return self.migrating_erase(keys);
+        }
         let words: Vec<u64> = keys.iter().map(|&k| u64::from(k) << 32).collect();
         let dev = Arc::clone(&self.dev);
         let staging = dev.alloc_scratch(words.len().max(1))?;
@@ -407,6 +429,9 @@ impl GpuHashMap {
     /// Probing exhaustion can recur (retry with another seed) and scratch
     /// may be unavailable.
     pub fn rebuild_with_fresh_hash(&mut self) -> Result<InsertOutcome, InsertError> {
+        // a rebuild is a whole-table operation: drive any in-flight
+        // migration to completion first so there is one table to rebuild
+        self.drive_migration_to_end()?;
         // extract live entries (billed as one streaming table scan)
         let live: Vec<u64> = self
             .dev
@@ -450,18 +475,28 @@ impl GpuHashMap {
     }
 
     /// Host-side snapshot of all live `(key, value)` pairs (diagnostic /
-    /// test helper; uncounted).
+    /// test helper; uncounted). Includes both tables while a resize
+    /// migration is in flight — the disjointness invariant keeps the
+    /// union duplicate-free.
     #[must_use]
     pub fn snapshot(&self) -> Vec<(u32, u32)> {
-        let words = self.dev.mem().d2h(self.table.data);
-        match self.cfg.layout {
+        let mut out = self.snapshot_table(&self.table);
+        if let Some(m) = self.resize.lock().migration.as_ref() {
+            out.extend(self.snapshot_table(&m.table));
+        }
+        out
+    }
+
+    fn snapshot_table(&self, table: &TableRef) -> Vec<(u32, u32)> {
+        let words = self.dev.mem().d2h(table.data);
+        match table.layout {
             Layout::Aos => words
                 .into_iter()
                 .filter(|&w| is_occupied(w))
                 .map(|w| (key_of(w), value_of(w)))
                 .collect(),
             Layout::Soa => {
-                let (keys, values) = words.split_at(self.table.capacity);
+                let (keys, values) = words.split_at(table.capacity);
                 keys.iter()
                     .zip(values)
                     .filter(|&(&k, _)| k != EMPTY && k != TOMBSTONE)
@@ -477,6 +512,7 @@ impl GpuHashMap {
 
 impl crate::service::MapService for GpuHashMap {
     fn put_batch(&mut self, pairs: &[(u32, u32)]) -> Result<crate::service::PutResponse, OpError> {
+        self.maybe_finalize_resize();
         let o = self.insert_pairs(pairs)?;
         Ok(crate::service::PutResponse {
             new_slots: o.new_slots,
@@ -487,10 +523,12 @@ impl crate::service::MapService for GpuHashMap {
     }
 
     fn get_batch(&mut self, keys: &[u32]) -> Result<GetResponse, OpError> {
+        self.maybe_finalize_resize();
         self.try_retrieve(keys)
     }
 
     fn delete_batch(&mut self, keys: &[u32]) -> Result<DeleteResponse, OpError> {
+        self.maybe_finalize_resize();
         self.try_erase(keys)
     }
 
@@ -499,7 +537,25 @@ impl crate::service::MapService for GpuHashMap {
     }
 
     fn slot_capacity(&self) -> u64 {
-        self.capacity() as u64
+        // during a migration, admission control must project against the
+        // capacity writes actually land in
+        self.effective_capacity() as u64
+    }
+
+    fn occupancy_split(&self) -> crate::Occupancy {
+        GpuHashMap::occupancy_split(self)
+    }
+
+    fn resize_state(&self) -> crate::ResizeState {
+        GpuHashMap::resize_state(self)
+    }
+
+    fn request_grow(&mut self) -> Result<bool, OpError> {
+        GpuHashMap::request_grow(self)
+    }
+
+    fn request_compact(&mut self) -> Result<bool, OpError> {
+        GpuHashMap::request_compact(self)
     }
 }
 

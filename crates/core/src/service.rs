@@ -288,6 +288,19 @@ impl From<OutOfMemory> for OpError {
     }
 }
 
+impl From<crate::errors::BuildError> for OpError {
+    fn from(e: crate::errors::BuildError) -> Self {
+        match e {
+            crate::errors::BuildError::OutOfMemory(o) => OpError::OutOfMemory(o),
+            // a resize target inherits a positive capacity from the source
+            // table, so this arm marks a bug, not an environmental failure
+            crate::errors::BuildError::ZeroCapacity => OpError::Internal {
+                detail: "zero-capacity table requested",
+            },
+        }
+    }
+}
+
 /// Typed result of a bulk put.
 #[derive(Debug, Clone)]
 pub struct PutResponse {
@@ -404,6 +417,42 @@ pub trait MapService {
     /// layer).
     fn degraded(&self) -> DegradedStats {
         DegradedStats::default()
+    }
+
+    /// Slot occupancy split into live entries and tombstones. Backends
+    /// without tombstone accounting report every occupied slot as live.
+    fn occupancy_split(&self) -> crate::Occupancy {
+        crate::Occupancy {
+            live: self.live_len(),
+            tombstones: 0,
+            capacity: self.slot_capacity(),
+        }
+    }
+
+    /// Resize state of the backend (always `Stable` for fixed-capacity
+    /// backends).
+    fn resize_state(&self) -> crate::ResizeState {
+        crate::ResizeState::Stable
+    }
+
+    /// Asks the backend to start growing. Fixed-capacity backends return
+    /// `Ok(false)` ("cannot comply — keep shedding"); resizable ones
+    /// start (or continue) an incremental migration and return whether a
+    /// new one was started.
+    ///
+    /// # Errors
+    /// Allocation failure of the resize target.
+    fn request_grow(&mut self) -> Result<bool, OpError> {
+        Ok(false)
+    }
+
+    /// Asks the backend to start a same-capacity compaction (tombstone
+    /// purge). Same contract as [`MapService::request_grow`].
+    ///
+    /// # Errors
+    /// Allocation failure of the compaction target.
+    fn request_compact(&mut self) -> Result<bool, OpError> {
+        Ok(false)
     }
 
     /// Executes a mixed op stream, returning one response per op in

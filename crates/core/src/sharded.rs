@@ -342,10 +342,30 @@ impl ShardedHashMap {
     pub fn snapshot(&self) -> Vec<(u32, u32)> {
         self.shards.iter().flat_map(GpuHashMap::snapshot).collect()
     }
+
+    /// Arms (or disarms) the incremental-resize policy on every shard.
+    /// The partition hash spreads load evenly, so shards cross the
+    /// watermark together and each runs its own independent migration —
+    /// keys never move between shards (the partition function is
+    /// capacity-independent).
+    pub fn set_resize_policy(&mut self, policy: Option<crate::ResizePolicy>) {
+        for s in &mut self.shards {
+            s.set_resize_policy(policy);
+        }
+    }
+
+    /// Swaps in any fully-scanned per-shard migrations (called at every
+    /// service batch entry point).
+    fn finalize_shards(&mut self) {
+        for s in &mut self.shards {
+            s.maybe_finalize_resize();
+        }
+    }
 }
 
 impl crate::service::MapService for ShardedHashMap {
     fn put_batch(&mut self, pairs: &[(u32, u32)]) -> Result<PutResponse, OpError> {
+        self.finalize_shards();
         let o = self.insert_pairs(pairs)?;
         Ok(PutResponse {
             new_slots: o.new_slots,
@@ -356,10 +376,12 @@ impl crate::service::MapService for ShardedHashMap {
     }
 
     fn get_batch(&mut self, keys: &[u32]) -> Result<GetResponse, OpError> {
+        self.finalize_shards();
         self.try_retrieve(keys)
     }
 
     fn delete_batch(&mut self, keys: &[u32]) -> Result<DeleteResponse, OpError> {
+        self.finalize_shards();
         self.try_erase(keys)
     }
 
@@ -368,7 +390,78 @@ impl crate::service::MapService for ShardedHashMap {
     }
 
     fn slot_capacity(&self) -> u64 {
-        self.shards.iter().map(GpuHashMap::capacity).sum::<usize>() as u64
+        self.shards
+            .iter()
+            .map(|s| s.effective_capacity())
+            .sum::<usize>() as u64
+    }
+
+    fn occupancy_split(&self) -> crate::Occupancy {
+        self.shards.iter().fold(
+            crate::Occupancy::default(),
+            |acc, s| {
+                let o = s.occupancy_split();
+                crate::Occupancy {
+                    live: acc.live + o.live,
+                    tombstones: acc.tombstones + o.tombstones,
+                    capacity: acc.capacity + o.capacity,
+                }
+            },
+        )
+    }
+
+    fn resize_state(&self) -> crate::ResizeState {
+        // aggregate view: Migrating while any shard migrates, with
+        // cursors and capacities summed over the migrating shards
+        let mut agg: Option<crate::ResizeState> = None;
+        for s in &self.shards {
+            if let crate::ResizeState::Migrating {
+                mode,
+                cursor,
+                source_capacity,
+                target_capacity,
+            } = s.resize_state()
+            {
+                agg = Some(match agg {
+                    Some(crate::ResizeState::Migrating {
+                        mode: m0,
+                        cursor: c0,
+                        source_capacity: s0,
+                        target_capacity: t0,
+                    }) => crate::ResizeState::Migrating {
+                        mode: m0,
+                        cursor: c0 + cursor,
+                        source_capacity: s0 + source_capacity,
+                        target_capacity: t0 + target_capacity,
+                    },
+                    _ => crate::ResizeState::Migrating {
+                        mode,
+                        cursor,
+                        source_capacity,
+                        target_capacity,
+                    },
+                });
+            }
+        }
+        agg.unwrap_or(crate::ResizeState::Stable)
+    }
+
+    fn request_grow(&mut self) -> Result<bool, OpError> {
+        // the partition hash load-balances shards, so an aggregate
+        // watermark crossing means every shard is near its own — grow all
+        let mut started = false;
+        for s in &mut self.shards {
+            started |= s.request_grow()?;
+        }
+        Ok(started)
+    }
+
+    fn request_compact(&mut self) -> Result<bool, OpError> {
+        let mut started = false;
+        for s in &mut self.shards {
+            started |= s.request_compact()?;
+        }
+        Ok(started)
     }
 }
 

@@ -166,6 +166,57 @@ impl CascadeReport {
     }
 }
 
+/// A table's slot occupancy split into live entries and tombstones.
+///
+/// Open addressing never un-probes a tombstone: a deleted slot still
+/// lengthens every probe sequence crossing it, so *effective* load — the
+/// number the resize watermark must watch — counts both. Reporting the
+/// split (rather than one blended fraction) is what lets callers tell
+/// "genuinely full, grow" apart from "tombstone-heavy, compact".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Slots holding a live key-value pair.
+    pub live: u64,
+    /// Slots holding a tombstone (deleted, still probed past).
+    pub tombstones: u64,
+    /// Total slots.
+    pub capacity: u64,
+}
+
+impl Occupancy {
+    /// Fraction of slots holding live entries.
+    #[must_use]
+    pub fn live_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.live as f64 / self.capacity as f64
+        }
+    }
+
+    /// Fraction of slots that cost a probe: live **plus** tombstones.
+    /// This is the load factor that predicts probe lengths and the one
+    /// the resize watermark compares against.
+    #[must_use]
+    pub fn effective_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            (self.live + self.tombstones) as f64 / self.capacity as f64
+        }
+    }
+
+    /// Fraction of slots wasted on tombstones.
+    #[must_use]
+    pub fn tombstone_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.tombstones as f64 / self.capacity as f64
+        }
+    }
+}
+
 /// Degraded-mode counters of a [`crate::DistributedHashMap`]: what fault
 /// injection cost and what graceful degradation did about it. All-zero
 /// on healthy runs.
@@ -198,6 +249,21 @@ mod tests {
         assert_eq!(s.quarantined, 0);
         assert_eq!(s.migrated_keys, 0);
         assert_eq!(s.repartitions, 0);
+    }
+
+    #[test]
+    fn occupancy_fractions_count_tombstones_toward_effective_load() {
+        let o = Occupancy {
+            live: 40,
+            tombstones: 20,
+            capacity: 100,
+        };
+        assert!((o.live_fraction() - 0.40).abs() < 1e-12);
+        assert!((o.effective_fraction() - 0.60).abs() < 1e-12);
+        assert!((o.tombstone_fraction() - 0.20).abs() < 1e-12);
+        let empty = Occupancy::default();
+        assert_eq!(empty.live_fraction(), 0.0);
+        assert_eq!(empty.effective_fraction(), 0.0);
     }
 
     #[test]

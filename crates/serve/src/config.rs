@@ -33,6 +33,13 @@ pub struct ServeConfig {
     /// quarantined GPUs — gets and deletes keep draining so the service
     /// sheds write load instead of deepening a degraded cascade.
     pub degraded_reject_puts: bool,
+    /// When `true`, crossing [`ServeConfig::occupancy_watermark`] asks
+    /// the backend to grow (incremental resize) instead of shedding the
+    /// put: the op is admitted against the enlarged capacity when the
+    /// backend complies, and only falls back to
+    /// [`crate::ServeError::Saturated`] when it cannot (fixed-capacity
+    /// backend, or the growth allocation failed).
+    pub resize_on_watermark: bool,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +51,7 @@ impl Default for ServeConfig {
             occupancy_watermark: 0.90,
             tenant_quota: None,
             degraded_reject_puts: false,
+            resize_on_watermark: false,
         }
     }
 }
@@ -92,6 +100,14 @@ impl ServeConfig {
     #[must_use]
     pub fn with_degraded_reject_puts(mut self) -> Self {
         self.degraded_reject_puts = true;
+        self
+    }
+
+    /// Hands watermark crossings to the backend's incremental resize
+    /// instead of shedding writes.
+    #[must_use]
+    pub fn with_resize_on_watermark(mut self) -> Self {
+        self.resize_on_watermark = true;
         self
     }
 }

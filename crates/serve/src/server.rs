@@ -226,17 +226,31 @@ impl<S: MapService> Server<S> {
                             return Err(ServeError::QuotaExceeded { tenant, quota });
                         }
                     }
-                    let cap = self.backend.slot_capacity();
-                    let projected = if cap == 0 {
-                        1.0
-                    } else {
-                        (self.live_keys + 1) as f64 / cap as f64
+                    let mut cap = self.backend.slot_capacity();
+                    let projected = |cap: u64| {
+                        if cap == 0 {
+                            1.0
+                        } else {
+                            (self.live_keys + 1) as f64 / cap as f64
+                        }
                     };
-                    if projected > self.cfg.occupancy_watermark {
-                        return Err(ServeError::Saturated {
-                            projected,
-                            watermark: self.cfg.occupancy_watermark,
-                        });
+                    if projected(cap) > self.cfg.occupancy_watermark {
+                        // hand the crossing to the backend's incremental
+                        // resize before shedding; admission stays a
+                        // deterministic function of the submission history
+                        // because request_grow is itself deterministic
+                        if self.cfg.resize_on_watermark
+                            && self.backend.request_grow().unwrap_or(false)
+                        {
+                            self.telemetry.resizes += 1;
+                            cap = self.backend.slot_capacity();
+                        }
+                        if projected(cap) > self.cfg.occupancy_watermark {
+                            return Err(ServeError::Saturated {
+                                projected: projected(cap),
+                                watermark: self.cfg.occupancy_watermark,
+                            });
+                        }
                     }
                     st.shadow.insert(folded_key);
                     self.live_keys += 1;
@@ -377,6 +391,7 @@ impl<S: MapService> Server<S> {
         let _ = writeln!(s, "wd_serve_flushed_ops_total {}", t.flushed_ops);
         let _ = writeln!(s, "wd_serve_size_flushes_total {}", t.size_flushes);
         let _ = writeln!(s, "wd_serve_delay_flushes_total {}", t.delay_flushes);
+        let _ = writeln!(s, "wd_serve_resizes_total {}", t.resizes);
         let _ = writeln!(s, "wd_serve_mean_batch {}", t.mean_batch());
         let _ = writeln!(s, "wd_serve_pending_ops {}", self.pending.len());
         let _ = writeln!(s, "wd_serve_live_keys {}", self.live_keys);
@@ -540,6 +555,25 @@ mod tests {
         assert!(srv.submit_at(0, Op::Delete { key: 0 }, 0.0).outcome.is_ok());
         // the delete freed a slot: one more new put fits
         assert!(srv.submit_at(0, Op::Put { key: 99, value: 0 }, 0.0).outcome.is_ok());
+    }
+
+    #[test]
+    fn resize_on_watermark_hands_off_instead_of_shedding() {
+        let cfg = ServeConfig::default()
+            .with_occupancy_watermark(0.5)
+            .with_resize_on_watermark();
+        let mut srv = Server::new(single_gpu(64), cfg);
+        // 0.5 × 64 sheds the 33rd new key without the handoff; with it
+        // the backend doubles to 128 slots and every put is admitted
+        for i in 0..48u32 {
+            let sub = srv.submit_at(0, Op::Put { key: i, value: i }, 0.0);
+            assert!(sub.outcome.is_ok(), "put {i} rejected: {:?}", sub.outcome);
+        }
+        srv.flush().unwrap();
+        assert_eq!(srv.telemetry().resizes, 1, "exactly one grow handoff");
+        assert!(srv.backend().slot_capacity() >= 128);
+        assert_eq!(srv.tenant(0).unwrap().counters.rejects, 0);
+        assert!(srv.metrics_text().contains("wd_serve_resizes_total 1"));
     }
 
     #[test]

@@ -95,6 +95,9 @@ pub struct ServiceTelemetry {
     pub size_flushes: u64,
     /// Flushes forced by the max-delay threshold.
     pub delay_flushes: u64,
+    /// Watermark crossings handed to the backend's incremental resize
+    /// (each one admitted a put that would otherwise have been shed).
+    pub resizes: u64,
     /// Merged cost report of every flush (time, backoff, counters,
     /// cascade stages).
     pub report: OpReport,

@@ -146,6 +146,51 @@ proptest! {
         );
     }
 
+    /// Resize-on-watermark handoff: crossing the watermark grows the
+    /// backend instead of shedding writes. The put-heavy trace is sized
+    /// to cross 0.5 × 256 slots with certainty, so the run must record
+    /// at least one grow, shed nothing on occupancy, stay byte-identical
+    /// across batch sizes (admission is deterministic on the submission
+    /// history, and the handoff is part of admission), and surface the
+    /// resize counter in the metrics text.
+    #[test]
+    fn resize_handoff_keeps_equivalence_and_counts_resizes(
+        seed in any::<u64>(),
+        max_batch in proptest::sample::select(vec![2usize, 16, 64]),
+    ) {
+        let serve = ServeConfig::default()
+            .with_max_delay(f64::INFINITY)
+            .with_occupancy_watermark(0.5)
+            .with_resize_on_watermark();
+        let mut reference = Server::new(
+            single_gpu(256, Config::default()), serve.clone().with_max_batch(1));
+        let mut coalesced = Server::new(
+            single_gpu(256, Config::default()), serve.with_max_batch(max_batch));
+        let trace_cfg = TraceConfig {
+            ops: 400, key_space: 300, put_per_mille: 800, delete_per_mille: 50,
+            ..TraceConfig::default()
+        };
+        let trace = generate(&trace_cfg, seed);
+        let ref_run = reference.run_trace(&trace);
+        let coal_run = coalesced.run_trace(&trace);
+        prop_assert_eq!(
+            observable(&ref_run.completions, &ref_run.rejects),
+            observable(&coal_run.completions, &coal_run.rejects)
+        );
+        prop_assert!(
+            reference.telemetry().resizes >= 1,
+            "trace must cross the watermark and hand off to a grow"
+        );
+        prop_assert_eq!(reference.telemetry().resizes, coalesced.telemetry().resizes);
+        prop_assert!(
+            ref_run.rejects.iter().all(|(_, e)| e.reason() != "saturated"),
+            "handoff must absorb every watermark crossing"
+        );
+        prop_assert!(coalesced.backend().slot_capacity() >= 512);
+        let wanted = format!("wd_serve_resizes_total {}", coalesced.telemetry().resizes);
+        prop_assert!(coalesced.metrics_text().contains(&wanted));
+    }
+
     /// Every tenant's completion history is Wing–Gong linearizable
     /// against the single-value map specification.
     #[test]
