@@ -13,7 +13,7 @@
 //!   wd-bench --validate <report.json>
 //!   wd-bench --compare <new.json> <baseline.json>
 //!
-//! `--validate` checks a report against the `wd-bench-perf/v4` schema
+//! `--validate` checks a report against the `wd-bench-perf/v5` schema
 //! (exit 1 on violation). `--compare` prints host-rate deltas between two
 //! reports and always exits 0 — wall-clock on shared CI runners is noisy,
 //! so the delta is advisory, never a gate.
@@ -193,6 +193,149 @@ fn resize_scenario(quick: bool, seed: u64) -> Json {
         ("fixed_retrieve_modeled_ops_s", Json::Num(fixed_ret)),
         ("insert_ratio", Json::Num(insert_ratio)),
         ("retrieve_ratio", Json::Num(retrieve_ratio)),
+        ("host_wall_s", Json::Num(host_wall_s)),
+    ])
+}
+
+/// The YCSB scenario: the four standard mixed workloads (A 50/50
+/// read-update, B 95/5, C read-only, F read-modify-write) lowered onto a
+/// single-GPU map through `lower_mixed` + `MapService::execute`, each
+/// over the same Zipf-1.1 key popularity. Reports modeled ops/s per mix
+/// — deterministic, so mix-relative ordering (C fastest, F slowest:
+/// every RMW costs a get *and* a put) is a stable signal — with the host
+/// wall time of the whole block riding along.
+fn ycsb_scenario(quick: bool, seed: u64) -> Json {
+    use std::sync::Arc;
+    use warpdrive::{lower_mixed, Config, GpuHashMap, MapService};
+    use workloads::{Ycsb, YcsbMix};
+
+    let records: u64 = if quick { 1 << 12 } else { 1 << 14 };
+    let ops = if quick { 4_096 } else { 16_384 };
+    let zipf_s = 1.1;
+
+    let wall = Instant::now();
+    let mut rates = Vec::new();
+    for mix in YcsbMix::ALL {
+        // fresh table per mix, sized for a comfortable load factor
+        let capacity = (records as usize) * 2;
+        let dev = Arc::new(gpu_sim::Device::with_words(0, capacity * 8 + (1 << 14)));
+        let mut map = GpuHashMap::new(dev, capacity, Config::default()).expect("ycsb table");
+        let gen = Ycsb::new(mix, zipf_s, records, seed);
+        // load the full record universe so every read resolves
+        let pairs: Vec<(u32, u32)> = (1..=records)
+            .map(|r| (gen.keys().key_for_rank_at(0, r), r as u32))
+            .collect();
+        map.put_batch(&pairs).expect("ycsb load");
+        let lowered = lower_mixed(&gen.ops(ops));
+        let (responses, report) = map.execute(&lowered).expect("ycsb run");
+        assert_eq!(responses.len(), lowered.len());
+        rates.push((mix, ops as f64 / report.time.max(1e-12)));
+    }
+    let host_wall_s = wall.elapsed().as_secs_f64();
+
+    let mut fields = vec![
+        ("ops", Json::Num(ops as f64)),
+        ("records", Json::Num(records as f64)),
+        ("zipf_s", Json::Num(zipf_s)),
+    ];
+    for (mix, rate) in &rates {
+        let key: &'static str = match mix.label() {
+            "a" => "a_modeled_ops_s",
+            "b" => "b_modeled_ops_s",
+            "c" => "c_modeled_ops_s",
+            _ => "f_modeled_ops_s",
+        };
+        fields.push((key, Json::Num(*rate)));
+    }
+    fields.push(("host_wall_s", Json::Num(host_wall_s)));
+    Json::obj(fields)
+}
+
+/// The cache scenario: a hot-key [`warpdrive::CachedMap`] versus an
+/// uncached twin under YCSB-C traffic, swept across Zipf exponents
+/// (stationary, `drift_period` = 0) and hot-set drift periods (fixed
+/// skew). Ops flow in serving-shaped 64-op chunks — admission happens
+/// between flushes, so later chunks can hit what earlier ones admitted.
+/// Hit rate must rise with skew (hard gate: the modeled numbers are
+/// deterministic); modeled speedup comes from absorbed gets skipping
+/// kernel launches.
+fn cache_scenario(quick: bool, seed: u64) -> Json {
+    use std::sync::Arc;
+    use warpdrive::{lower_mixed, CachePolicy, CachedMap, Config, GpuHashMap, MapService};
+    use workloads::{Ycsb, YcsbMix};
+
+    let records: u64 = 1 << 10;
+    let ops = if quick { 2_048 } else { 8_192 };
+    let cache_entries: usize = 256;
+
+    fn load<S: MapService>(map: &mut S, gen: &Ycsb, records: u64, epochs: u64) {
+        for epoch in 0..=epochs {
+            let pairs: Vec<(u32, u32)> = (1..=records)
+                .map(|r| (gen.keys().key_for_rank_at(epoch, r), r as u32))
+                .collect();
+            map.put_batch(&pairs).expect("cache load");
+        }
+    }
+
+    // every drift epoch brings a fresh `records`-key universe; size the
+    // backend for all the epochs the longest sweep point can touch
+    let single_gpu = || {
+        let capacity = 1 << 15;
+        let dev = Arc::new(gpu_sim::Device::with_words(0, capacity * 8 + (1 << 14)));
+        GpuHashMap::new(dev, capacity, Config::default()).expect("cache backend")
+    };
+
+    let wall = Instant::now();
+    let run_point = |zipf_s: f64, period: u64| -> Json {
+        let gen = Ycsb::with_drift(YcsbMix::C, zipf_s, records, seed, period);
+        let epochs = (ops as u64) / period.min(ops as u64);
+        let mut cached = CachedMap::new(single_gpu(), cache_entries, CachePolicy::Lru);
+        load(cached.backend_mut(), &gen, records, epochs);
+        let mut uncached = single_gpu();
+        load(&mut uncached, &gen, records, epochs);
+
+        let lowered = lower_mixed(&gen.ops(ops));
+        let mut cached_s = 0.0;
+        let mut uncached_s = 0.0;
+        for chunk in lowered.chunks(64) {
+            cached_s += cached.execute(chunk).expect("cached run").1.time;
+            uncached_s += uncached.execute(chunk).expect("uncached run").1.time;
+        }
+        let cached_rate = ops as f64 / cached_s.max(1e-12);
+        let uncached_rate = ops as f64 / uncached_s.max(1e-12);
+        Json::obj(vec![
+            ("zipf_s", Json::Num(zipf_s)),
+            // 0 = stationary (no drift)
+            ("drift_period", Json::Num(if period == u64::MAX { 0.0 } else { period as f64 })),
+            ("hit_rate", Json::Num(cached.stats().hit_rate())),
+            ("cached_modeled_ops_s", Json::Num(cached_rate)),
+            ("uncached_modeled_ops_s", Json::Num(uncached_rate)),
+            ("speedup", Json::Num(cached_rate / uncached_rate.max(1e-12))),
+        ])
+    };
+
+    let mut points = Vec::new();
+    let mut last_rate = -1.0;
+    for s in [0.5, 1.1, 1.5, 2.0] {
+        let p = run_point(s, u64::MAX);
+        let rate = p.get("hit_rate").and_then(Json::as_f64).expect("hit_rate");
+        assert!(
+            rate > last_rate,
+            "hit rate must rise with skew: {rate} at s = {s} (previous {last_rate})"
+        );
+        last_rate = rate;
+        points.push(p);
+    }
+    for period in [1_024u64, 4_096] {
+        points.push(run_point(1.5, period));
+    }
+    let host_wall_s = wall.elapsed().as_secs_f64();
+
+    Json::obj(vec![
+        ("capacity", Json::Num(cache_entries as f64)),
+        ("ops_per_point", Json::Num(ops as f64)),
+        ("policy", Json::Str("lru".into())),
+        ("points", Json::Arr(points)),
         ("host_wall_s", Json::Num(host_wall_s)),
     ])
 }
@@ -422,6 +565,11 @@ fn main() {
     // equal live load — the deterministic no-steady-state-regression gate.
     let resize = resize_scenario(quick, seed);
 
+    // Scenario lab: YCSB mixed workloads and the hot-key cache tier —
+    // modeled per-mix rates and hit-rate vs skew / drift period.
+    let ycsb = ycsb_scenario(quick, seed);
+    let cache = cache_scenario(quick, seed);
+
     let doc = Json::obj(vec![
         ("schema", Json::Str(PERF_SCHEMA.into())),
         (
@@ -469,6 +617,8 @@ fn main() {
         ("serve", serve),
         ("checker", checker),
         ("resize", resize),
+        ("ycsb", ycsb),
+        ("cache", cache),
     ]);
 
     validate_perf(&doc).expect("self-emitted report must satisfy the schema");

@@ -5,7 +5,7 @@
 //! pipeline needs: a [`Json`] value tree with a deterministic pretty
 //! printer, a recursive-descent parser for reading reports back (CI
 //! validation and baseline comparison), and [`validate_perf`], the
-//! structural check for the `wd-bench-perf/v4` schema emitted by the
+//! structural check for the `wd-bench-perf/v5` schema emitted by the
 //! `wd-bench` binary.
 //!
 //! Printer determinism matters: object keys keep insertion order and
@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema identifier emitted in — and required of — every perf report.
-pub const PERF_SCHEMA: &str = "wd-bench-perf/v4";
+pub const PERF_SCHEMA: &str = "wd-bench-perf/v5";
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,7 +317,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
         .ok_or_else(|| format!("bad number at byte {start}"))
 }
 
-/// Required numeric fields per section of the `wd-bench-perf/v4` schema.
+/// Required numeric fields per section of the `wd-bench-perf/v5` schema.
 const SECTIONS: &[(&str, &[&str])] = &[
     ("machine", &["threads"]),
     ("run", &["n", "modeled_n", "seed"]),
@@ -365,9 +365,34 @@ const SECTIONS: &[(&str, &[&str])] = &[
             "host_wall_s",
         ],
     ),
+    (
+        "ycsb",
+        &[
+            "ops",
+            "records",
+            "zipf_s",
+            "a_modeled_ops_s",
+            "b_modeled_ops_s",
+            "c_modeled_ops_s",
+            "f_modeled_ops_s",
+            "host_wall_s",
+        ],
+    ),
+    ("cache", &["capacity", "ops_per_point", "host_wall_s"]),
 ];
 
-/// Structurally validates a `wd-bench-perf/v4` report.
+/// Required numeric fields of each `cache.points[]` entry. `drift_period`
+/// is 0 for stationary (no-drift) points.
+const CACHE_POINT_FIELDS: &[&str] = &[
+    "zipf_s",
+    "drift_period",
+    "hit_rate",
+    "cached_modeled_ops_s",
+    "uncached_modeled_ops_s",
+    "speedup",
+];
+
+/// Structurally validates a `wd-bench-perf/v5` report.
 ///
 /// # Errors
 /// Returns every violation found (missing sections, wrong types, negative
@@ -430,6 +455,35 @@ pub fn validate_perf(doc: &Json) -> Result<(), String> {
     }
     if doc.get("host_microbench").is_none() {
         errs.push("missing object `host_microbench`".into());
+    }
+    if let Some(cache) = doc.get("cache") {
+        if cache.get("policy").and_then(Json::as_str).is_none() {
+            errs.push("missing string `cache.policy`".into());
+        }
+        match cache.get("points").and_then(Json::as_arr) {
+            None => errs.push("missing array `cache.points`".into()),
+            Some([]) => errs.push("`cache.points` is empty".into()),
+            Some(points) => {
+                for (i, p) in points.iter().enumerate() {
+                    for f in CACHE_POINT_FIELDS {
+                        match p.get(f).and_then(Json::as_f64) {
+                            None => {
+                                errs.push(format!("cache.points[{i}]: missing numeric `{f}`"));
+                            }
+                            Some(x) if x < 0.0 => {
+                                errs.push(format!("cache.points[{i}]: negative `{f}`"));
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    if let Some(r) = p.get("hit_rate").and_then(Json::as_f64) {
+                        if r > 1.0 {
+                            errs.push(format!("cache.points[{i}]: hit_rate {r} > 1"));
+                        }
+                    }
+                }
+            }
+        }
     }
     if errs.is_empty() {
         Ok(())
@@ -555,6 +609,39 @@ mod tests {
                     ("host_wall_s", Json::Num(0.1)),
                 ]),
             ),
+            (
+                "ycsb",
+                Json::obj(vec![
+                    ("ops", Json::Num(4096.0)),
+                    ("records", Json::Num(16384.0)),
+                    ("zipf_s", Json::Num(1.1)),
+                    ("a_modeled_ops_s", Json::Num(1e9)),
+                    ("b_modeled_ops_s", Json::Num(1.5e9)),
+                    ("c_modeled_ops_s", Json::Num(2e9)),
+                    ("f_modeled_ops_s", Json::Num(0.8e9)),
+                    ("host_wall_s", Json::Num(0.1)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("capacity", Json::Num(256.0)),
+                    ("ops_per_point", Json::Num(4096.0)),
+                    ("policy", Json::Str("lru".into())),
+                    (
+                        "points",
+                        Json::Arr(vec![Json::obj(vec![
+                            ("zipf_s", Json::Num(1.1)),
+                            ("drift_period", Json::Num(0.0)),
+                            ("hit_rate", Json::Num(0.6)),
+                            ("cached_modeled_ops_s", Json::Num(2e9)),
+                            ("uncached_modeled_ops_s", Json::Num(1e9)),
+                            ("speedup", Json::Num(2.0)),
+                        ])]),
+                    ),
+                    ("host_wall_s", Json::Num(0.1)),
+                ]),
+            ),
         ])
     }
 
@@ -586,6 +673,46 @@ mod tests {
             pairs[0].1 = Json::Str("wd-bench-perf/v0".into());
         }
         assert!(validate_perf(&doc).is_err());
+    }
+
+    #[test]
+    fn scenario_sections_are_required_and_cache_points_checked() {
+        // a v4-shaped report (no ycsb/cache) must fail v5 validation
+        let mut doc = minimal_report();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "ycsb" && k != "cache");
+        }
+        let err = validate_perf(&doc).unwrap_err();
+        assert!(err.contains("ycsb"), "{err}");
+        assert!(err.contains("cache"), "{err}");
+
+        // malformed cache points: empty array, then an out-of-range hit rate
+        let mut doc = minimal_report();
+        if let Json::Obj(pairs) = &mut doc {
+            let cache = pairs.iter_mut().find(|(k, _)| k == "cache").unwrap();
+            if let Json::Obj(cp) = &mut cache.1 {
+                let points = cp.iter_mut().find(|(k, _)| k == "points").unwrap();
+                points.1 = Json::Arr(vec![]);
+            }
+        }
+        assert!(validate_perf(&doc).unwrap_err().contains("points"));
+
+        let mut doc = minimal_report();
+        if let Json::Obj(pairs) = &mut doc {
+            let cache = pairs.iter_mut().find(|(k, _)| k == "cache").unwrap();
+            if let Json::Obj(cp) = &mut cache.1 {
+                let points = cp.iter_mut().find(|(k, _)| k == "points").unwrap();
+                points.1 = Json::Arr(vec![Json::obj(vec![
+                    ("zipf_s", Json::Num(1.1)),
+                    ("drift_period", Json::Num(0.0)),
+                    ("hit_rate", Json::Num(1.7)),
+                    ("cached_modeled_ops_s", Json::Num(2e9)),
+                    ("uncached_modeled_ops_s", Json::Num(1e9)),
+                    ("speedup", Json::Num(2.0)),
+                ])]);
+            }
+        }
+        assert!(validate_perf(&doc).unwrap_err().contains("hit_rate"));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 pub mod adaptive;
 pub mod async_pipe;
+pub mod cache;
 pub mod chaos;
 pub mod config;
 pub mod delete;
@@ -61,6 +62,7 @@ pub mod sharded;
 pub mod stats;
 
 pub use adaptive::{recommend_group_size, AdaptiveHashMap};
+pub use cache::{CachePolicy, CacheStats, CachedMap};
 pub use chaos::Router;
 pub use config::{Config, Layout, ProbingScheme};
 pub use distributed::DistributedHashMap;
@@ -74,7 +76,7 @@ pub use linearize::{
 pub use map::GpuHashMap;
 pub use multimap::GpuMultiMap;
 pub use service::{
-    DeleteResponse, GetAllResponse, GetResponse, MapService, Op, OpError, OpReport,
+    lower_mixed, DeleteResponse, GetAllResponse, GetResponse, MapService, Op, OpError, OpReport,
     PerGpuDeleteResponse, PerGpuGetResponse, PutResponse, Response,
 };
 pub use resize::{ResizeMode, ResizePolicy, ResizeState};

@@ -526,6 +526,30 @@ pub trait MapService {
     }
 }
 
+/// Lowers a YCSB-style mixed stream onto front-door [`Op`]s: reads
+/// become gets, updates become puts, and each read-modify-write expands
+/// into a get immediately followed by a put of the same key (the
+/// dependent pair YCSB F models). The output is therefore up to twice as
+/// long as the input; feed it to [`MapService::execute`], whose
+/// duplicate-key segmentation keeps the expansion response-identical to
+/// sequential execution.
+#[must_use]
+pub fn lower_mixed(ops: &[workloads::ycsb::MixedOp]) -> Vec<Op> {
+    use workloads::ycsb::MixedOp;
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        match *op {
+            MixedOp::Read { key } => out.push(Op::Get { key }),
+            MixedOp::Update { key, value } => out.push(Op::Put { key, value }),
+            MixedOp::ReadModifyWrite { key, value } => {
+                out.push(Op::Get { key });
+                out.push(Op::Put { key, value });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -718,6 +742,37 @@ mod tests {
             resp,
             vec![Response::Delete { hit: true }, Response::Delete { hit: false }]
         );
+    }
+
+    #[test]
+    fn lower_mixed_expands_rmw_into_get_then_put() {
+        use workloads::ycsb::MixedOp;
+        let mixed = vec![
+            MixedOp::Read { key: 1 },
+            MixedOp::ReadModifyWrite { key: 2, value: 9 },
+            MixedOp::Update { key: 3, value: 4 },
+        ];
+        assert_eq!(
+            lower_mixed(&mixed),
+            vec![
+                Op::Get { key: 1 },
+                Op::Get { key: 2 },
+                Op::Put { key: 2, value: 9 },
+                Op::Put { key: 3, value: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn lowered_rmw_reads_the_pre_write_value() {
+        use workloads::ycsb::MixedOp;
+        let mut svc = ModelService::default();
+        svc.map.insert(7, 70);
+        let ops = lower_mixed(&[MixedOp::ReadModifyWrite { key: 7, value: 71 }]);
+        let (resp, _) = svc.execute(&ops).unwrap();
+        // the read half sees the old value; the modify half lands after
+        assert_eq!(resp[0], Response::Get { value: Some(70) });
+        assert_eq!(svc.map.get(&7), Some(&71));
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub mod trace;
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use server::{Completion, Server, Submitted, TraceRun};
+
+/// Re-export of the hot-key cache tier stackable under a [`Server`] (see
+/// [`Server::cached`]).
+pub use warpdrive::{CachePolicy, CacheStats, CachedMap};
 pub use telemetry::{LatencyHistogram, ServiceTelemetry};
 pub use tenant::{fold, unfold, TenantState, KEY_SPACE, TENANT_BITS};
 pub use trace::{generate, TraceConfig, TraceEvent};

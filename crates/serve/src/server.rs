@@ -25,7 +25,7 @@ use crate::telemetry::ServiceTelemetry;
 use crate::tenant::{fits_domain, fold, TenantState};
 use crate::trace::TraceEvent;
 use std::collections::BTreeMap;
-use warpdrive::{MapService, Op, OpEvent, OpKind, OpResponse, Response};
+use warpdrive::{CachePolicy, CacheStats, CachedMap, MapService, Op, OpEvent, OpKind, OpResponse, Response};
 
 /// One finished request: the response plus its cost and logical times.
 #[derive(Debug, Clone, PartialEq)]
@@ -444,6 +444,46 @@ impl<S: MapService> Server<S> {
     }
 }
 
+impl<S: MapService> Server<CachedMap<S>> {
+    /// Wraps `backend` with a hot-key cache tier of `capacity` entries
+    /// and puts the service front door on top: gets that hit the host
+    /// shadow never reach the GPU. Responses are identical to an
+    /// uncached server on the same trace (the [`CachedMap`] coherence
+    /// contract, proven by the `cache_equivalence` suite).
+    pub fn cached(backend: S, capacity: usize, policy: CachePolicy, cfg: ServeConfig) -> Self {
+        Server::new(CachedMap::new(backend, capacity, policy), cfg)
+    }
+
+    /// Cache effectiveness counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.backend.stats()
+    }
+
+    /// [`Server::metrics_text`] plus the cache tier's gauges.
+    #[must_use]
+    pub fn cache_metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = self.metrics_text();
+        let c = self.backend.stats();
+        let _ = writeln!(
+            s,
+            "wd_serve_cache_entries{{policy=\"{}\"}} {}",
+            self.backend.policy().label(),
+            self.backend.cached_len()
+        );
+        let _ = writeln!(s, "wd_serve_cache_capacity {}", self.backend.cache_capacity());
+        let _ = writeln!(s, "wd_serve_cache_hits_total {}", c.hits);
+        let _ = writeln!(s, "wd_serve_cache_misses_total {}", c.misses);
+        let _ = writeln!(s, "wd_serve_cache_hit_rate {}", c.hit_rate());
+        let _ = writeln!(s, "wd_serve_cache_admissions_total {}", c.admissions);
+        let _ = writeln!(s, "wd_serve_cache_evictions_total {}", c.evictions);
+        let _ = writeln!(s, "wd_serve_cache_invalidations_total {}", c.invalidations);
+        let _ = writeln!(s, "wd_serve_cache_write_updates_total {}", c.write_updates);
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,6 +668,38 @@ mod tests {
         assert!(m.contains("wd_serve_latency_seconds{quantile=\"0.99\"}"));
         assert!(m.contains("wd_serve_tenant_live_keys{tenant=\"3\"} 1"));
         assert!(m.contains("wd_serve_occupancy"));
+    }
+
+    #[test]
+    fn cached_server_matches_uncached_and_absorbs_hot_reads() {
+        let trace = crate::trace::generate(
+            &crate::trace::TraceConfig {
+                ops: 400,
+                key_space: 32, // tiny key space → plenty of repeat gets
+                ..crate::trace::TraceConfig::default()
+            },
+            11,
+        );
+        let cfg = ServeConfig::default().with_max_batch(16);
+        let mut plain = Server::new(single_gpu(4096), cfg.clone());
+        let want = plain.run_trace(&trace);
+        let mut cached = Server::cached(single_gpu(4096), 16, CachePolicy::Lru, cfg);
+        let got = cached.run_trace(&trace);
+        // responses are identical; modeled latencies legitimately differ
+        // (absorbed gets skip the kernel launch)
+        let observable = |run: &TraceRun| -> Vec<(u64, u8, Op, Response, bool)> {
+            run.completions
+                .iter()
+                .map(|c| (c.seq, c.tenant, c.op, c.response, c.new_slot))
+                .collect()
+        };
+        assert_eq!(observable(&got), observable(&want));
+        assert_eq!(got.rejects.len(), want.rejects.len());
+        let stats = cached.cache_stats();
+        assert!(stats.hits > 0, "32-key space must produce cache hits");
+        let m = cached.cache_metrics_text();
+        assert!(m.contains("wd_serve_cache_hit_rate"));
+        assert!(m.contains(&format!("wd_serve_cache_hits_total {}", stats.hits)));
     }
 
     #[test]

@@ -64,8 +64,16 @@ impl LatencyHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                // upper edge of bucket i: 2^(i+1) ns
-                return (1u64 << (i + 1).min(63)) as f64 * 1e-9;
+                // upper edge of bucket i: 2^(i+1) ns. The last bucket's
+                // true edge (2^64 ns) does not fit a u64; saturate to
+                // u64::MAX so it stays strictly above bucket 62's edge
+                // and quantiles remain monotone in bucket index.
+                let ns = if i + 1 >= BUCKETS {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+                return ns as f64 * 1e-9;
             }
         }
         unreachable!("rank is at most total");
@@ -120,6 +128,42 @@ impl ServiceTelemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The log₂ histogram's quantile brackets the exact sample
+        /// quantile: bucket lower edge ≤ exact ≤ reported upper edge.
+        /// Both compute rank = max(1, ceil(q·n)) over the same multiset
+        /// and the bucket map is monotone in nanoseconds, so the rank-th
+        /// smallest sample lies inside the reported bucket.
+        #[test]
+        fn quantile_brackets_the_exact_sample_quantile(
+            samples in proptest::collection::vec(1u64..(1u64 << 53), 1..200),
+            q_mille in 0u32..=1000,
+        ) {
+            let q = f64::from(q_mille) / 1000.0;
+            let mut h = LatencyHistogram::default();
+            for &ns in &samples {
+                h.record(ns as f64 * 1e-9);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1] as f64 * 1e-9;
+            let upper = h.quantile(q);
+            let lower = upper / 2.0;
+            // 1e-6 relative slack absorbs the ns → seconds → ns round
+            // trip at power-of-two bucket edges
+            prop_assert!(
+                exact <= upper * (1.0 + 1e-6),
+                "exact {exact} above reported upper bound {upper}"
+            );
+            prop_assert!(
+                exact >= lower * (1.0 - 1e-6),
+                "exact {exact} below bucket lower bound {lower}"
+            );
+        }
+    }
 
     #[test]
     fn quantiles_are_monotone_and_bracket_samples() {
@@ -150,5 +194,21 @@ mod tests {
         h.record(1e12);
         assert_eq!(h.len(), 2);
         assert!(h.p99() > 0.0);
+
+        // regression: the two top buckets used to share one reported
+        // upper edge (2^63 ns), making tail quantiles non-monotone in
+        // bucket index. 6.5e9 s ≈ 2^62.5 ns lands in bucket 62; 1e12 s
+        // saturates the f64 → u64 cast into bucket 63. Their bounds must
+        // differ, with the last bucket's saturating to u64::MAX ns.
+        let mut t = LatencyHistogram::default();
+        t.record(6.5e9);
+        t.record(1e12);
+        let (p50, p99) = (t.p50(), t.p99());
+        assert!(
+            p50 < p99,
+            "buckets 62 and 63 collapsed: p50 {p50} !< p99 {p99}"
+        );
+        assert!((p50 - (1u64 << 63) as f64 * 1e-9).abs() < 1.0, "p50 {p50}");
+        assert!((p99 - u64::MAX as f64 * 1e-9).abs() < 1.0, "p99 {p99}");
     }
 }

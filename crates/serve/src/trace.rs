@@ -70,14 +70,22 @@ impl SplitMix64 {
 /// Generates the deterministic trace for `(config, seed)`.
 ///
 /// # Panics
-/// Panics if `config.tenants == 0` or `config.key_space` exceeds the
-/// tenant namespace.
+/// Panics if `config.tenants == 0`, `config.key_space` exceeds the
+/// tenant namespace, or `put_per_mille + delete_per_mille > 1000` (the
+/// roll is one draw per mille: an oversized sum would silently truncate
+/// the delete share and leave no room for gets).
 #[must_use]
 pub fn generate(config: &TraceConfig, seed: u64) -> Vec<TraceEvent> {
     assert!(config.tenants > 0, "need at least one tenant");
     assert!(
         config.key_space <= KEY_SPACE,
         "key_space exceeds the tenant namespace"
+    );
+    assert!(
+        config.put_per_mille + config.delete_per_mille <= 1000,
+        "put_per_mille ({}) + delete_per_mille ({}) exceeds 1000‰",
+        config.put_per_mille,
+        config.delete_per_mille
     );
     let mut rng = SplitMix64(seed ^ 0x5e7e_5e7e_0000_0001);
     let mut at = 0.0;
@@ -126,5 +134,34 @@ mod tests {
         assert!(t.iter().any(|e| matches!(e.op, Op::Get { .. })));
         assert!(t.iter().any(|e| matches!(e.op, Op::Delete { .. })));
         assert!(t.iter().any(|e| e.tenant == 0) && t.iter().any(|e| e.tenant == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1000‰")]
+    fn oversized_op_mix_is_rejected() {
+        // regression: pre-fix this config silently truncated the delete
+        // share to 200‰ and generated no gets at all
+        let cfg = TraceConfig {
+            put_per_mille: 800,
+            delete_per_mille: 300,
+            ..TraceConfig::default()
+        };
+        let _ = generate(&cfg, 1);
+    }
+
+    #[test]
+    fn boundary_sum_mix_saturates_without_gets() {
+        // put + delete == exactly 1000‰ is legal and leaves no gets
+        let cfg = TraceConfig {
+            ops: 500,
+            put_per_mille: 700,
+            delete_per_mille: 300,
+            ..TraceConfig::default()
+        };
+        let t = generate(&cfg, 3);
+        assert_eq!(t.len(), 500);
+        assert!(t.iter().all(|e| !matches!(e.op, Op::Get { .. })));
+        assert!(t.iter().any(|e| matches!(e.op, Op::Put { .. })));
+        assert!(t.iter().any(|e| matches!(e.op, Op::Delete { .. })));
     }
 }

@@ -1,0 +1,144 @@
+//! Time-varying Zipf: a power-law key stream whose hot set drifts.
+//!
+//! Real serving traffic is skewed *and* non-stationary: the most popular
+//! keys this minute are not the most popular keys ten minutes from now
+//! (trending items, cache-busting deploys, diurnal shifts). The static
+//! [`Zipf`] generator pins rank 1 to one key forever; this module rotates
+//! the rank → key mapping on a configurable period instead.
+//!
+//! Op index `i` belongs to epoch `i / period`. Within an epoch the stream
+//! is exactly a [`Zipf`] stream; across an epoch boundary the ranks are
+//! re-scattered through a *fresh* Feistel permutation keyed by the epoch
+//! number, so the entire hot set jumps to previously-cold keys at once.
+//! Everything stays counter-based — `key_at(i)` is a pure function of
+//! `(seed, i)` — so generation is embarrassingly parallel, bit-identical
+//! across thread counts, and replayable from the seed alone.
+
+use crate::unique::UniqueKeys;
+use crate::zipf::Zipf;
+use crate::{value_for_index, Pair};
+use hashes::fmix64;
+use rayon::prelude::*;
+
+/// A Zipf(s) key stream over `n` ranks whose rank → key permutation is
+/// re-drawn every `period` ops.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftingZipf {
+    zipf: Zipf,
+    seed: u64,
+    period: u64,
+}
+
+impl DriftingZipf {
+    /// Creates a drifting sampler: exponent `s`, `n` ranks, and a fresh
+    /// hot set every `period` ops.
+    ///
+    /// # Panics
+    /// Panics on the [`Zipf::new`] domain violations (`s ≤ 0`, `s == 1`,
+    /// `n == 0`, `n > 2³²`) or `period == 0`.
+    #[must_use]
+    pub fn new(s: f64, n: u64, seed: u64, period: u64) -> Self {
+        assert!(period >= 1, "drift period must be at least one op");
+        Self {
+            zipf: Zipf::new(s, n, seed),
+            seed,
+            period,
+        }
+    }
+
+    /// The drift epoch op `i` belongs to.
+    #[inline]
+    #[must_use]
+    pub fn epoch_of(&self, i: u64) -> u64 {
+        i / self.period
+    }
+
+    /// Ops per epoch.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The key holding rank `r` during `epoch` — rank 1 of epoch e and
+    /// rank 1 of epoch e+1 are (almost surely) different keys.
+    #[must_use]
+    pub fn key_for_rank_at(&self, epoch: u64, r: u64) -> u32 {
+        let perm = UniqueKeys::new(fmix64(
+            self.seed ^ 0xd21f_7e11_0dd5_ca1e ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ));
+        perm.key_at((r & 0xffff_ffff) as u32)
+    }
+
+    /// The key of the `i`-th op: Zipf-sampled rank, mapped through the
+    /// op's epoch permutation.
+    #[must_use]
+    pub fn key_at(&self, i: u64) -> u32 {
+        self.key_for_rank_at(self.epoch_of(i), self.zipf.rank_at(i))
+    }
+
+    /// Generates `count` pairs in parallel (counter-based, so the result
+    /// is independent of the worker count).
+    #[must_use]
+    pub fn pairs(&self, count: usize) -> Vec<Pair> {
+        let this = *self;
+        (0..count as u64)
+            .into_par_iter()
+            .map(|i| (this.key_at(i), value_for_index(this.seed, i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn within_an_epoch_the_stream_is_plain_zipf() {
+        let d = DriftingZipf::new(1.5, 1 << 16, 9, 10_000);
+        let z = Zipf::new(1.5, 1 << 16, 9);
+        for i in 0..5_000 {
+            // same ranks as the static sampler; only the key map differs
+            assert_eq!(d.zipf.rank_at(i), z.rank_at(i));
+            assert_eq!(d.epoch_of(i), 0);
+        }
+    }
+
+    #[test]
+    fn hot_set_jumps_at_the_epoch_boundary() {
+        let d = DriftingZipf::new(1.5, 1 << 20, 3, 512);
+        let hot = |epoch: u64| -> HashSet<u32> {
+            (1..=64u64).map(|r| d.key_for_rank_at(epoch, r)).collect()
+        };
+        let (e0, e1) = (hot(0), hot(1));
+        let overlap = e0.intersection(&e1).count();
+        assert!(
+            overlap <= 1,
+            "epochs share {overlap} of 64 hot keys — hot set failed to drift"
+        );
+        // ...and the boundary is exactly where configured
+        assert_eq!(d.epoch_of(511), 0);
+        assert_eq!(d.epoch_of(512), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let a = DriftingZipf::new(1.2, 1 << 16, 7, 100).pairs(1000);
+        let b = DriftingZipf::new(1.2, 1 << 16, 7, 100).pairs(1000);
+        let c = DriftingZipf::new(1.2, 1 << 16, 8, 100).pairs(1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_reserved_key_in_any_epoch() {
+        let d = DriftingZipf::new(1.2, 1 << 16, 1, 64);
+        assert!(d.pairs(4_096).iter().all(|&(k, _)| k != u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be at least one op")]
+    fn zero_period_rejected() {
+        let _ = DriftingZipf::new(1.2, 100, 0, 0);
+    }
+}

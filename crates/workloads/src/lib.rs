@@ -19,13 +19,17 @@
 #![warn(missing_docs)]
 
 pub mod batches;
+pub mod drift;
 pub mod uniform;
 pub mod unique;
+pub mod ycsb;
 pub mod zipf;
 
 pub use batches::{batches_of, Batch};
+pub use drift::DriftingZipf;
 pub use uniform::UniformKeys;
 pub use unique::UniqueKeys;
+pub use ycsb::{MixedOp, Ycsb, YcsbMix};
 pub use zipf::Zipf;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,271 @@
+//! YCSB-style mixed operation streams.
+//!
+//! The paper benchmarks bulk insert-then-retrieve phases (§V-A); real
+//! key-value traffic interleaves reads and writes. This module generates
+//! the four core YCSB mixes over our 4-byte key space:
+//!
+//! | mix | reads | writes | write kind |
+//! |-----|-------|--------|------------|
+//! | A   | 50%   | 50%    | update |
+//! | B   | 95%   | 5%     | update |
+//! | C   | 100%  | —      | — |
+//! | F   | 50%   | 50%    | read-modify-write |
+//!
+//! Keys come from a [`DriftingZipf`] sampler (a drift period of
+//! [`u64::MAX`] makes the hot set stationary, i.e. classic YCSB), and the
+//! op kind for index `i` is a counter-based hash roll — `op_at(i)` is a
+//! pure function of `(seed, i)`, so streams are bit-deterministic per
+//! seed at any thread count and any generation order.
+//!
+//! The generator is backend-agnostic: a [`MixedOp`] names the intent
+//! (read / update / read-modify-write) and consumers lower it onto their
+//! own op vocabulary (`warpdrive::service::lower_mixed` turns a stream
+//! into front-door `Op`s, expanding each RMW into a get + put).
+
+use crate::drift::DriftingZipf;
+use crate::value_for_index;
+use hashes::fmix64;
+use rayon::prelude::*;
+
+/// One operation of a mixed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixedOp {
+    /// Look up `key`.
+    Read {
+        /// Key to look up.
+        key: u32,
+    },
+    /// Blind write: store `value` under `key`.
+    Update {
+        /// Key to write.
+        key: u32,
+        /// Value to store.
+        value: u32,
+    },
+    /// Read `key`, then write `value` back under it (YCSB F's
+    /// dependent read-write pair).
+    ReadModifyWrite {
+        /// Key to read and rewrite.
+        key: u32,
+        /// Value the modify phase stores.
+        value: u32,
+    },
+}
+
+impl MixedOp {
+    /// The key the op addresses.
+    #[must_use]
+    pub fn key(&self) -> u32 {
+        match *self {
+            MixedOp::Read { key }
+            | MixedOp::Update { key, .. }
+            | MixedOp::ReadModifyWrite { key, .. } => key,
+        }
+    }
+
+    /// Whether the op writes.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        !matches!(self, MixedOp::Read { .. })
+    }
+}
+
+/// The four core YCSB mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// 50% read / 50% update — the write-heavy session store.
+    A,
+    /// 95% read / 5% update — the read-mostly photo tag store.
+    B,
+    /// 100% read — the static profile cache.
+    C,
+    /// 50% read / 50% read-modify-write — the user-record workload.
+    F,
+}
+
+impl YcsbMix {
+    /// Reads per thousand ops.
+    #[must_use]
+    pub fn read_per_mille(self) -> u32 {
+        match self {
+            YcsbMix::A | YcsbMix::F => 500,
+            YcsbMix::B => 950,
+            YcsbMix::C => 1000,
+        }
+    }
+
+    /// Whether the write half is read-modify-write instead of a blind
+    /// update.
+    #[must_use]
+    pub fn writes_are_rmw(self) -> bool {
+        matches!(self, YcsbMix::F)
+    }
+
+    /// Lowercase label used in benchmark tables ("a".."f").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbMix::A => "a",
+            YcsbMix::B => "b",
+            YcsbMix::C => "c",
+            YcsbMix::F => "f",
+        }
+    }
+
+    /// All four mixes, in table order.
+    pub const ALL: [YcsbMix; 4] = [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::F];
+}
+
+/// A deterministic YCSB-style op stream: mix × skew × drift × seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Ycsb {
+    mix: YcsbMix,
+    keys: DriftingZipf,
+    seed: u64,
+}
+
+impl Ycsb {
+    /// A stream with a stationary hot set (classic YCSB): `mix` over
+    /// `records` keys with Zipf exponent `s`.
+    ///
+    /// # Panics
+    /// Propagates the [`DriftingZipf::new`] domain panics.
+    #[must_use]
+    pub fn new(mix: YcsbMix, s: f64, records: u64, seed: u64) -> Self {
+        Self::with_drift(mix, s, records, seed, u64::MAX)
+    }
+
+    /// A stream whose hot set drifts every `period` ops.
+    ///
+    /// # Panics
+    /// Propagates the [`DriftingZipf::new`] domain panics.
+    #[must_use]
+    pub fn with_drift(mix: YcsbMix, s: f64, records: u64, seed: u64, period: u64) -> Self {
+        Self {
+            mix,
+            keys: DriftingZipf::new(s, records, seed, period),
+            seed,
+        }
+    }
+
+    /// The key sampler (exposed so load phases can enumerate the key
+    /// universe of each drift epoch via
+    /// [`DriftingZipf::key_for_rank_at`]).
+    #[must_use]
+    pub fn keys(&self) -> &DriftingZipf {
+        &self.keys
+    }
+
+    /// The stream's mix.
+    #[must_use]
+    pub fn mix(&self) -> YcsbMix {
+        self.mix
+    }
+
+    /// The `i`-th op of the stream — a pure function of `(self, i)`.
+    #[must_use]
+    pub fn op_at(&self, i: u64) -> MixedOp {
+        let key = self.keys.key_at(i);
+        let roll = (fmix64(self.seed ^ roll_tweak(i)) % 1000) as u32;
+        if roll < self.mix.read_per_mille() {
+            MixedOp::Read { key }
+        } else {
+            let value = value_for_index(self.seed, i);
+            if self.mix.writes_are_rmw() {
+                MixedOp::ReadModifyWrite { key, value }
+            } else {
+                MixedOp::Update { key, value }
+            }
+        }
+    }
+
+    /// Generates `count` ops in parallel (order and content independent
+    /// of the worker count).
+    #[must_use]
+    pub fn ops(&self, count: usize) -> Vec<MixedOp> {
+        let this = *self;
+        (0..count as u64).into_par_iter().map(|i| this.op_at(i)).collect()
+    }
+}
+
+/// Counter tweak for the kind roll, domain-separated from the key and
+/// value streams.
+#[inline]
+fn roll_tweak(i: u64) -> u64 {
+    0x9c5b_01d5_7e11_ab1e ^ i.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_hit_their_advertised_ratios() {
+        for (mix, lo, hi) in [
+            (YcsbMix::A, 450, 550),
+            (YcsbMix::B, 920, 980),
+            (YcsbMix::C, 1000, 1000),
+            (YcsbMix::F, 450, 550),
+        ] {
+            let ops = Ycsb::new(mix, 1.2, 1 << 16, 42).ops(10_000);
+            let reads = ops.iter().filter(|o| !o.is_write()).count();
+            let per_mille = reads * 1000 / ops.len();
+            assert!(
+                (lo..=hi).contains(&per_mille),
+                "{}: {per_mille}‰ reads outside [{lo}, {hi}]",
+                mix.label()
+            );
+        }
+    }
+
+    #[test]
+    fn f_writes_are_rmw_and_a_writes_are_blind() {
+        let f = Ycsb::new(YcsbMix::F, 1.2, 1 << 12, 1).ops(2_000);
+        assert!(f
+            .iter()
+            .filter(|o| o.is_write())
+            .all(|o| matches!(o, MixedOp::ReadModifyWrite { .. })));
+        let a = Ycsb::new(YcsbMix::A, 1.2, 1 << 12, 1).ops(2_000);
+        assert!(a
+            .iter()
+            .filter(|o| o.is_write())
+            .all(|o| matches!(o, MixedOp::Update { .. })));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let a = Ycsb::new(YcsbMix::A, 1.2, 1 << 16, 5).ops(2_000);
+        let b = Ycsb::new(YcsbMix::A, 1.2, 1 << 16, 5).ops(2_000);
+        let c = Ycsb::new(YcsbMix::A, 1.2, 1 << 16, 6).ops(2_000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn drift_changes_keys_but_not_the_kind_sequence() {
+        let stationary = Ycsb::new(YcsbMix::B, 1.5, 1 << 16, 9);
+        let drifting = Ycsb::with_drift(YcsbMix::B, 1.5, 1 << 16, 9, 256);
+        let (s_ops, d_ops) = (stationary.ops(1_000), drifting.ops(1_000));
+        // the kind roll is independent of the key stream
+        for (s, d) in s_ops.iter().zip(&d_ops) {
+            assert_eq!(s.is_write(), d.is_write());
+        }
+        // ... but epoch ≥ 1 keys differ (fresh permutation)
+        assert!(
+            s_ops[256..].iter().zip(&d_ops[256..]).any(|(s, d)| s.key() != d.key()),
+            "drift produced an identical key stream"
+        );
+    }
+
+    #[test]
+    fn zipf_head_dominates_reads() {
+        let g = Ycsb::new(YcsbMix::C, 1.5, 1 << 20, 3);
+        let hot = g.keys().key_for_rank_at(0, 1);
+        let ops = g.ops(20_000);
+        let hot_share = ops.iter().filter(|o| o.key() == hot).count();
+        assert!(
+            hot_share > 2_000,
+            "rank-1 key appears only {hot_share}/20000 times at s = 1.5"
+        );
+    }
+}

@@ -34,7 +34,10 @@ impl Zipf {
     ///
     /// # Panics
     /// Panics for `s ≤ 0`, `s == 1` (the harmonic edge case is excluded —
-    /// the paper uses `s = 1 + 10⁻⁶`) or `n == 0`.
+    /// the paper uses `s = 1 + 10⁻⁶`), `n == 0`, or `n > 2³²`:
+    /// [`Zipf::key_for_rank`] maps ranks through a 32-bit permutation, so
+    /// any larger domain would silently alias distinct ranks above 2³²
+    /// onto the keys of ranks below it.
     #[must_use]
     pub fn new(s: f64, n: u64, seed: u64) -> Self {
         assert!(
@@ -42,6 +45,11 @@ impl Zipf {
             "need s > 0, s ≠ 1"
         );
         assert!(n >= 1, "need at least one rank");
+        assert!(
+            n <= 1 << 32,
+            "Zipf supports at most 2^32 ranks: key_for_rank maps ranks through \
+             a 32-bit permutation, so n = {n} would alias distinct ranks onto one key"
+        );
         let h_x1 = h_integral(1.5, s) - 1.0;
         let h_n = h_integral(n as f64 + 0.5, s);
         let threshold = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
@@ -84,6 +92,11 @@ impl Zipf {
 
     /// The key for rank `r`: ranks are scattered through a Feistel
     /// permutation so rank 1 is not key 1.
+    ///
+    /// Ranks are reduced to 32 bits before the permutation; that is
+    /// collision-free exactly because [`Zipf::new`] caps `n` at 2³² —
+    /// ranks run `1..=n`, so the only wrapped rank (2³² → 0) lands on a
+    /// permutation index no smaller rank occupies.
     #[inline]
     #[must_use]
     pub fn key_for_rank(&self, r: u64) -> u32 {
@@ -228,5 +241,28 @@ mod tests {
     #[should_panic(expected = "s ≠ 1")]
     fn exponent_one_rejected() {
         let _ = Zipf::new(1.0, 100, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 2^32 ranks")]
+    fn rank_domains_beyond_the_permutation_are_rejected() {
+        // regression: key_for_rank masks ranks to 32 bits, so pre-fix this
+        // constructor silently aliased rank 2^32 + 1 onto rank 1's key
+        let _ = Zipf::new(1.2, (1u64 << 32) + 1, 0);
+    }
+
+    #[test]
+    fn full_32_bit_rank_domain_is_collision_free_at_the_boundary() {
+        // n = 2^32 is the largest legal domain; the one wrapped rank
+        // (2^32 → permutation index 0) must not collide with any other
+        let z = Zipf::new(1.2, 1u64 << 32, 11);
+        let boundary = z.key_for_rank(1u64 << 32);
+        for r in [1u64, 2, 3, (1 << 32) - 1] {
+            assert_ne!(
+                boundary,
+                z.key_for_rank(r),
+                "rank 2^32 aliases rank {r}"
+            );
+        }
     }
 }

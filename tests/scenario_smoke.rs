@@ -1,0 +1,142 @@
+//! Scenario-lab smoke: YCSB mixes and hot-set drift against real
+//! backends, end to end.
+//!
+//! The wd-bench `ycsb`/`cache` scenarios report modeled numbers from
+//! exactly these plumbing paths (generator → `lower_mixed` →
+//! `MapService::execute` → cache tier); this suite pins the semantics on
+//! fixed seeds at test-sized scales so CI catches a broken path before
+//! the benchmark quietly reports nonsense.
+
+use gpu_sim::Device;
+use std::sync::Arc;
+use warpdrive::{
+    lower_mixed, CachePolicy, CachedMap, Config, GpuHashMap, MapService, Op, Response,
+};
+use workloads::{DriftingZipf, Ycsb, YcsbMix};
+
+const SEED: u64 = 20240807;
+
+fn single_gpu(capacity: usize) -> GpuHashMap {
+    let dev = Arc::new(Device::with_words(0, capacity * 8 + (1 << 13)));
+    GpuHashMap::new(dev, capacity, Config::default()).unwrap()
+}
+
+/// Loads every key of epoch 0's universe head so reads mostly hit.
+fn load_head(map: &mut impl MapService, gen: &Ycsb, ranks: u64) {
+    let pairs: Vec<(u32, u32)> = (1..=ranks)
+        .map(|r| (gen.keys().key_for_rank_at(0, r), r as u32))
+        .collect();
+    map.put_batch(&pairs).unwrap();
+}
+
+/// Every YCSB mix executes clean against a single GPU, with gets
+/// resolving against the loaded head and writes applying.
+#[test]
+fn every_ycsb_mix_round_trips_on_a_single_gpu() {
+    for mix in YcsbMix::ALL {
+        let mut map = single_gpu(1 << 14);
+        let gen = Ycsb::new(mix, 1.4, 1 << 12, SEED);
+        load_head(&mut map, &gen, 1 << 12);
+        let ops = lower_mixed(&gen.ops(2_000));
+        let (responses, report) = map.execute(&ops).unwrap();
+        assert_eq!(responses.len(), ops.len());
+        assert!(report.time > 0.0, "{}: modeled time must accrue", mix.label());
+        let (mut gets, mut hits, mut puts) = (0u64, 0u64, 0u64);
+        for r in &responses {
+            match r {
+                Response::Get { value } => {
+                    gets += 1;
+                    hits += u64::from(value.is_some());
+                }
+                Response::Put => puts += 1,
+                Response::Delete { .. } => panic!("YCSB lowers to gets and puts only"),
+            }
+        }
+        // the whole 2^12-rank universe is loaded: every read must hit
+        assert_eq!(gets, hits, "{}: {hits}/{gets} reads hit", mix.label());
+        match mix {
+            YcsbMix::C => assert_eq!(puts, 0, "YCSB-C is read-only"),
+            _ => assert!(puts > 0, "{} must write", mix.label()),
+        }
+    }
+}
+
+/// The same (mix, seed) run twice produces bit-identical responses —
+/// scenario results are replayable.
+#[test]
+fn ycsb_scenarios_replay_bit_identically() {
+    let run = || {
+        let mut map = single_gpu(1 << 14);
+        let gen = Ycsb::new(YcsbMix::A, 1.2, 1 << 12, SEED);
+        load_head(&mut map, &gen, 1 << 12);
+        map.execute(&lower_mixed(&gen.ops(1_500))).unwrap().0
+    };
+    assert_eq!(run(), run());
+}
+
+/// Hot-set drift punishes the cache exactly as designed: with a
+/// stationary hot set the LRU shadow converges onto it, while a fast
+/// drift keeps invalidating the learned set, so the stationary hit rate
+/// must be strictly higher.
+#[test]
+fn drift_degrades_cache_hit_rate() {
+    let hit_rate = |period: u64| {
+        let gen = Ycsb::with_drift(YcsbMix::C, 1.6, 1 << 10, SEED, period);
+        // every drift epoch brings a fresh 2^10-key universe: size the
+        // map for all of them at a comfortable load factor
+        let mut cache = CachedMap::new(single_gpu(1 << 15), 128, CachePolicy::Lru);
+        // load every epoch's universe that the 4000-op stream can touch,
+        // so drifted reads still resolve in the backend
+        for epoch in 0..=(4_000 / period.min(4_000)) {
+            let pairs: Vec<(u32, u32)> = (1..=(1u64 << 10))
+                .map(|r| (gen.keys().key_for_rank_at(epoch, r), r as u32))
+                .collect();
+            cache.backend_mut().put_batch(&pairs).unwrap();
+        }
+        let ops = lower_mixed(&gen.ops(4_000));
+        for chunk in ops.chunks(64) {
+            cache.execute(chunk).unwrap();
+        }
+        cache.stats().hit_rate()
+    };
+    let stationary = hit_rate(u64::MAX);
+    let drifting = hit_rate(256);
+    assert!(
+        stationary > drifting,
+        "stationary hit rate {stationary} must beat drift-period-256 {drifting}"
+    );
+    assert!(stationary > 0.3, "s = 1.6 head must be cacheable: {stationary}");
+}
+
+/// Drifted streams stay correct against the GPU map: keys of different
+/// epochs resolve to the values loaded for their own epoch.
+#[test]
+fn drifting_keys_resolve_per_epoch() {
+    let d = DriftingZipf::new(1.5, 1 << 10, SEED, 500);
+    let mut map = single_gpu(1 << 13);
+    for epoch in [0u64, 1] {
+        let pairs: Vec<(u32, u32)> = (1..=(1u64 << 10))
+            .map(|r| (d.key_for_rank_at(epoch, r), (epoch as u32) << 16 | r as u32))
+            .collect();
+        map.put_batch(&pairs).unwrap();
+    }
+    let ops: Vec<Op> = (0..1_000u64).map(|i| Op::Get { key: d.key_at(i) }).collect();
+    let (responses, _) = map.execute(&ops).unwrap();
+    for (i, r) in responses.iter().enumerate() {
+        let epoch = d.epoch_of(i as u64);
+        match r {
+            Response::Get { value: Some(v) } => {
+                // hot sets of epochs 0/1 barely overlap, so almost every
+                // key is unique to its epoch; collisions (loaded by both
+                // epochs, second load wins) may carry either tag
+                let tag = u64::from(v >> 16);
+                assert!(
+                    tag == epoch || tag == 1 - epoch,
+                    "op {i}: impossible epoch tag {tag}"
+                );
+            }
+            Response::Get { value: None } => panic!("op {i}: loaded key missed"),
+            _ => unreachable!("stream is all gets"),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Thread-count determinism of the scenario-lab generators.
+//!
+//! The YCSB and drifting-Zipf generators are counter-based: every op is
+//! a pure function of `(seed, index)`, so the host worker count must
+//! never leak into the generated stream. This sweeps the rayon shim's
+//! `RAYON_NUM_THREADS` across {1, 2, 4, 8} and demands bit-identical
+//! output, and additionally checks the parallel paths against serial
+//! per-index generation.
+//!
+//! Everything runs in ONE `#[test]` binary: the worker count is swept via
+//! the environment, which the rayon shim reads per call — concurrent
+//! tests mutating the environment would race (the same isolation rule as
+//! `counter_determinism.rs`).
+
+use workloads::{DriftingZipf, MixedOp, Ycsb, YcsbMix};
+
+const COUNT: usize = 10_000;
+const SEED: u64 = 20240807;
+
+#[test]
+fn generators_are_bit_deterministic_across_thread_counts() {
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let ycsb = Ycsb::with_drift(YcsbMix::A, 1.3, 1 << 18, SEED, 1024);
+    let drift = DriftingZipf::new(1.3, 1 << 18, SEED, 1024);
+    let ycsb_ref = ycsb.ops(COUNT);
+    let drift_ref = drift.pairs(COUNT);
+
+    // the parallel path on one worker must equal serial per-index calls
+    let ycsb_serial: Vec<MixedOp> = (0..COUNT as u64).map(|i| ycsb.op_at(i)).collect();
+    assert_eq!(ycsb_ref, ycsb_serial, "ops() diverged from op_at()");
+    let drift_serial: Vec<(u32, u32)> = (0..COUNT as u64)
+        .map(|i| {
+            (
+                drift.key_at(i),
+                workloads::value_for_index(SEED, i),
+            )
+        })
+        .collect();
+    assert_eq!(drift_ref, drift_serial, "pairs() diverged from key_at()");
+
+    for workers in ["2", "4", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", workers);
+        assert_eq!(
+            ycsb.ops(COUNT),
+            ycsb_ref,
+            "YCSB stream diverged on {workers} workers"
+        );
+        assert_eq!(
+            drift.pairs(COUNT),
+            drift_ref,
+            "drift stream diverged on {workers} workers"
+        );
+        // every mix, smaller sample: the kind roll must not depend on
+        // chunking either
+        for mix in YcsbMix::ALL {
+            let gen = Ycsb::new(mix, 1.1, 1 << 14, SEED ^ 7);
+            let par = gen.ops(2_000);
+            let serial: Vec<MixedOp> = (0..2_000u64).map(|i| gen.op_at(i)).collect();
+            assert_eq!(par, serial, "mix {} diverged on {workers} workers", mix.label());
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
